@@ -1,0 +1,68 @@
+// E2 — Figure 7: apply_qt_h performance across block sizes.
+//
+// The paper sweeps block shapes for the best reduction strategy
+// (register-file serial + pre-transposed panels) and reports single-precision
+// GFLOPS per shape; the best overall block is 128 x 16 at 388 GFLOPS.
+// This bench reproduces the sweep on the simulated C2050 (cache-hot
+// microbenchmark, as in §IV.F) and reports the same grid plus the argmax,
+// which is also what caqr::autotune_block_size() selects.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "caqr/autotune.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using namespace caqr;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const std::vector<idx> heights = {32, 64, 128, 192, 256, 384, 512};
+  const std::vector<idx> widths = {4, 8, 16, 32, 64};
+
+  std::printf("E2: Figure 7 — apply_qt_h GFLOPS per block size "
+              "(register-file serial + transpose, C2050 model)\n");
+  std::printf("Paper: best block 128 x 16 at 388 GFLOPS\n\n");
+
+  gpusim::GpuMachineModel model = gpusim::GpuMachineModel::c2050();
+
+  std::vector<std::string> header = {"height \\ width"};
+  for (const idx w : widths) header.push_back(std::to_string(w));
+  TextTable table(header);
+
+  double best = 0;
+  idx best_h = 0, best_w = 0;
+  for (const idx h : heights) {
+    table.cell(std::to_string(h));
+    for (const idx w : widths) {
+      double g = 0;
+      if (h >= w) {
+        g = caqr::autotune::microbench_apply_qt_h(model, h, w);
+        if (g > best) {
+          best = g;
+          best_h = h;
+          best_w = w;
+        }
+      }
+      table.cell(g, 1);
+    }
+    table.end_row();
+  }
+  table.print();
+  std::printf("\nBest block: %lld x %lld at %.1f GFLOPS (paper: 128 x 16 at 388)\n",
+              static_cast<long long>(best_h), static_cast<long long>(best_w),
+              best);
+
+  const auto chosen = caqr::autotune::autotune_block_size(model);
+  std::printf("autotune_block_size() selects %lld x %lld\n",
+              static_cast<long long>(chosen.block_rows),
+              static_cast<long long>(chosen.panel_width));
+  if (args.get_bool("csv", false)) std::printf("\n%s", table.to_csv().c_str());
+  return 0;
+}

@@ -1,0 +1,104 @@
+// E4 + E9 — Figure 9: SGEQRF GFLOPS vs matrix width at height 8192, and the
+// §V.C crossover claim (CAQR leads until roughly 4000 columns, after which
+// the GEMM-rich libraries win).
+//
+// Paper curve shapes (C2050 / 8-core Nehalem):
+//   CAQR   — best at small widths, flattens near ~200 GFLOPS
+//   MAGMA  — slow when skinny, rises steeply with width (peak ~450)
+//   CULA   — same shape, somewhat lower
+//   MKL    — slow everywhere relative to the GPU at large widths (~100)
+
+#include <cstdio>
+#include <vector>
+
+#include "baselines/qr_baselines.hpp"
+#include "caqr/caqr.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using namespace caqr;
+
+struct Point {
+  double caqr, magma, cula, mkl;
+};
+
+Point measure(idx m, idx n) {
+  Point p{};
+  {
+    gpusim::Device dev(gpusim::GpuMachineModel::c2050(),
+                       gpusim::ExecMode::ModelOnly);
+    auto f = CaqrFactorization<float>::factor(dev, Matrix<float>::shape_only(m, n));
+    (void)f;
+    p.caqr = geqrf_flop_count(m, n) / dev.elapsed_seconds() * 1e-9;
+  }
+  {
+    gpusim::Device dev(gpusim::GpuMachineModel::c2050(),
+                       gpusim::ExecMode::ModelOnly);
+    auto r = baselines::hybrid_qr(dev, Matrix<float>::shape_only(m, n));
+    p.magma = geqrf_flop_count(m, n) / r.seconds * 1e-9;
+  }
+  {
+    gpusim::Device dev(gpusim::GpuMachineModel::c2050(),
+                       gpusim::ExecMode::ModelOnly);
+    auto r = baselines::gpu_blocked_qr(dev, Matrix<float>::shape_only(m, n));
+    p.cula = geqrf_flop_count(m, n) / r.seconds * 1e-9;
+  }
+  {
+    gpusim::Device dev(gpusim::GpuMachineModel::c2050(),
+                       gpusim::ExecMode::ModelOnly);
+    auto r = baselines::cpu_blocked_qr(
+        dev, Matrix<float>::shape_only(m, n), gpusim::CpuMachineModel::nehalem_8core());
+    p.mkl = geqrf_flop_count(m, n) / r.seconds * 1e-9;
+  }
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const idx m = args.get_int("height", 8192);
+
+  std::printf("E4/E9: Figure 9 — SGEQRF GFLOPS vs width (height = %lld)\n\n",
+              static_cast<long long>(m));
+
+  TextTable table({"columns", "CAQR", "MAGMA-like", "CULA-like", "MKL-like",
+                   "leader"});
+  const std::vector<idx> widths = {64,   128,  192,  256,  384,  512, 768,
+                                   1024, 1536, 2048, 3072, 4096, 6144, 8192};
+  double crossover = -1;
+  double prev_margin = 1;
+  idx prev_n = 0;
+  for (const idx n : widths) {
+    if (n > m) break;
+    const Point p = measure(m, n);
+    const double best_lib = std::max({p.magma, p.cula, p.mkl});
+    const char* leader = p.caqr >= best_lib ? "CAQR" : "library";
+    table.cell(std::to_string(n))
+        .cell(p.caqr, 1)
+        .cell(p.magma, 1)
+        .cell(p.cula, 1)
+        .cell(p.mkl, 1)
+        .cell(leader)
+        .end_row();
+    const double margin = p.caqr - best_lib;
+    if (crossover < 0 && margin < 0 && prev_n > 0) {
+      // Linear interpolation between the last two widths.
+      crossover = prev_n + (static_cast<double>(n) - prev_n) * prev_margin /
+                               (prev_margin - margin);
+    }
+    prev_margin = margin;
+    prev_n = n;
+  }
+  table.print();
+  if (crossover > 0) {
+    std::printf("\nCrossover (CAQR loses the lead): ~%.0f columns "
+                "(paper \xc2\xa7V.C: ~4000)\n", crossover);
+  } else {
+    std::printf("\nNo crossover found in the sweep (paper \xc2\xa7V.C: ~4000)\n");
+  }
+  if (args.get_bool("csv", false)) std::printf("\n%s", table.to_csv().c_str());
+  return 0;
+}

@@ -1,0 +1,93 @@
+// E1 — §IV.E kernel tuning progression.
+//
+// Reproduces the paper's ladder for the apply_qt_h core (matrix-vector
+// product + rank-1 update on 128 x 16 blocks):
+//
+//   1. Shared-memory parallel reductions   —  55 GFLOPS
+//   2. Shared-memory serial reductions     — 168 GFLOPS
+//   3. Register-file serial reductions     — 194 GFLOPS
+//   4. Register-file serial + transpose    — 388 GFLOPS
+//
+// The microbench saturates the simulated C2050 with one apply_qt_h launch
+// over many independent 128 x 16 blocks and reports useful-FLOPs / simulated
+// time per reduction strategy.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "gpusim/device.hpp"
+#include "kernels/kernels.hpp"
+#include "linalg/random_matrix.hpp"
+
+namespace {
+
+using namespace caqr;
+
+double microbench_gflops(kernels::ReductionVariant variant, idx block_h,
+                         idx block_w, idx nblocks, int reps) {
+  gpusim::Device dev(gpusim::GpuMachineModel::c2050(),
+                     gpusim::ExecMode::ModelOnly);
+
+  const idx rows = block_h * nblocks;
+  auto panel = Matrix<float>::shape_only(rows, block_w);
+  auto trailing = Matrix<float>::shape_only(rows, block_w);
+  std::vector<idx> offsets;
+  for (idx b = 0; b <= nblocks; ++b) offsets.push_back(b * block_h);
+  std::vector<float> taus(static_cast<std::size_t>(nblocks * block_w), 0.5f);
+
+  // Cache-hot microbenchmark (paper §IV.E measures the fast-memory core on
+  // repeatedly-processed blocks): resident=true charges no DRAM traffic.
+  kernels::ApplyQtHKernel<float> k{panel.view(),
+                                   &offsets,
+                                   taus.data(),
+                                   trailing.view(),
+                                   block_w,
+                                   kernels::cost_params(variant),
+                                   dev.model().uncoalesced_penalty,
+                                   /*tile_penalty=*/1.0,
+                                   /*resident=*/true,
+                                   /*transpose_q=*/true};
+  for (int r = 0; r < reps; ++r) dev.launch(k, k.num_blocks());
+  const auto* p = dev.profile("apply_qt_h");
+  return p != nullptr ? p->gflops() : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const idx h = args.get_int("block-h", 128);
+  const idx w = args.get_int("block-w", 16);
+  const idx nblocks = args.get_int("blocks", 4096);
+  const int reps = static_cast<int>(args.get_int("reps", 4));
+
+  std::printf(
+      "E1: apply_qt_h tuning progression (paper §IV.E, %lld x %lld blocks)\n"
+      "Paper reference: 55 / 168 / 194 / 388 GFLOPS\n\n",
+      static_cast<long long>(h), static_cast<long long>(w));
+
+  TextTable table({"approach", "paper GFLOPS", "simulated GFLOPS"});
+  const struct {
+    kernels::ReductionVariant v;
+    const char* label;
+    double paper;
+  } rows[] = {
+      {kernels::ReductionVariant::SmemParallelReduction,
+       "1. shared-memory parallel reductions", 55},
+      {kernels::ReductionVariant::SmemSerialReduction,
+       "2. shared-memory serial reductions", 168},
+      {kernels::ReductionVariant::RegisterSerialReduction,
+       "3. register-file serial reductions", 194},
+      {kernels::ReductionVariant::RegisterSerialTransposed,
+       "4. register-file serial + transpose", 388},
+  };
+  for (const auto& row : rows) {
+    const double g = microbench_gflops(row.v, h, w, nblocks, reps);
+    table.cell(row.label).cell(row.paper, 0).cell(g, 1).end_row();
+  }
+  table.print();
+  if (args.get_bool("csv", false)) std::printf("\n%s", table.to_csv().c_str());
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Linear least squares via CAQR — the paper's headline application class
+// (§I: "thousands of rows representing observations and a few tens or
+// hundreds of columns representing parameters").
+//
+// Fits a polynomial to noisy observations by min ||A x - b||_2 using
+//   A = Q R;  x = R^{-1} (Q^T b)[0:n]
+// and contrasts the conditioning behaviour against the normal-equations
+// (CholeskyQR) approach, which squares the condition number.
+//
+//   ./least_squares [--observations=50000] [--degree=12] [--noise=0.01]
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "baselines/qr_baselines.hpp"
+#include "caqr/caqr.hpp"
+#include "common/cli.hpp"
+#include "common/prng.hpp"
+#include "common/table.hpp"
+#include "linalg/norms.hpp"
+
+using namespace caqr;
+
+namespace {
+
+// Ground-truth polynomial coefficients c_k = (-0.5)^k / (k + 1).
+double truth_coef(idx k) {
+  return std::pow(-0.5, static_cast<double>(k)) / static_cast<double>(k + 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const idx m = args.get_int("observations", 50000);
+  const idx degree = args.get_int("degree", 12);
+  const double noise = args.get_double("noise", 1e-4);
+  const idx n = degree + 1;
+
+  std::printf("Least squares: fit degree-%lld polynomial to %lld noisy "
+              "observations (Vandermonde design matrix, %lld x %lld)\n\n",
+              static_cast<long long>(degree), static_cast<long long>(m),
+              static_cast<long long>(m), static_cast<long long>(n));
+
+  // Build the Vandermonde system on t in [-1, 1] — ill-conditioned enough at
+  // moderate degree to separate QR from normal equations.
+  Matrix<double> a(m, n);
+  Matrix<double> b(m, 1);
+  Rng rng(7);
+  for (idx i = 0; i < m; ++i) {
+    const double t = -1.0 + 2.0 * static_cast<double>(i) / (m - 1);
+    double y = 0, tk = 1;
+    for (idx k = 0; k < n; ++k) {
+      a(i, k) = tk;
+      y += truth_coef(k) * tk;
+      tk *= t;
+    }
+    b(i, 0) = y + noise * rng.normal();
+  }
+
+  // --- CAQR solve (on the simulated GPU) ---
+  gpusim::Device dev;
+  auto f = caqr_factor(dev, a.view());
+  auto qtb = b.clone();
+  f.apply_qt(dev, qtb.view());
+  auto r = f.r();
+  std::vector<double> x_qr(static_cast<std::size_t>(n));
+  for (idx i = 0; i < n; ++i) x_qr[static_cast<std::size_t>(i)] = qtb(i, 0);
+  trsv_upper(r.view().block(0, 0, n, n), x_qr.data());
+
+  // --- Normal equations via CholeskyQR for contrast ---
+  auto chol = baselines::cholesky_qr(a.view());
+  std::vector<double> x_ne(static_cast<std::size_t>(n), 0.0);
+  bool ne_ok = chol.ok;
+  if (ne_ok) {
+    // x = R^-1 Q^T b
+    for (idx i = 0; i < n; ++i) {
+      x_ne[static_cast<std::size_t>(i)] = dot(m, chol.q.view().col(i), b.view().col(0));
+    }
+    trsv_upper(chol.r.view(), x_ne.data());
+  }
+
+  TextTable table({"k", "truth", "CAQR", ne_ok ? "CholeskyQR" : "CholeskyQR (failed)"});
+  double err_qr = 0, err_ne = 0;
+  for (idx k = 0; k < n; ++k) {
+    const double t = truth_coef(k);
+    err_qr = std::max(err_qr, std::fabs(x_qr[static_cast<std::size_t>(k)] - t));
+    err_ne = std::max(err_ne, std::fabs(x_ne[static_cast<std::size_t>(k)] - t));
+    table.cell(static_cast<long long>(k))
+        .cell(t, 6)
+        .cell(x_qr[static_cast<std::size_t>(k)], 6)
+        .cell(ne_ok ? x_ne[static_cast<std::size_t>(k)] : 0.0, 6)
+        .end_row();
+  }
+  table.print();
+  std::printf("\nmax coefficient error: CAQR %.2e, CholeskyQR %.2e\n", err_qr,
+              err_ne);
+  std::printf("simulated GPU time for the QR solve: %.3f ms\n",
+              dev.elapsed_seconds() * 1e3);
+  std::printf("CholeskyQR orthogonality defect: %.2e (CAQR Q: Householder-"
+              "stable)\n",
+              ne_ok ? orthogonality_error(chol.q.view()) : INFINITY);
+  return 0;
+}

@@ -1,0 +1,190 @@
+#include "api/lapack_compat.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "caqr/caqr.hpp"
+#include "linalg/blas3.hpp"
+#include "linalg/qr.hpp"
+
+namespace caqr::api {
+
+namespace {
+
+template <typename T>
+lapack_int geqrf_impl(lapack_int m, lapack_int n, T* a, lapack_int lda,
+                      T* tau) {
+  if (m < 0) return -1;
+  if (n < 0) return -2;
+  if (a == nullptr && m * n != 0) return -3;
+  if (lda < std::max<lapack_int>(1, m)) return -4;
+  if (tau == nullptr && std::min(m, n) != 0) return -5;
+  if (m == 0 || n == 0) return 0;
+  geqrf(MatrixView<T>(a, m, n, lda), tau);
+  return 0;
+}
+
+template <typename T>
+lapack_int orgqr_impl(lapack_int m, lapack_int k, T* a, lapack_int lda,
+                      const T* tau) {
+  if (m < 0) return -1;
+  if (k < 0 || k > m) return -2;
+  if (a == nullptr && m * k != 0) return -3;
+  if (lda < std::max<lapack_int>(1, m)) return -4;
+  if (tau == nullptr && k != 0) return -5;
+  if (m == 0 || k == 0) return 0;
+  // Form Q out of place, then overwrite the leading m x k of a.
+  auto q = form_q(ConstMatrixView<T>(a, m, k, lda), tau, k);
+  MatrixView<T>(a, m, k, lda).copy_from(q.view());
+  return 0;
+}
+
+template <typename T>
+lapack_int ormqr_impl(char trans, lapack_int m, lapack_int ncols_c,
+                      lapack_int k, const T* a, lapack_int lda, const T* tau,
+                      T* c, lapack_int ldc) {
+  if (trans != 'N' && trans != 'T' && trans != 'n' && trans != 't') return -1;
+  if (m < 0) return -2;
+  if (ncols_c < 0) return -3;
+  if (k < 0 || k > m) return -4;
+  if (a == nullptr && m * k != 0) return -5;
+  if (lda < std::max<lapack_int>(1, m)) return -6;
+  if (tau == nullptr && k != 0) return -7;
+  if (c == nullptr && m * ncols_c != 0) return -8;
+  if (ldc < std::max<lapack_int>(1, m)) return -9;
+  if (m == 0 || ncols_c == 0 || k == 0) return 0;
+  const Trans t = (trans == 'T' || trans == 't') ? Trans::Yes : Trans::No;
+  apply_q_left(ConstMatrixView<T>(a, m, k, lda), tau, t,
+               MatrixView<T>(c, m, ncols_c, ldc));
+  return 0;
+}
+
+template <typename T>
+lapack_int gels_impl(lapack_int m, lapack_int n, lapack_int nrhs, T* a,
+                     lapack_int lda, T* b, lapack_int ldb) {
+  if (m < 0) return -1;
+  if (n < 0 || n > m) return -2;
+  if (nrhs < 0) return -3;
+  if (a == nullptr && m * n != 0) return -4;
+  if (lda < std::max<lapack_int>(1, m)) return -5;
+  if (b == nullptr && m * nrhs != 0) return -6;
+  if (ldb < std::max<lapack_int>(1, m)) return -7;
+  if (m == 0 || n == 0 || nrhs == 0) return 0;
+
+  MatrixView<T> av(a, m, n, lda);
+  MatrixView<T> bv(b, m, nrhs, ldb);
+  std::vector<T> tau(static_cast<std::size_t>(n));
+  geqrf(av, tau.data());
+  apply_q_left(av.as_const(), tau.data(), Trans::Yes, bv);
+  // Solve R X = (Q^T B)(1:n) in place in the top of B.
+  trsm(Side::Left, UpLo::Upper, Trans::No,
+       ConstMatrixView<T>(a, n, n, lda), bv.block(0, 0, n, nrhs));
+  return 0;
+}
+
+}  // namespace
+
+lapack_int caqr_sgeqrf(lapack_int m, lapack_int n, float* a, lapack_int lda,
+                       float* tau) {
+  return geqrf_impl(m, n, a, lda, tau);
+}
+lapack_int caqr_dgeqrf(lapack_int m, lapack_int n, double* a, lapack_int lda,
+                       double* tau) {
+  return geqrf_impl(m, n, a, lda, tau);
+}
+lapack_int caqr_sorgqr(lapack_int m, lapack_int k, float* a, lapack_int lda,
+                       const float* tau) {
+  return orgqr_impl(m, k, a, lda, tau);
+}
+lapack_int caqr_dorgqr(lapack_int m, lapack_int k, double* a, lapack_int lda,
+                       const double* tau) {
+  return orgqr_impl(m, k, a, lda, tau);
+}
+lapack_int caqr_sormqr(char trans, lapack_int m, lapack_int ncols_c,
+                       lapack_int k, const float* a, lapack_int lda,
+                       const float* tau, float* c, lapack_int ldc) {
+  return ormqr_impl(trans, m, ncols_c, k, a, lda, tau, c, ldc);
+}
+lapack_int caqr_dormqr(char trans, lapack_int m, lapack_int ncols_c,
+                       lapack_int k, const double* a, lapack_int lda,
+                       const double* tau, double* c, lapack_int ldc) {
+  return ormqr_impl(trans, m, ncols_c, k, a, lda, tau, c, ldc);
+}
+lapack_int caqr_sgels(lapack_int m, lapack_int n, lapack_int nrhs, float* a,
+                      lapack_int lda, float* b, lapack_int ldb) {
+  return gels_impl(m, n, nrhs, a, lda, b, ldb);
+}
+lapack_int caqr_dgels(lapack_int m, lapack_int n, lapack_int nrhs, double* a,
+                      lapack_int lda, double* b, lapack_int ldb) {
+  return gels_impl(m, n, nrhs, a, lda, b, ldb);
+}
+
+// ---------------------------------------------------------------------------
+// Handle-based CAQR.
+// ---------------------------------------------------------------------------
+
+struct CaqrHandle {
+  gpusim::Device device;
+  CaqrFactorization<float> factorization;
+
+  CaqrHandle(Matrix<float> a)
+      : device(gpusim::GpuMachineModel::c2050(), gpusim::ExecMode::Functional),
+        factorization(CaqrFactorization<float>::factor(device, std::move(a))) {}
+};
+
+CaqrHandle* caqr_handle_sfactor(lapack_int m, lapack_int n, const float* a,
+                                lapack_int lda) {
+  if (m < 1 || n < 1 || a == nullptr || lda < m) return nullptr;
+  Matrix<float> copy(m, n);
+  copy.view().copy_from(ConstMatrixView<float>(a, m, n, lda));
+  return new CaqrHandle(std::move(copy));
+}
+
+lapack_int caqr_handle_extract_r(const CaqrHandle* h, float* r,
+                                 lapack_int ldr) {
+  if (h == nullptr) return -1;
+  if (r == nullptr) return -2;
+  const idx n = h->factorization.cols();
+  const idx k = std::min(h->factorization.rows(), n);
+  if (ldr < k) return -3;
+  auto rm = h->factorization.r();
+  MatrixView<float>(r, k, n, ldr).copy_from(rm.view());
+  return 0;
+}
+
+lapack_int caqr_handle_apply_q(CaqrHandle* h, char trans, float* c,
+                               lapack_int ldc, lapack_int ncols) {
+  if (h == nullptr) return -1;
+  if (trans != 'N' && trans != 'T' && trans != 'n' && trans != 't') return -2;
+  if (c == nullptr) return -3;
+  if (ldc < h->factorization.rows()) return -4;
+  if (ncols < 0) return -5;
+  if (ncols == 0) return 0;
+  MatrixView<float> cv(c, h->factorization.rows(), ncols, ldc);
+  if (trans == 'T' || trans == 't') {
+    h->factorization.apply_qt(h->device, cv);
+  } else {
+    h->factorization.apply_q(h->device, cv);
+  }
+  return 0;
+}
+
+lapack_int caqr_handle_form_q(CaqrHandle* h, float* q, lapack_int ldq,
+                              lapack_int qcols) {
+  if (h == nullptr) return -1;
+  if (q == nullptr) return -2;
+  if (ldq < h->factorization.rows()) return -3;
+  if (qcols < 1 || qcols > h->factorization.rows()) return -4;
+  auto qm = h->factorization.form_q(h->device, qcols);
+  MatrixView<float>(q, qm.rows(), qcols, ldq).copy_from(qm.view());
+  return 0;
+}
+
+double caqr_handle_simulated_seconds(const CaqrHandle* h) {
+  return h != nullptr ? h->device.elapsed_seconds() : 0.0;
+}
+
+void caqr_handle_destroy(CaqrHandle* h) { delete h; }
+
+}  // namespace caqr::api

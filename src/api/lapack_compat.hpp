@@ -1,0 +1,90 @@
+#pragma once
+
+// Flat, LAPACK-convention entry points — the adoption surface for code that
+// already speaks LAPACK. Two layers:
+//
+//  1. Drop-in routines in true LAPACK storage conventions (column-major with
+//     explicit lda, reflectors + taus, info codes instead of aborts):
+//     caqr_sgeqrf / caqr_dgeqrf, caqr_sorgqr / caqr_dorgqr,
+//     caqr_sormqr / caqr_dormqr, caqr_sgels / caqr_dgels.
+//     These run the host reference path (GEQRF-format output is not
+//     representable by the tree-structured CAQR factorization).
+//
+//  2. Handle-based CAQR routines (caqr_handle_*) that run the simulated-GPU
+//     communication-avoiding factorization and expose apply-Q / form-Q /
+//     extract-R, for callers who want the paper's algorithm and can hold an
+//     opaque factorization object.
+//
+// Info-code convention: 0 on success; -i when the i-th argument (1-based)
+// is invalid — matching LAPACK's xerbla semantics, but returned rather than
+// trapped so language bindings can surface errors.
+
+#include <cstdint>
+
+#include "gpusim/device.hpp"
+#include "linalg/matrix.hpp"
+
+namespace caqr::api {
+
+using lapack_int = std::int64_t;
+
+// ---------------------------------------------------------------------------
+// Layer 1: LAPACK-format reference routines.
+// ---------------------------------------------------------------------------
+
+// A = Q R; reflectors below the diagonal, R above, taus in tau[min(m,n)].
+lapack_int caqr_sgeqrf(lapack_int m, lapack_int n, float* a, lapack_int lda,
+                       float* tau);
+lapack_int caqr_dgeqrf(lapack_int m, lapack_int n, double* a, lapack_int lda,
+                       double* tau);
+
+// Forms the leading m x k columns of Q from a GEQRF result (k reflectors).
+lapack_int caqr_sorgqr(lapack_int m, lapack_int k, float* a, lapack_int lda,
+                       const float* tau);
+lapack_int caqr_dorgqr(lapack_int m, lapack_int k, double* a, lapack_int lda,
+                       const double* tau);
+
+// C := op(Q) C from the left ('T' applies Q^T, 'N' applies Q).
+lapack_int caqr_sormqr(char trans, lapack_int m, lapack_int ncols_c,
+                       lapack_int k, const float* a, lapack_int lda,
+                       const float* tau, float* c, lapack_int ldc);
+lapack_int caqr_dormqr(char trans, lapack_int m, lapack_int ncols_c,
+                       lapack_int k, const double* a, lapack_int lda,
+                       const double* tau, double* c, lapack_int ldc);
+
+// Overdetermined least squares min ||A X - B||_F (m >= n); solution in the
+// top n rows of B on return (LAPACK GELS convention).
+lapack_int caqr_sgels(lapack_int m, lapack_int n, lapack_int nrhs, float* a,
+                      lapack_int lda, float* b, lapack_int ldb);
+lapack_int caqr_dgels(lapack_int m, lapack_int n, lapack_int nrhs, double* a,
+                      lapack_int lda, double* b, lapack_int ldb);
+
+// ---------------------------------------------------------------------------
+// Layer 2: handle-based CAQR on the simulated GPU.
+// ---------------------------------------------------------------------------
+
+struct CaqrHandle;  // opaque
+
+// Factors the m x n column-major matrix (copied) with CAQR on a fresh
+// simulated C2050 device. Returns nullptr on invalid arguments.
+CaqrHandle* caqr_handle_sfactor(lapack_int m, lapack_int n, const float* a,
+                                lapack_int lda);
+
+// R into r (ldr x n, min(m,n) rows written). info semantics as above.
+lapack_int caqr_handle_extract_r(const CaqrHandle* h, float* r,
+                                 lapack_int ldr);
+
+// C := Q^T C ('T') or Q C ('N'); C is m x ncols.
+lapack_int caqr_handle_apply_q(CaqrHandle* h, char trans, float* c,
+                               lapack_int ldc, lapack_int ncols);
+
+// Explicit Q (m x qcols) into q.
+lapack_int caqr_handle_form_q(CaqrHandle* h, float* q, lapack_int ldq,
+                              lapack_int qcols);
+
+// Simulated seconds accumulated on the handle's device so far.
+double caqr_handle_simulated_seconds(const CaqrHandle* h);
+
+void caqr_handle_destroy(CaqrHandle* h);
+
+}  // namespace caqr::api

@@ -1,0 +1,38 @@
+#pragma once
+
+// Block-size autotuning (§IV.F): sweeps block shapes with the apply_qt_h
+// microbenchmark on a machine model and picks the best-performing one.
+// The paper did exactly this with scripts over real kernels; here the
+// microbenchmark runs against the simulated device, so tuning is instant and
+// deterministic for a given machine model.
+
+#include <vector>
+
+#include "gpusim/machine_model.hpp"
+#include "kernels/cost_params.hpp"
+#include "linalg/matrix.hpp"
+
+namespace caqr::autotune {
+
+// Cache-hot apply_qt_h microbenchmark at one block shape; returns simulated
+// GFLOPS on the given machine model.
+double microbench_apply_qt_h(
+    const gpusim::GpuMachineModel& model, idx block_h, idx block_w,
+    kernels::ReductionVariant variant =
+        kernels::ReductionVariant::RegisterSerialTransposed,
+    idx nblocks = 4096);
+
+struct TunedBlock {
+  idx block_rows = 128;
+  idx panel_width = 16;
+  double gflops = 0;
+};
+
+// Sweeps the standard grid (heights 32..512, widths 4..64) and returns the
+// best shape for the model.
+TunedBlock autotune_block_size(
+    const gpusim::GpuMachineModel& model,
+    kernels::ReductionVariant variant =
+        kernels::ReductionVariant::RegisterSerialTransposed);
+
+}  // namespace caqr::autotune

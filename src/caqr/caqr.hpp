@@ -1,0 +1,143 @@
+#pragma once
+
+// Communication-Avoiding QR (§II.C, §IV) — the paper's core contribution.
+//
+// The matrix is processed in panels of `panel_width` columns. Each panel is
+// factored with TSQR entirely on the (simulated) GPU, then the trailing
+// matrix is updated in two phases, mirroring the host pseudocode of Figure 4:
+//
+//   foreach panel:
+//     factor            (small QRs down the panel)
+//     foreach tree level: factor_tree
+//     apply_qt_h        (horizontal update from level-0 reflectors)
+//     foreach tree level: apply_qt_tree
+//
+// After each panel the grid is redrawn `panel_width` rows lower, so R ends
+// up in the conventional upper triangle of the storage and the distributed
+// reflectors below it. CaqrFactorization keeps the per-panel replay metadata
+// so Q^T / Q can be applied to arbitrary right-hand sides and the explicit Q
+// can be formed — all through the same simulated kernels (the paper notes
+// SORGQR via CAQR is as efficient as the factorization itself).
+
+#include <utility>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "linalg/flops.hpp"
+#include "linalg/qr.hpp"
+#include "tsqr/tsqr.hpp"
+
+namespace caqr {
+
+struct CaqrOptions {
+  idx panel_width = 16;  // W: grid column width
+  tsqr::TsqrOptions tsqr;
+
+  // Tile width used by the trailing update defaults to the panel width.
+  tsqr::TsqrOptions panel_tsqr() const {
+    tsqr::TsqrOptions t = tsqr;
+    t.tile_cols = panel_width;
+    return t;
+  }
+};
+
+template <typename T>
+class CaqrFactorization {
+ public:
+  // Factors `a` (consumed; m >= 1, any aspect ratio) on `dev`.
+  static CaqrFactorization factor(gpusim::Device& dev, Matrix<T> a,
+                                  const CaqrOptions& opt = {}) {
+    CaqrFactorization f;
+    f.a_ = std::move(a);
+    f.opt_ = opt;
+    const idx m = f.a_.rows(), n = f.a_.cols();
+    CAQR_CHECK(m >= 1 && n >= 1);
+    CAQR_CHECK(opt.panel_width >= 1);
+    CAQR_CHECK(opt.tsqr.block_rows >= opt.panel_width);
+    const tsqr::TsqrOptions topt = opt.panel_tsqr();
+
+    const idx kmax = m < n ? m : n;
+    for (idx c0 = 0; c0 < kmax; c0 += opt.panel_width) {
+      const idx w = std::min(opt.panel_width, kmax - c0);
+      const idx len = m - c0;
+      auto panel = f.a_.block(c0, c0, len, w);
+      f.panels_.push_back(tsqr_factor(dev, panel, topt));
+      const idx trailing_cols = n - c0 - w;
+      if (trailing_cols > 0) {
+        tsqr_apply_qt(dev, panel.as_const(), f.panels_.back(),
+                      f.a_.block(c0, c0 + w, len, trailing_cols), topt);
+      }
+    }
+    return f;
+  }
+
+  idx rows() const { return a_.rows(); }
+  idx cols() const { return a_.cols(); }
+
+  // The packed factorization (R in the upper triangle, distributed
+  // reflectors below), analogous to LAPACK's GEQRF output format.
+  const Matrix<T>& packed() const { return a_; }
+
+  // Upper-triangular R (min(m,n) x n).
+  Matrix<T> r() const { return extract_r(a_.view()); }
+
+  // c := Q^T c (c has m rows).
+  void apply_qt(gpusim::Device& dev, MatrixView<T> c) const {
+    walk(dev, c, /*transpose_q=*/true);
+  }
+
+  // c := Q c.
+  void apply_q(gpusim::Device& dev, MatrixView<T> c) const {
+    walk(dev, c, /*transpose_q=*/false);
+  }
+
+  // Explicit m x qcols orthogonal factor (SORGQR equivalent).
+  Matrix<T> form_q(gpusim::Device& dev, idx qcols) const {
+    CAQR_CHECK(qcols >= 1 && qcols <= a_.rows());
+    Matrix<T> q = Matrix<T>::identity(a_.rows(), qcols);
+    apply_q(dev, q.view());
+    return q;
+  }
+
+ private:
+  void walk(gpusim::Device& dev, MatrixView<T> c, bool transpose_q) const {
+    CAQR_CHECK(c.rows() == a_.rows());
+    const tsqr::TsqrOptions topt = opt_.panel_tsqr();
+    const idx np = static_cast<idx>(panels_.size());
+    auto panel_view = [&](idx p, idx& c0) {
+      c0 = p * opt_.panel_width;
+      const auto& meta = panels_[static_cast<std::size_t>(p)];
+      return a_.view().block(c0, c0, meta.rows, meta.width);
+    };
+    if (transpose_q) {
+      for (idx p = 0; p < np; ++p) {
+        idx c0 = 0;
+        auto pv = panel_view(p, c0);
+        tsqr_apply_qt(dev, pv, panels_[static_cast<std::size_t>(p)],
+                      c.block(c0, 0, pv.rows(), c.cols()), topt);
+      }
+    } else {
+      for (idx p = np - 1; p >= 0; --p) {
+        idx c0 = 0;
+        auto pv = panel_view(p, c0);
+        tsqr_apply_q(dev, pv, panels_[static_cast<std::size_t>(p)],
+                     c.block(c0, 0, pv.rows(), c.cols()), topt);
+      }
+    }
+  }
+
+  Matrix<T> a_;
+  std::vector<tsqr::PanelFactor<T>> panels_;
+  CaqrOptions opt_;
+};
+
+// One-call convenience: factor a copy of `a` and return the factorization.
+template <typename VA>
+CaqrFactorization<view_scalar_t<VA>> caqr_factor(gpusim::Device& dev,
+                                                 const VA& a,
+                                                 const CaqrOptions& opt = {}) {
+  using T = view_scalar_t<VA>;
+  return CaqrFactorization<T>::factor(dev, Matrix<T>::from(cview(a)), opt);
+}
+
+}  // namespace caqr

@@ -1,0 +1,40 @@
+#pragma once
+
+// Contract-checking macros used throughout the library.
+//
+// CAQR_CHECK is always on: it guards API preconditions whose violation would
+// corrupt memory or silently produce garbage (dimension mismatches, null
+// views, invalid configurations). CAQR_DCHECK compiles out in NDEBUG builds
+// and guards internal invariants that are expensive to test in inner loops.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace caqr {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "CAQR_CHECK failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace caqr
+
+#define CAQR_CHECK(expr)                                             \
+  do {                                                               \
+    if (!(expr)) ::caqr::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define CAQR_CHECK_MSG(expr, msg)                                      \
+  do {                                                                 \
+    if (!(expr)) ::caqr::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define CAQR_DCHECK(expr) \
+  do {                    \
+  } while (0)
+#else
+#define CAQR_DCHECK(expr) CAQR_CHECK(expr)
+#endif

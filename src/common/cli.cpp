@@ -1,0 +1,54 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+
+namespace caqr {
+
+CliArgs::CliArgs(int argc, char** argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "true";
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return flags_.count(name) != 0;
+}
+
+std::string CliArgs::get(const std::string& name,
+                         const std::string& def) const {
+  const auto it = flags_.find(name);
+  return it != flags_.end() ? it->second : def;
+}
+
+std::int64_t CliArgs::get_int(const std::string& name, std::int64_t def) const {
+  const auto it = flags_.find(name);
+  return it != flags_.end() ? std::strtoll(it->second.c_str(), nullptr, 10)
+                            : def;
+}
+
+double CliArgs::get_double(const std::string& name, double def) const {
+  const auto it = flags_.find(name);
+  return it != flags_.end() ? std::strtod(it->second.c_str(), nullptr) : def;
+}
+
+bool CliArgs::get_bool(const std::string& name, bool def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+}  // namespace caqr

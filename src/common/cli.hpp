@@ -1,0 +1,34 @@
+#pragma once
+
+// Minimal command-line flag parsing for examples and bench drivers.
+// Flags look like: --name=value or --name value or bare --flag (bool).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace caqr {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  // Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace caqr

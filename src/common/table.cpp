@@ -1,0 +1,131 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace caqr {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  CAQR_CHECK(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  CAQR_CHECK_MSG(cells.size() == header_.size(),
+                 "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+TextTable& TextTable::cell(const std::string& value) {
+  pending_.push_back(value);
+  return *this;
+}
+
+TextTable& TextTable::cell(double value, int precision) {
+  pending_.push_back(format_double(value, precision));
+  return *this;
+}
+
+TextTable& TextTable::cell(long long value) {
+  pending_.push_back(std::to_string(value));
+  return *this;
+}
+
+void TextTable::end_row() {
+  add_row(std::move(pending_));
+  pending_.clear();
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      out << row[c];
+      out << std::string(widths[c] - row[c].size(), ' ');
+    }
+    out << " |\n";
+  };
+
+  auto emit_rule = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      out << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+    }
+    out << "-|\n";
+  };
+
+  emit_rule();
+  emit_row(header_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  emit_rule();
+  return out.str();
+}
+
+std::string TextTable::to_csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void TextTable::print() const {
+  const std::string s = to_string();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+}
+
+std::string format_double(double value, int precision) {
+  char buf[64];
+  const double mag = std::fabs(value);
+  if (value != 0.0 && (mag >= 1e6 || mag < 1e-3)) {
+    std::snprintf(buf, sizeof(buf), "%.*e", precision, value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  }
+  return buf;
+}
+
+std::string format_bytes(double bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", bytes, units[u]);
+  return buf;
+}
+
+std::string format_flops(double flops_per_sec) {
+  const char* units[] = {"FLOP/s", "KFLOP/s", "MFLOP/s", "GFLOP/s", "TFLOP/s"};
+  int u = 0;
+  while (flops_per_sec >= 1000.0 && u < 4) {
+    flops_per_sec /= 1000.0;
+    ++u;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", flops_per_sec, units[u]);
+  return buf;
+}
+
+}  // namespace caqr

@@ -1,0 +1,43 @@
+#pragma once
+
+// Aligned plain-text tables for bench output (mirrors the paper's tables)
+// plus CSV emission for downstream plotting.
+
+#include <string>
+#include <vector>
+
+namespace caqr {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Convenience: formats doubles with the given precision.
+  void add_row(std::vector<std::string> cells);
+  TextTable& cell(const std::string& value);
+  TextTable& cell(double value, int precision = 3);
+  TextTable& cell(long long value);
+  void end_row();
+
+  std::string to_string() const;
+  std::string to_csv() const;
+
+  // Prints to stdout.
+  void print() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> pending_;
+};
+
+// Formats a double like "17.3" / "1.2e-07" compactly.
+std::string format_double(double value, int precision = 3);
+
+// Human-readable byte and FLOP counts ("1.5 GB", "388 GFLOP/s").
+std::string format_bytes(double bytes);
+std::string format_flops(double flops_per_sec);
+
+}  // namespace caqr

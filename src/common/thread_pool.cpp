@@ -1,0 +1,115 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace caqr {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  // The calling thread also participates in parallel_for, so spawn one fewer
+  // worker than the requested parallelism.
+  const std::size_t workers = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::run_tickets(Job& job) {
+  for (;;) {
+    const std::size_t begin =
+        job.next.fetch_add(job.grain, std::memory_order_relaxed);
+    if (begin >= job.count) break;
+    const std::size_t end = std::min(begin + job.grain, job.count);
+    for (std::size_t i = begin; i < end; ++i) (*job.fn)(i);
+    job.done.fetch_add(end - begin, std::memory_order_release);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
+  if (count == 0) return;
+  CAQR_CHECK(grain >= 1);
+  if (workers_.empty() || count <= grain) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  Job job;
+  job.fn = &fn;
+  job.count = count;
+  job.grain = grain;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CAQR_CHECK_MSG(current_ == nullptr,
+                   "nested ThreadPool::parallel_for is not supported");
+    current_ = &job;
+    ++epoch_;
+  }
+  cv_work_.notify_all();
+
+  run_tickets(job);
+
+  // All tickets are claimed once we fall out of run_tickets, but workers may
+  // still be finishing their last batch; wait for the completion count.
+  // The Job lives on this stack frame: wait until every item is done AND no
+  // worker is still inside run_tickets before letting it go out of scope.
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&] {
+      return job.done.load(std::memory_order_acquire) >= job.count &&
+             job.active.load(std::memory_order_acquire) == 0;
+    });
+    current_ = nullptr;
+    ++epoch_;
+  }
+  cv_work_.notify_all();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_work_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      job = current_;
+      if (job != nullptr) job->active.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (job != nullptr) {
+      run_tickets(*job);
+      job->active.fetch_sub(1, std::memory_order_release);
+      // Wake the submitting thread; it re-checks done/active. Touch the mutex
+      // before notifying so the counter updates cannot slip between the
+      // submitter's predicate check and its block (lost-wakeup race), and so
+      // the Job stays alive until every worker has left it.
+      { std::lock_guard<std::mutex> lock(mutex_); }
+      cv_done_.notify_one();
+    }
+  }
+}
+
+}  // namespace caqr

@@ -1,0 +1,67 @@
+#pragma once
+
+// Fixed-size thread pool with a blocking parallel_for.
+//
+// This is the execution substrate for the GPU simulator: each simulated
+// thread block is one parallel_for item. Work is distributed by an atomic
+// ticket counter (dynamic load balancing — blocks of a QR panel have very
+// uneven cost near the matrix fringe). parallel_for is deterministic as long
+// as items write disjoint outputs, which every kernel in this library
+// guarantees by construction.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace caqr {
+
+class ThreadPool {
+ public:
+  // threads == 0 picks hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total parallelism including the calling thread.
+  std::size_t size() const { return workers_.size() + 1; }
+
+  // Runs fn(i) for i in [0, count) across the pool and the calling thread,
+  // returning when all items have completed. Nested calls from inside fn are
+  // not supported. grain > 1 batches consecutive indices per ticket to
+  // amortize the atomic for cheap items.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 1);
+
+  // Process-wide default pool, sized from hardware concurrency.
+  static ThreadPool& global();
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t count = 0;
+    std::size_t grain = 1;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<int> active{0};  // workers currently inside run_tickets
+  };
+
+  void worker_loop();
+  static void run_tickets(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  Job* current_ = nullptr;
+  std::uint64_t epoch_ = 0;  // bumped each time current_ changes
+  bool stop_ = false;
+};
+
+}  // namespace caqr

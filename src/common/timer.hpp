@@ -1,0 +1,28 @@
+#pragma once
+
+// Wall-clock timing helpers. Simulated (modeled) time is tracked separately
+// by gpusim::Device; WallTimer exists for harness-level measurements and for
+// sanity-checking that functional execution stays tractable.
+
+#include <chrono>
+
+namespace caqr {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace caqr

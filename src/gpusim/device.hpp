@@ -1,0 +1,171 @@
+#pragma once
+
+// The simulated GPU device: kernel launch engine + simulated timeline.
+//
+// A "kernel" is any type with:
+//
+//   void run_block(caqr::idx block) const;          // functional execution
+//   BlockStats block_stats(caqr::idx block) const;  // closed-form cost
+//   const char* name() const;
+//
+// launch() executes all blocks of a grid (in parallel on the host thread
+// pool when ExecMode::Functional; skipped entirely when ExecMode::ModelOnly)
+// and advances the simulated clock using the machine model:
+//
+//   t_compute = max( sum(block cycles) / num_SMs, max(block cycles) ) / f
+//   t_mem     = sum(gmem bytes) / DRAM bandwidth
+//   t_launch  = kernel launch overhead
+//   t         = t_launch + max(t_compute, t_mem)          (roofline + floor)
+//
+// The max(..., max block cycles) term is the latency floor that makes
+// shallow reduction trees win: a launch with 2 blocks cannot go faster than
+// its slowest block regardless of how many SMs are idle. ModelOnly and
+// Functional produce bit-identical timelines because block_stats() is the
+// only input to the clock.
+
+#include <algorithm>
+#include <concepts>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+#include "gpusim/machine_model.hpp"
+#include "gpusim/stats.hpp"
+#include "linalg/matrix.hpp"
+
+namespace caqr::gpusim {
+
+enum class ExecMode {
+  Functional,  // run the arithmetic AND account the cost
+  ModelOnly,   // account the cost only (used for paper-scale benchmarks)
+};
+
+// Kernels whose blocks fall into a few equivalence classes (full blocks vs
+// the ragged tail, full tiles vs the last tile) can expose an aggregated
+// view (StatsClass, gpusim/stats.hpp) so paper-scale ModelOnly launches
+// cost O(classes), not O(blocks).
+template <typename K>
+concept HasStatsSummary = requires(const K& k) {
+  { k.stats_summary() } -> std::convertible_to<std::vector<StatsClass>>;
+};
+
+class Device {
+ public:
+  explicit Device(GpuMachineModel model = GpuMachineModel::c2050(),
+                  ExecMode mode = ExecMode::Functional,
+                  ThreadPool* pool = nullptr)
+      : model_(std::move(model)),
+        mode_(mode),
+        pool_(pool != nullptr ? pool : &ThreadPool::global()) {}
+
+  const GpuMachineModel& model() const { return model_; }
+  ExecMode mode() const { return mode_; }
+  void set_mode(ExecMode mode) { mode_ = mode; }
+
+  template <typename Kernel>
+  void launch(const Kernel& kernel, idx num_blocks) {
+    CAQR_CHECK(num_blocks >= 0);
+    if (num_blocks == 0) return;
+
+    if (mode_ == ExecMode::Functional) {
+      pool_->parallel_for(
+          static_cast<std::size_t>(num_blocks),
+          [&](std::size_t b) { kernel.run_block(static_cast<idx>(b)); });
+    }
+
+    double sum_cycles = 0, max_cycles = 0, sum_bytes = 0, sum_flops = 0;
+    auto accumulate = [&](const BlockStats& s, double count) {
+      const double cycles =
+          s.issue_cycles * model_.issue_stall_factor +
+          s.smem_accesses * model_.smem_cycles_per_access +
+          s.syncs * model_.sync_cycles;
+      sum_cycles += cycles * count;
+      if (cycles > max_cycles) max_cycles = cycles;
+      sum_bytes += s.gmem_bytes * count;
+      sum_flops += s.flops * count;
+    };
+    if constexpr (HasStatsSummary<Kernel>) {
+      idx covered = 0;
+      for (const StatsClass& c : kernel.stats_summary()) {
+        accumulate(c.stats, static_cast<double>(c.count));
+        covered += c.count;
+      }
+      CAQR_CHECK_MSG(covered == num_blocks,
+                     "stats_summary must cover every block exactly once");
+    } else {
+      for (idx b = 0; b < num_blocks; ++b) {
+        accumulate(kernel.block_stats(b), 1.0);
+      }
+    }
+
+    const double t_compute =
+        std::max(sum_cycles / model_.num_sms, max_cycles) / model_.clock_hz();
+    const double t_mem = sum_bytes / (model_.dram_bw_gbs * 1e9);
+    const double t =
+        model_.kernel_launch_us * 1e-6 + std::max(t_compute, t_mem);
+
+    seconds_ += t;
+    auto& prof = profiles_[kernel.name()];
+    if (prof.name.empty()) prof.name = kernel.name();
+    ++prof.launches;
+    prof.blocks += num_blocks;
+    prof.flops += sum_flops;
+    prof.gmem_bytes += sum_bytes;
+    prof.seconds += t;
+  }
+
+  // Explicit PCIe transfer between host and device memory (simulated time
+  // only; data lives in host memory either way).
+  void transfer(double bytes, const PcieModel& link = PcieModel{}) {
+    const double t = link.transfer_seconds(bytes);
+    seconds_ += t;
+    auto& prof = profiles_["pcie_transfer"];
+    if (prof.name.empty()) prof.name = "pcie_transfer";
+    ++prof.launches;
+    prof.gmem_bytes += bytes;
+    prof.seconds += t;
+  }
+
+  // Advance the simulated clock for work done off-device (e.g. the small
+  // SVD of R on the CPU in the application pipeline).
+  void add_external_seconds(double t, const std::string& label) {
+    CAQR_CHECK(t >= 0);
+    seconds_ += t;
+    auto& prof = profiles_[label];
+    if (prof.name.empty()) prof.name = label;
+    ++prof.launches;
+    prof.seconds += t;
+  }
+
+  double elapsed_seconds() const { return seconds_; }
+
+  void reset_timeline() {
+    seconds_ = 0;
+    profiles_.clear();
+  }
+
+  // Per-kernel aggregation, insertion-order-independent (sorted by name).
+  std::vector<KernelProfile> profiles() const {
+    std::vector<KernelProfile> out;
+    out.reserve(profiles_.size());
+    for (const auto& [_, p] : profiles_) out.push_back(p);
+    return out;
+  }
+
+  const KernelProfile* profile(const std::string& name) const {
+    const auto it = profiles_.find(name);
+    return it != profiles_.end() ? &it->second : nullptr;
+  }
+
+ private:
+  GpuMachineModel model_;
+  ExecMode mode_;
+  ThreadPool* pool_;
+  double seconds_ = 0;
+  std::map<std::string, KernelProfile> profiles_;
+};
+
+}  // namespace caqr::gpusim

@@ -1,0 +1,54 @@
+#include "gpusim/machine_model.hpp"
+
+namespace caqr::gpusim {
+
+GpuMachineModel GpuMachineModel::c2050() {
+  GpuMachineModel m;
+  m.name = "C2050";
+  m.num_sms = 14;
+  m.lanes_per_sm = 32;
+  m.clock_ghz = 1.15;
+  m.fma = true;
+  m.dram_bw_gbs = 144.0;  // ECC enabled (paper §IV.A)
+  m.kernel_launch_us = 20.0;
+  m.smem_cycles_per_access = 1.0;
+  m.sync_cycles = 12.0;
+  m.issue_stall_factor = 1.40;
+  m.uncoalesced_penalty = 8.0;
+  m.tile_locality_penalty = 3.0;
+  m.gemm_efficiency = 0.62;
+  return m;
+}
+
+GpuMachineModel GpuMachineModel::gtx480() {
+  GpuMachineModel m = c2050();
+  m.name = "GTX480";
+  m.num_sms = 15;
+  m.clock_ghz = 1.40;
+  m.dram_bw_gbs = 177.0;  // no ECC
+  return m;
+}
+
+CpuMachineModel CpuMachineModel::nehalem_8core() {
+  CpuMachineModel m;
+  m.name = "Nehalem-8core";
+  m.cores = 8;
+  m.clock_ghz = 2.4;
+  m.flops_per_cycle_blas3 = 5.6;  // SSE 4-wide mul+add at ~70% efficiency
+  m.mem_bw_gbs = 18.0;
+  m.parallel_overhead_us = 4.0;
+  return m;
+}
+
+CpuMachineModel CpuMachineModel::corei7_4core() {
+  CpuMachineModel m;
+  m.name = "Corei7-4core";
+  m.cores = 4;
+  m.clock_ghz = 2.6;
+  m.flops_per_cycle_blas3 = 5.6;
+  m.mem_bw_gbs = 16.0;
+  m.parallel_overhead_us = 4.0;
+  return m;
+}
+
+}  // namespace caqr::gpusim

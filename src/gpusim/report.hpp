@@ -1,0 +1,40 @@
+#pragma once
+
+// Timeline reporting helpers: render a Device's per-kernel profile as an
+// aligned table (what the examples and benches print) or CSV.
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.hpp"
+#include "gpusim/device.hpp"
+
+namespace caqr::gpusim {
+
+// Per-kernel table sorted by name: launches, blocks, simulated ms, share of
+// total, achieved GFLOP/s (0 for non-arithmetic entries).
+inline TextTable profile_table(const Device& dev) {
+  TextTable table({"kernel", "launches", "blocks", "ms", "share", "GFLOP/s"});
+  const double total = dev.elapsed_seconds();
+  for (const auto& p : dev.profiles()) {
+    char share[16];
+    std::snprintf(share, sizeof(share), "%.1f%%",
+                  total > 0 ? 100.0 * p.seconds / total : 0.0);
+    table.cell(p.name)
+        .cell(p.launches)
+        .cell(p.blocks)
+        .cell(p.seconds * 1e3, 3)
+        .cell(std::string(share))
+        .cell(p.gflops(), 1)
+        .end_row();
+  }
+  return table;
+}
+
+inline std::string profile_csv(const Device& dev) {
+  return profile_table(dev).to_csv();
+}
+
+inline void print_profile(const Device& dev) { profile_table(dev).print(); }
+
+}  // namespace caqr::gpusim

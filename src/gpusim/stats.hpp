@@ -1,0 +1,62 @@
+#pragma once
+
+// Per-thread-block cost counters and per-kernel timeline aggregation.
+//
+// Every simulated kernel reports, per block, a closed-form BlockStats
+// describing exactly the work its functional execution performs. The QR
+// kernels are data-oblivious (the operation sequence depends only on block
+// dimensions), so the closed forms are exact, not estimates — tests verify
+// this by instrumenting the functional path with a counting scalar type.
+
+#include <string>
+#include <vector>
+
+namespace caqr::gpusim {
+
+struct BlockStats {
+  // Useful floating-point operations (for GFLOP/s reporting).
+  double flops = 0;
+  // SIMT issue cycles on one SM, assuming FMA where the kernel has
+  // multiply-accumulate structure. Idle lanes are the kernel's problem:
+  // a warp instruction costs one issue cycle no matter how many of its
+  // lanes do useful work, so poorly-shaped reductions inflate this.
+  double issue_cycles = 0;
+  // 32-wide shared-memory transactions (read or write).
+  double smem_accesses = 0;
+  // Block-wide barriers.
+  double syncs = 0;
+  // Global-memory traffic in bytes, already inflated by any coalescing
+  // penalty the access pattern incurs.
+  double gmem_bytes = 0;
+
+  BlockStats& operator+=(const BlockStats& o) {
+    flops += o.flops;
+    issue_cycles += o.issue_cycles;
+    smem_accesses += o.smem_accesses;
+    syncs += o.syncs;
+    gmem_bytes += o.gmem_bytes;
+    return *this;
+  }
+};
+
+// One equivalence class of identical blocks within a launch; kernels whose
+// grids decompose into a few classes expose a summary so paper-scale
+// ModelOnly launches cost O(classes), not O(blocks).
+struct StatsClass {
+  BlockStats stats;
+  long long count = 0;
+};
+
+// Aggregated record of all launches of one kernel on a Device.
+struct KernelProfile {
+  std::string name;
+  long long launches = 0;
+  long long blocks = 0;
+  double flops = 0;
+  double gmem_bytes = 0;
+  double seconds = 0;  // simulated
+
+  double gflops() const { return seconds > 0 ? flops / seconds * 1e-9 : 0.0; }
+};
+
+}  // namespace caqr::gpusim

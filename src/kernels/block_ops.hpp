@@ -1,0 +1,284 @@
+#pragma once
+
+// Numerical cores of the four CAQR kernels, with exact operation counts.
+//
+// These routines deliberately use branch-free, data-oblivious arithmetic
+// (plain sqrt-of-sum-of-squares norms, no early exits on zero tails for
+// generic inputs) so that the *_flops companions return the exact number of
+// floating-point operations the functional path executes. That exactness is
+// what lets ExecMode::ModelOnly produce bit-identical simulated timelines to
+// ExecMode::Functional, and it is verified by tests with a counting scalar
+// type. Flop convention: mul, add, sub, div, sqrt each count 1.
+//
+// The layout contract mirrors the paper's kernels (§IV.D):
+//   * block_geqr2      — `factor`: Householder QR of one H x W block held in
+//                        fast memory; U overwrites the subdiagonal, R the top.
+//   * block_apply_qt   — `apply_qt_h`: apply Q^T of a factored block to a
+//                        trailing tile of the same height.
+//   * stacked_geqr2    — `factor_tree`: QR of k vertically stacked W x W
+//                        upper-triangular R factors, exploiting the sparsity
+//                        pattern (each reflector touches only the pivot row
+//                        and rows 0..j of the lower triangles).
+//   * stacked_apply_qt — `apply_qt_tree`: apply the stacked-triangle Q^T to
+//                        the matching distributed rows of the trailing matrix.
+
+#include <cmath>
+
+#include "linalg/matrix.hpp"
+
+namespace caqr::kernels {
+
+// ---------------------------------------------------------------------------
+// Scalar helpers (data-oblivious fast paths used only inside kernels).
+// ---------------------------------------------------------------------------
+
+// Householder generation without the scaled-norm guard: 3n + 4 flops for a
+// length-n vector (n >= 2) with a nonzero tail; 0 flops when n <= 1.
+// A zero tail yields tau == 0 via the ss == 0 test without extra flops.
+template <typename T>
+T fast_make_householder(idx n, T& alpha, T* x_rest) {
+  if (n <= 1) return T(0);
+  T ss = T(0);
+  for (idx i = 0; i < n - 1; ++i) ss += x_rest[i] * x_rest[i];  // 2(n-1)
+  if (ss == T(0)) return T(0);
+  using std::sqrt;
+  const T norm = sqrt(alpha * alpha + ss);                       // 3
+  const T beta = alpha >= T(0) ? -norm : norm;
+  const T tau = (beta - alpha) / beta;                           // 2
+  const T inv = T(1) / (alpha - beta);                           // 2
+  for (idx i = 0; i < n - 1; ++i) x_rest[i] *= inv;              // n-1
+  alpha = beta;
+  return tau;
+}
+
+inline double make_householder_flops(idx n) {
+  return n <= 1 ? 0.0 : 3.0 * static_cast<double>(n) + 4.0;
+}
+
+// Applies H = I - tau v v^T (v[0] == 1 implicit) to one column of length L:
+// 4L - 2 flops (two length-(L-1) fused loops plus the tau*w scale and the
+// pivot update).
+template <typename T>
+void apply_reflector_column(idx len, T tau, const T* v_rest, T* col) {
+  T w = col[0];
+  for (idx i = 0; i < len - 1; ++i) w += v_rest[i] * col[i + 1];  // 2(L-1)
+  const T tw = tau * w;                                           // 1
+  col[0] -= tw;                                                   // 1
+  for (idx i = 0; i < len - 1; ++i) col[i + 1] -= tw * v_rest[i]; // 2(L-1)
+}
+
+inline double apply_reflector_column_flops(idx len) {
+  return 4.0 * static_cast<double>(len) - 2.0;
+}
+
+// ---------------------------------------------------------------------------
+// factor: dense QR of an H x W block.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+void block_geqr2(MatrixView<T> a, T* tau) {
+  const idx m = a.rows(), n = a.cols();
+  const idx kmax = m < n ? m : n;
+  for (idx k = 0; k < kmax; ++k) {
+    T* colk = a.col(k) + k;
+    tau[k] = fast_make_householder(m - k, colk[0], colk + 1);
+    if (tau[k] == T(0)) continue;
+    for (idx j = k + 1; j < n; ++j) {
+      apply_reflector_column(m - k, tau[k], colk + 1, a.col(j) + k);
+    }
+  }
+}
+
+inline double block_geqr2_flops(idx m, idx n) {
+  double f = 0;
+  const idx kmax = m < n ? m : n;
+  for (idx k = 0; k < kmax; ++k) {
+    const idx len = m - k;
+    f += make_householder_flops(len);
+    if (len > 1) f += static_cast<double>(n - k - 1) * apply_reflector_column_flops(len);
+  }
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+// apply_qt_h: apply Q^T of a factored block (reflectors in v, scalars in tau)
+// to a trailing tile c of the same height.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+void block_apply_qt(ConstMatrixView<T> v, const T* tau, MatrixView<T> c) {
+  const idx h = v.rows();
+  const idx w = v.cols() < h ? v.cols() : h;
+  CAQR_DCHECK(c.rows() == h);
+  for (idx j = 0; j < w; ++j) {
+    if (tau[j] == T(0)) continue;
+    for (idx col = 0; col < c.cols(); ++col) {
+      apply_reflector_column(h - j, tau[j], v.col(j) + j + 1, c.col(col) + j);
+    }
+  }
+}
+
+inline double block_apply_qt_flops(idx h, idx w, idx ncols) {
+  double f = 0;
+  const idx kmax = w < h ? w : h;
+  for (idx j = 0; j < kmax; ++j) {
+    // A length-1 reflector has tau == 0 (identity) and is skipped.
+    if (h - j > 1) {
+      f += static_cast<double>(ncols) * apply_reflector_column_flops(h - j);
+    }
+  }
+  return f;
+}
+
+// Applies Q (not Q^T) of a factored block: reflectors in descending order.
+// Same flop count as block_apply_qt.
+template <typename T>
+void block_apply_q(ConstMatrixView<T> v, const T* tau, MatrixView<T> c) {
+  const idx h = v.rows();
+  const idx w = v.cols() < h ? v.cols() : h;
+  CAQR_DCHECK(c.rows() == h);
+  for (idx j = w - 1; j >= 0; --j) {
+    if (tau[j] == T(0)) continue;
+    for (idx col = 0; col < c.cols(); ++col) {
+      apply_reflector_column(h - j, tau[j], v.col(j) + j + 1, c.col(col) + j);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// factor_tree: QR of k stacked W x W upper-triangular blocks.
+//
+// s is the (k*w) x w stacked matrix; block b occupies rows [b*w, (b+1)*w).
+// Column j's reflector has support {row j of block 0} U {rows 0..j of blocks
+// 1..k-1}; the Householder tail overwrites exactly the R entries it consumes,
+// so the factorization is in place and the result keeps the stacked-triangle
+// sparsity (new R in block 0, reflector tails in the lower triangles).
+// ---------------------------------------------------------------------------
+
+template <typename T>
+void stacked_geqr2(MatrixView<T> s, idx w, idx k, T* tau, T* scratch) {
+  CAQR_DCHECK(s.rows() == w * k && s.cols() == w);
+  CAQR_DCHECK(k >= 1);
+  for (idx j = 0; j < w; ++j) {
+    // Gather the reflector support for column j into scratch:
+    // [pivot; block1 rows 0..j; block2 rows 0..j; ...], length 1+(k-1)(j+1).
+    const idx seg = j + 1;
+    const idx len = 1 + (k - 1) * seg;
+    scratch[0] = s(j, j);
+    for (idx b = 1; b < k; ++b) {
+      for (idx i = 0; i < seg; ++i) scratch[1 + (b - 1) * seg + i] = s(b * w + i, j);
+    }
+    tau[j] = fast_make_householder(len, scratch[0], scratch + 1);
+    // Scatter back: beta to the pivot, tail (the reflector) to the consumed
+    // R positions.
+    s(j, j) = scratch[0];
+    for (idx b = 1; b < k; ++b) {
+      for (idx i = 0; i < seg; ++i) s(b * w + i, j) = scratch[1 + (b - 1) * seg + i];
+    }
+    if (tau[j] == T(0)) continue;
+    // Update trailing columns j+1..w-1 on the same support.
+    for (idx c = j + 1; c < w; ++c) {
+      T acc = s(j, c);
+      for (idx b = 1; b < k; ++b) {
+        for (idx i = 0; i < seg; ++i) {
+          acc += s(b * w + i, j) * s(b * w + i, c);  // 2 * (k-1)(j+1)
+        }
+      }
+      const T tw = tau[j] * acc;  // 1
+      s(j, c) -= tw;              // 1
+      for (idx b = 1; b < k; ++b) {
+        for (idx i = 0; i < seg; ++i) {
+          s(b * w + i, c) -= tw * s(b * w + i, j);  // 2 * (k-1)(j+1)
+        }
+      }
+    }
+  }
+}
+
+inline double stacked_geqr2_flops(idx w, idx k) {
+  double f = 0;
+  for (idx j = 0; j < w; ++j) {
+    const idx len = 1 + (k - 1) * (j + 1);
+    f += make_householder_flops(len);
+    if (len > 1) f += static_cast<double>(w - j - 1) * apply_reflector_column_flops(len);
+  }
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+// apply_qt_tree: apply the stacked-triangle Q^T to the matching distributed
+// rows of a trailing tile.
+//
+// v holds the factored stack (reflector tails in the lower triangles, taus in
+// tau); c is the (k*w) x n gathered trailing rows: row groups in the same
+// order as the stacked blocks.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+void stacked_apply_qt(ConstMatrixView<T> v, idx w, idx k, const T* tau,
+                      MatrixView<T> c) {
+  CAQR_DCHECK(v.rows() == w * k && v.cols() == w);
+  CAQR_DCHECK(c.rows() == w * k);
+  const idx n = c.cols();
+  for (idx j = 0; j < w; ++j) {
+    if (tau[j] == T(0)) continue;
+    const idx seg = j + 1;
+    for (idx col = 0; col < n; ++col) {
+      T* cc = c.col(col);
+      T acc = cc[j];  // pivot row, v == 1
+      for (idx b = 1; b < k; ++b) {
+        const T* vb = v.col(j) + b * w;
+        const T* cb = cc + b * w;
+        for (idx i = 0; i < seg; ++i) acc += vb[i] * cb[i];  // 2(k-1)(j+1)
+      }
+      const T tw = tau[j] * acc;  // 1
+      cc[j] -= tw;                // 1
+      for (idx b = 1; b < k; ++b) {
+        const T* vb = v.col(j) + b * w;
+        T* cb = cc + b * w;
+        for (idx i = 0; i < seg; ++i) cb[i] -= tw * vb[i];  // 2(k-1)(j+1)
+      }
+    }
+  }
+}
+
+// Applies the stacked-triangle Q (not Q^T): reflectors in descending order.
+// Same flop count as stacked_apply_qt.
+template <typename T>
+void stacked_apply_q(ConstMatrixView<T> v, idx w, idx k, const T* tau,
+                     MatrixView<T> c) {
+  CAQR_DCHECK(v.rows() == w * k && v.cols() == w);
+  CAQR_DCHECK(c.rows() == w * k);
+  const idx n = c.cols();
+  for (idx j = w - 1; j >= 0; --j) {
+    if (tau[j] == T(0)) continue;
+    const idx seg = j + 1;
+    for (idx col = 0; col < n; ++col) {
+      T* cc = c.col(col);
+      T acc = cc[j];
+      for (idx b = 1; b < k; ++b) {
+        const T* vb = v.col(j) + b * w;
+        const T* cb = cc + b * w;
+        for (idx i = 0; i < seg; ++i) acc += vb[i] * cb[i];
+      }
+      const T tw = tau[j] * acc;
+      cc[j] -= tw;
+      for (idx b = 1; b < k; ++b) {
+        const T* vb = v.col(j) + b * w;
+        T* cb = cc + b * w;
+        for (idx i = 0; i < seg; ++i) cb[i] -= tw * vb[i];
+      }
+    }
+  }
+}
+
+inline double stacked_apply_qt_flops(idx w, idx k, idx ncols) {
+  double f = 0;
+  for (idx j = 0; j < w; ++j) {
+    const idx len = 1 + (k - 1) * (j + 1);
+    if (len > 1) f += static_cast<double>(ncols) * apply_reflector_column_flops(len);
+  }
+  return f;
+}
+
+}  // namespace caqr::kernels

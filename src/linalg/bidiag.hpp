@@ -1,0 +1,161 @@
+#pragma once
+
+// Golub-Kahan bidiagonalization (GEBRD-style) and the two-phase SVD built on
+// it: A -> U_1 B V_1^T (Householder reflectors from both sides), then the
+// small n x n bidiagonal B is diagonalized (here by one-sided Jacobi) and
+// the factors are composed. For tall matrices this does the heavy O(mn^2)
+// work in a finite pass instead of Jacobi's iterated sweeps over all of A —
+// the classical structure of LAPACK's GESVD, with the bidiagonal QR
+// iteration swapped for Jacobi on the (tiny) B.
+
+#include <vector>
+
+#include "linalg/blas2.hpp"
+#include "linalg/householder.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/svd.hpp"
+
+namespace caqr {
+
+template <typename T>
+struct Bidiagonalization {
+  Matrix<T> factored;    // left reflectors below the diagonal, right ones
+                         // right of the superdiagonal
+  std::vector<T> tauq;   // n left-reflector scalars
+  std::vector<T> taup;   // n right-reflector scalars (last two unused)
+  std::vector<T> d;      // n diagonal entries of B
+  std::vector<T> e;      // n-1 superdiagonal entries of B
+};
+
+// Applies H = I - tau v v^T from the RIGHT to c (rows x len), v[0] == 1
+// implicit with tail v_rest of length len-1.
+template <typename T>
+void apply_householder_right(idx len, T tau, const T* v_rest, MatrixView<T> c) {
+  if (tau == T(0) || c.rows() == 0) return;
+  CAQR_DCHECK(c.cols() == len);
+  const idx m = c.rows();
+  // w = C v; then C -= tau * w * v^T. Column-major: walk columns.
+  std::vector<T> w(static_cast<std::size_t>(m));
+  copy_n(m, c.col(0), w.data());
+  for (idx j = 1; j < len; ++j) {
+    axpy(m, v_rest[j - 1], c.col(j), w.data());
+  }
+  axpy(m, -tau, w.data(), c.col(0));
+  for (idx j = 1; j < len; ++j) {
+    axpy(m, -tau * v_rest[j - 1], w.data(), c.col(j));
+  }
+}
+
+// In-place upper bidiagonalization of a (m >= n).
+template <typename T>
+Bidiagonalization<T> bidiagonalize(Matrix<T> a) {
+  const idx m = a.rows(), n = a.cols();
+  CAQR_CHECK(m >= n && n >= 1);
+  Bidiagonalization<T> out{std::move(a),
+                           std::vector<T>(static_cast<std::size_t>(n), T(0)),
+                           std::vector<T>(static_cast<std::size_t>(n), T(0)),
+                           std::vector<T>(static_cast<std::size_t>(n), T(0)),
+                           std::vector<T>(static_cast<std::size_t>(n > 1 ? n - 1 : 0), T(0))};
+  MatrixView<T> v = out.factored.view();
+  std::vector<T> work(static_cast<std::size_t>(std::max(m, n)));
+
+  for (idx k = 0; k < n; ++k) {
+    // Left reflector annihilating below the diagonal of column k.
+    T* colk = v.col(k) + k;
+    out.tauq[static_cast<std::size_t>(k)] =
+        make_householder(m - k, colk[0], colk + 1);
+    if (k + 1 < n) {
+      apply_householder_left(m - k, out.tauq[static_cast<std::size_t>(k)],
+                             colk + 1, v.block(k, k + 1, m - k, n - k - 1),
+                             work.data());
+    }
+    out.d[static_cast<std::size_t>(k)] = v(k, k);
+
+    // Right reflector annihilating right of the superdiagonal of row k.
+    if (k < n - 1) {
+      // Row vector a(k, k+1:n): gather, reflect, scatter.
+      const idx len = n - k - 1;
+      std::vector<T> row(static_cast<std::size_t>(len));
+      for (idx j = 0; j < len; ++j) row[static_cast<std::size_t>(j)] = v(k, k + 1 + j);
+      out.taup[static_cast<std::size_t>(k)] =
+          make_householder(len, row[0], row.data() + 1);
+      v(k, k + 1) = row[0];
+      for (idx j = 1; j < len; ++j) v(k, k + 1 + j) = row[static_cast<std::size_t>(j)];
+      out.e[static_cast<std::size_t>(k)] = row[0];
+      if (m - k - 1 > 0 && len > 1) {
+        apply_householder_right(len, out.taup[static_cast<std::size_t>(k)],
+                                row.data() + 1,
+                                v.block(k + 1, k + 1, m - k - 1, len));
+      }
+    }
+  }
+  return out;
+}
+
+// Explicit m x n U_1 (product of left reflectors applied to identity).
+template <typename T>
+Matrix<T> form_u(const Bidiagonalization<T>& b) {
+  const idx m = b.factored.rows(), n = b.factored.cols();
+  Matrix<T> u = Matrix<T>::identity(m, n);
+  std::vector<T> work(static_cast<std::size_t>(n));
+  for (idx k = n - 1; k >= 0; --k) {
+    apply_householder_left(m - k, b.tauq[static_cast<std::size_t>(k)],
+                           b.factored.view().col(k) + k + 1,
+                           u.view().block(k, 0, m - k, n), work.data());
+    if (k == 0) break;
+  }
+  return u;
+}
+
+// Explicit n x n V_1 (product of right reflectors; reflector k lives in row
+// k, columns k+2..n of the factored storage with implicit leading 1 at
+// column k+1).
+template <typename T>
+Matrix<T> form_v(const Bidiagonalization<T>& b) {
+  const idx n = b.factored.cols();
+  Matrix<T> vmat = Matrix<T>::identity(n, n);
+  std::vector<T> work(static_cast<std::size_t>(n));
+  std::vector<T> tail(static_cast<std::size_t>(n));
+  for (idx k = n - 3 >= 0 ? n - 3 : -1; k >= 0; --k) {
+    const idx len = n - k - 1;  // reflector over rows k+1..n-1 of V
+    for (idx j = 0; j < len - 1; ++j) {
+      tail[static_cast<std::size_t>(j)] = b.factored(k, k + 2 + j);
+    }
+    apply_householder_left(len, b.taup[static_cast<std::size_t>(k)],
+                           tail.data(), vmat.view().block(k + 1, 0, len, n),
+                           work.data());
+    if (k == 0) break;
+  }
+  return vmat;
+}
+
+// Two-phase thin SVD: bidiagonalize, diagonalize B, compose factors.
+template <typename VA>
+SvdResult<view_scalar_t<VA>> two_phase_svd(const VA& a_in) {
+  using T = view_scalar_t<VA>;
+  const ConstMatrixView<T> a = cview(a_in);
+  const idx m = a.rows(), n = a.cols();
+  CAQR_CHECK(m >= n && n >= 1);
+
+  auto bi = bidiagonalize(Matrix<T>::from(a));
+  // Dense n x n bidiagonal B.
+  auto bmat = Matrix<T>::zeros(n, n);
+  for (idx i = 0; i < n; ++i) {
+    bmat(i, i) = bi.d[static_cast<std::size_t>(i)];
+    if (i + 1 < n) bmat(i, i + 1) = bi.e[static_cast<std::size_t>(i)];
+  }
+  auto small = jacobi_svd(bmat.view());
+
+  SvdResult<T> out{Matrix<T>::zeros(m, n), std::move(small.sigma),
+                   Matrix<T>::zeros(n, n), small.sweeps, small.converged};
+  auto u1 = form_u(bi);
+  auto v1 = form_v(bi);
+  gemm(Trans::No, Trans::No, T(1), u1.view(), small.u.view(), T(0),
+       out.u.view());
+  gemm(Trans::No, Trans::No, T(1), v1.view(), small.v.view(), T(0),
+       out.v.view());
+  return out;
+}
+
+}  // namespace caqr

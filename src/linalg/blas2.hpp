@@ -1,0 +1,83 @@
+#pragma once
+
+// Matrix-vector (BLAS2) primitives on column-major views.
+
+#include "linalg/blas1.hpp"
+#include "linalg/matrix.hpp"
+
+namespace caqr {
+
+// y := alpha * A * x + beta * y
+template <typename T>
+void gemv_n(T alpha, In<ConstMatrixView<T>> a, const T* x, T beta, T* y) {
+  const idx m = a.rows(), n = a.cols();
+  if (beta == T(0)) {
+    for (idx i = 0; i < m; ++i) y[i] = T(0);
+  } else if (beta != T(1)) {
+    scal(m, beta, y);
+  }
+  for (idx j = 0; j < n; ++j) {
+    const T axj = alpha * x[j];
+    const T* col = a.col(j);
+    for (idx i = 0; i < m; ++i) y[i] += axj * col[i];
+  }
+}
+
+// y := alpha * A^T * x + beta * y
+template <typename T>
+void gemv_t(T alpha, In<ConstMatrixView<T>> a, const T* x, T beta, T* y) {
+  const idx m = a.rows(), n = a.cols();
+  for (idx j = 0; j < n; ++j) {
+    const T s = dot(m, a.col(j), x);
+    y[j] = alpha * s + (beta == T(0) ? T(0) : beta * y[j]);
+  }
+}
+
+// A := A + alpha * x * y^T  (rank-1 update)
+template <typename T>
+void ger(T alpha, const T* x, const T* y, MatrixView<T> a) {
+  const idx m = a.rows(), n = a.cols();
+  for (idx j = 0; j < n; ++j) {
+    const T ayj = alpha * y[j];
+    T* col = a.col(j);
+    for (idx i = 0; i < m; ++i) col[i] += ayj * x[i];
+  }
+}
+
+// x := U * x for upper-triangular U (unit = unit diagonal assumed 1).
+template <typename T>
+void trmv_upper(In<ConstMatrixView<T>> u, T* x, bool unit_diag = false) {
+  const idx n = u.rows();
+  CAQR_DCHECK(u.cols() == n);
+  for (idx i = 0; i < n; ++i) {
+    T acc = unit_diag ? x[i] : u(i, i) * x[i];
+    for (idx j = i + 1; j < n; ++j) acc += u(i, j) * x[j];
+    x[i] = acc;
+  }
+}
+
+// Solve U * x = b in place for upper-triangular U.
+template <typename T>
+void trsv_upper(In<ConstMatrixView<T>> u, T* x, bool unit_diag = false) {
+  const idx n = u.rows();
+  CAQR_DCHECK(u.cols() == n);
+  for (idx i = n - 1; i >= 0; --i) {
+    T acc = x[i];
+    for (idx j = i + 1; j < n; ++j) acc -= u(i, j) * x[j];
+    x[i] = unit_diag ? acc : acc / u(i, i);
+  }
+}
+
+// Solve L * x = b in place for lower-triangular L.
+template <typename T>
+void trsv_lower(In<ConstMatrixView<T>> l, T* x, bool unit_diag = false) {
+  const idx n = l.rows();
+  CAQR_DCHECK(l.cols() == n);
+  for (idx i = 0; i < n; ++i) {
+    T acc = x[i];
+    for (idx j = 0; j < i; ++j) acc -= l(i, j) * x[j];
+    x[i] = unit_diag ? acc : acc / l(i, i);
+  }
+}
+
+}  // namespace caqr

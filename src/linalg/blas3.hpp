@@ -1,0 +1,245 @@
+#pragma once
+
+// Matrix-matrix (BLAS3) primitives on column-major views.
+//
+// gemm uses register-blocked micro-tiles with an L1-sized K loop so the
+// functional simulation stays tractable on the host. These routines back the
+// reference (LAPACK-style) blocked QR, the baselines' trailing updates, and
+// everything downstream (SVD, RPCA); the simulated-GPU kernels have their own
+// small-block implementations in src/kernels.
+
+#include <algorithm>
+
+#include "linalg/blas1.hpp"
+#include "linalg/matrix.hpp"
+
+namespace caqr {
+
+enum class Trans { No, Yes };
+
+namespace detail {
+
+// C(mr x nr) += A(mr x k) * B(k x nr) with A,B addressed through lambdas.
+// mr/nr small compile-time tile; accumulators live in registers.
+template <typename T, int MR, int NR>
+void gemm_micro(idx k, T alpha, const T* a, idx lda, const T* b, idx ldb, T* c,
+                idx ldc) {
+  T acc[MR][NR] = {};
+  for (idx p = 0; p < k; ++p) {
+    const T* ap = a + p * lda;
+    const T* bp = b + p;
+    for (int j = 0; j < NR; ++j) {
+      const T bv = bp[j * ldb];
+      for (int i = 0; i < MR; ++i) acc[i][j] += ap[i] * bv;
+    }
+  }
+  for (int j = 0; j < NR; ++j) {
+    for (int i = 0; i < MR; ++i) c[i + j * ldc] += alpha * acc[i][j];
+  }
+}
+
+}  // namespace detail
+
+// C := alpha * op(A) * op(B) + beta * C
+template <typename T>
+void gemm(Trans ta, Trans tb, T alpha, In<ConstMatrixView<T>> a,
+          In<ConstMatrixView<T>> b, T beta, In<MatrixView<T>> c) {
+  const idx m = c.rows();
+  const idx n = c.cols();
+  const idx k = (ta == Trans::No) ? a.cols() : a.rows();
+  CAQR_CHECK((ta == Trans::No ? a.rows() : a.cols()) == m);
+  CAQR_CHECK((tb == Trans::No ? b.rows() : b.cols()) == k);
+  CAQR_CHECK((tb == Trans::No ? b.cols() : b.rows()) == n);
+
+  if (beta == T(0)) {
+    c.fill(T(0));
+  } else if (beta != T(1)) {
+    for (idx j = 0; j < n; ++j) scal(m, beta, c.col(j));
+  }
+  if (m == 0 || n == 0 || k == 0 || alpha == T(0)) return;
+
+  // Fast path: no transposes — register-blocked micro-kernel.
+  if (ta == Trans::No && tb == Trans::No) {
+    constexpr int MR = 8, NR = 4;
+    const idx mb = m / MR * MR;
+    const idx nb = n / NR * NR;
+    for (idx j = 0; j < nb; j += NR) {
+      for (idx i = 0; i < mb; i += MR) {
+        detail::gemm_micro<T, MR, NR>(k, alpha, a.data() + i, a.ld(),
+                                      b.data() + j * b.ld(), b.ld(),
+                                      c.data() + i + j * c.ld(), c.ld());
+      }
+      // Row remainder for this column stripe.
+      for (idx i = mb; i < m; ++i) {
+        for (idx jj = j; jj < j + NR; ++jj) {
+          T acc = T(0);
+          for (idx p = 0; p < k; ++p) acc += a(i, p) * b(p, jj);
+          c(i, jj) += alpha * acc;
+        }
+      }
+    }
+    // Column remainder.
+    for (idx j = nb; j < n; ++j) {
+      T* cj = c.col(j);
+      for (idx p = 0; p < k; ++p) {
+        const T bv = alpha * b(p, j);
+        const T* ap = a.col(p);
+        for (idx i = 0; i < m; ++i) cj[i] += bv * ap[i];
+      }
+    }
+    return;
+  }
+
+  // A^T * B: both operands are walked down contiguous columns (dot products).
+  // This is the larfb workhorse (W := V^T C).
+  if (ta == Trans::Yes && tb == Trans::No) {
+    for (idx j = 0; j < n; ++j) {
+      const T* bj = b.col(j);
+      for (idx i = 0; i < m; ++i) {
+        c(i, j) += alpha * dot(k, a.col(i), bj);
+      }
+    }
+    return;
+  }
+
+  // A * B^T: saxpy form, contiguous column updates (C -= V W^T in larfb).
+  if (ta == Trans::No && tb == Trans::Yes) {
+    for (idx j = 0; j < n; ++j) {
+      T* cj = c.col(j);
+      for (idx p = 0; p < k; ++p) {
+        const T bv = alpha * b(j, p);
+        const T* ap = a.col(p);
+        for (idx i = 0; i < m; ++i) cj[i] += bv * ap[i];
+      }
+    }
+    return;
+  }
+
+  // General path (handles all transpose combinations and any alpha).
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < m; ++i) {
+      T acc = T(0);
+      for (idx p = 0; p < k; ++p) {
+        const T av = (ta == Trans::No) ? a(i, p) : a(p, i);
+        const T bv = (tb == Trans::No) ? b(p, j) : b(j, p);
+        acc += av * bv;
+      }
+      c(i, j) += alpha * acc;
+    }
+  }
+}
+
+// C := alpha * A^T * A + beta * C (upper triangle written, then mirrored).
+template <typename T>
+void syrk_t(T alpha, In<ConstMatrixView<T>> a, T beta, In<MatrixView<T>> c) {
+  const idx n = a.cols();
+  CAQR_CHECK(c.rows() == n && c.cols() == n);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i <= j; ++i) {
+      const T s = dot(a.rows(), a.col(i), a.col(j));
+      const T v = alpha * s + (beta == T(0) ? T(0) : beta * c(i, j));
+      c(i, j) = v;
+      c(j, i) = v;
+    }
+  }
+}
+
+enum class Side { Left, Right };
+enum class UpLo { Upper, Lower };
+
+// B := op(T)^-1 * B (Left) or B * op(T)^-1 (Right) for triangular T.
+template <typename T>
+void trsm(Side side, UpLo uplo, Trans trans, In<ConstMatrixView<T>> t,
+          MatrixView<T> b, bool unit_diag = false) {
+  const idx n = t.rows();
+  CAQR_CHECK(t.cols() == n);
+  if (side == Side::Left) {
+    CAQR_CHECK(b.rows() == n);
+    for (idx j = 0; j < b.cols(); ++j) {
+      T* x = b.col(j);
+      if (uplo == UpLo::Upper && trans == Trans::No) {
+        trsv_upper(t, x, unit_diag);
+      } else if (uplo == UpLo::Lower && trans == Trans::No) {
+        trsv_lower(t, x, unit_diag);
+      } else if (uplo == UpLo::Upper && trans == Trans::Yes) {
+        // U^T is lower triangular; solve row-wise forward.
+        for (idx i = 0; i < n; ++i) {
+          T acc = x[i];
+          for (idx p = 0; p < i; ++p) acc -= t(p, i) * x[p];
+          x[i] = unit_diag ? acc : acc / t(i, i);
+        }
+      } else {  // Lower, transposed: backward substitution, L^T(i,p) = L(p,i).
+        for (idx i = n - 1; i >= 0; --i) {
+          T acc = x[i];
+          for (idx p = i + 1; p < n; ++p) acc -= t(p, i) * x[p];
+          x[i] = unit_diag ? acc : acc / t(i, i);
+        }
+      }
+    }
+  } else {
+    CAQR_CHECK(b.cols() == n);
+    // Solve X * op(T) = B row by row: equivalent to op(T)^T X^T = B^T.
+    for (idx i = 0; i < b.rows(); ++i) {
+      if (uplo == UpLo::Upper && trans == Trans::No) {
+        // x_j = (b_j - sum_{p<j} x_p T(p,j)) / T(j,j)
+        for (idx j = 0; j < n; ++j) {
+          T acc = b(i, j);
+          for (idx p = 0; p < j; ++p) acc -= b(i, p) * t(p, j);
+          b(i, j) = unit_diag ? acc : acc / t(j, j);
+        }
+      } else if (uplo == UpLo::Lower && trans == Trans::No) {
+        for (idx j = n - 1; j >= 0; --j) {
+          T acc = b(i, j);
+          for (idx p = j + 1; p < n; ++p) acc -= b(i, p) * t(p, j);
+          b(i, j) = unit_diag ? acc : acc / t(j, j);
+        }
+      } else if (uplo == UpLo::Upper && trans == Trans::Yes) {
+        for (idx j = n - 1; j >= 0; --j) {
+          T acc = b(i, j);
+          for (idx p = j + 1; p < n; ++p) acc -= b(i, p) * t(j, p);
+          b(i, j) = unit_diag ? acc : acc / t(j, j);
+        }
+      } else {  // Lower, transposed
+        for (idx j = 0; j < n; ++j) {
+          T acc = b(i, j);
+          for (idx p = 0; p < j; ++p) acc -= b(i, p) * t(j, p);
+          b(i, j) = unit_diag ? acc : acc / t(j, j);
+        }
+      }
+    }
+  }
+}
+
+// B := op(T) * B (Left) for triangular T, in place.
+template <typename T>
+void trmm_left(UpLo uplo, Trans trans, In<ConstMatrixView<T>> t, MatrixView<T> b,
+               bool unit_diag = false) {
+  const idx n = t.rows();
+  CAQR_CHECK(t.cols() == n && b.rows() == n);
+  for (idx j = 0; j < b.cols(); ++j) {
+    T* x = b.col(j);
+    if (uplo == UpLo::Upper && trans == Trans::No) {
+      trmv_upper(t, x, unit_diag);
+    } else if (uplo == UpLo::Lower && trans == Trans::No) {
+      for (idx i = n - 1; i >= 0; --i) {
+        T acc = unit_diag ? x[i] : t(i, i) * x[i];
+        for (idx p = 0; p < i; ++p) acc += t(i, p) * x[p];
+        x[i] = acc;
+      }
+    } else if (uplo == UpLo::Upper && trans == Trans::Yes) {
+      for (idx i = n - 1; i >= 0; --i) {
+        T acc = unit_diag ? x[i] : t(i, i) * x[i];
+        for (idx p = 0; p < i; ++p) acc += t(p, i) * x[p];
+        x[i] = acc;
+      }
+    } else {  // Lower, transposed
+      for (idx i = 0; i < n; ++i) {
+        T acc = unit_diag ? x[i] : t(i, i) * x[i];
+        for (idx p = i + 1; p < n; ++p) acc += t(p, i) * x[p];
+        x[i] = acc;
+      }
+    }
+  }
+}
+
+}  // namespace caqr

@@ -1,0 +1,39 @@
+#pragma once
+
+// Cholesky factorization (POTRF, upper variant) — the substrate for the
+// CholeskyQR baseline whose instability the paper cites as the reason
+// general-purpose QR uses Householder reflectors.
+
+#include <cmath>
+
+#include "linalg/matrix.hpp"
+
+namespace caqr {
+
+// In-place upper Cholesky: A = R^T R with R upper triangular in the upper
+// part of a. Returns false if a non-positive pivot is hit (matrix not
+// numerically positive definite), leaving a partially factored.
+template <typename T>
+[[nodiscard]] bool potrf_upper(MatrixView<T> a) {
+  const idx n = a.rows();
+  CAQR_CHECK(a.cols() == n);
+  for (idx k = 0; k < n; ++k) {
+    T d = a(k, k);
+    for (idx p = 0; p < k; ++p) d -= a(p, k) * a(p, k);
+    if (!(d > T(0))) return false;  // also rejects NaN
+    const T rkk = std::sqrt(d);
+    a(k, k) = rkk;
+    for (idx j = k + 1; j < n; ++j) {
+      T s = a(k, j);
+      for (idx p = 0; p < k; ++p) s -= a(p, k) * a(p, j);
+      a(k, j) = s / rkk;
+    }
+  }
+  // Zero the strictly-lower part so the result is usable as R^T R directly.
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = j + 1; i < n; ++i) a(i, j) = T(0);
+  }
+  return true;
+}
+
+}  // namespace caqr

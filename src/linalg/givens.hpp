@@ -1,0 +1,164 @@
+#pragma once
+
+// Givens-rotation QR — the other numerically stable QR family §II mentions
+// ("most general-purpose software for QR uses either Givens rotations or
+// Householder reflectors"). Included as a reference baseline: rotations
+// touch two rows at a time, which makes them attractive for sparse or
+// structured eliminations (and for the stacked-triangle combines TSQR does
+// with Householder here), but dense column elimination costs ~50% more
+// flops than Householder.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace caqr {
+
+template <typename T>
+struct GivensRotation {
+  T c = T(1);
+  T s = T(0);
+};
+
+// Computes c, s with [c s; -s c]^T [a; b] = [r; 0], returning r.
+// Stable formulation (no overflow for large |a|, |b|).
+template <typename T>
+GivensRotation<T> make_givens(T a, T b, T& r) {
+  GivensRotation<T> g;
+  if (b == T(0)) {
+    g.c = T(1);
+    g.s = T(0);
+    r = a;
+  } else if (a == T(0)) {
+    g.c = T(0);
+    g.s = T(1);
+    r = b;
+  } else if (std::abs(b) > std::abs(a)) {
+    const T t = a / b;
+    const T u = std::sqrt(T(1) + t * t) * (b > T(0) ? T(1) : T(-1));
+    g.s = T(1) / u;
+    g.c = g.s * t;
+    r = b * u;
+  } else {
+    const T t = b / a;
+    const T u = std::sqrt(T(1) + t * t) * (a > T(0) ? T(1) : T(-1));
+    g.c = T(1) / u;
+    g.s = g.c * t;
+    r = a * u;
+  }
+  return g;
+}
+
+// Applies the rotation to rows (i, k) of a, columns [j0, cols).
+template <typename T>
+void apply_givens_rows(MatrixView<T> a, idx i, idx k,
+                       const GivensRotation<T>& g, idx j0 = 0) {
+  for (idx j = j0; j < a.cols(); ++j) {
+    const T ai = a(i, j);
+    const T ak = a(k, j);
+    a(i, j) = g.c * ai + g.s * ak;
+    a(k, j) = -g.s * ai + g.c * ak;
+  }
+}
+
+// Full Givens QR: returns Q (m x n, accumulated rotations applied to the
+// identity) and leaves R in the upper triangle of a.
+template <typename T>
+Matrix<T> givens_qr(MatrixView<T> a) {
+  const idx m = a.rows(), n = a.cols();
+  Matrix<T> q = Matrix<T>::identity(m, m);
+  for (idx j = 0; j < std::min(m - 1, n); ++j) {
+    for (idx i = m - 1; i > j; --i) {
+      if (a(i, j) == T(0)) continue;
+      T r;
+      const auto g = make_givens(a(j, j), a(i, j), r);
+      a(j, j) = r;
+      a(i, j) = T(0);
+      // Update the trailing columns of the two touched rows.
+      for (idx col = j + 1; col < n; ++col) {
+        const T aj = a(j, col);
+        const T ai = a(i, col);
+        a(j, col) = g.c * aj + g.s * ai;
+        a(i, col) = -g.s * aj + g.c * ai;
+      }
+      // Accumulate into Q (columns j and i of Q^T -> rows of Q).
+      for (idx rrow = 0; rrow < m; ++rrow) {
+        const T qj = q(rrow, j);
+        const T qi = q(rrow, i);
+        q(rrow, j) = g.c * qj + g.s * qi;
+        q(rrow, i) = -g.s * qj + g.c * qi;
+      }
+    }
+  }
+  // Thin Q: first n columns.
+  Matrix<T> thin(m, n);
+  thin.view().copy_from(q.view().block(0, 0, m, n));
+  return thin;
+}
+
+// 1-norm condition estimate of an upper-triangular R (Higham-style power
+// iteration on |R^-1|: a few forward/backward solves). Returns
+// kappa_1(R) ~ ||R||_1 * ||R^-1||_1 (a lower bound, usually tight).
+template <typename VR>
+double condition_estimate_upper(const VR& r_in, int iterations = 5) {
+  using T = view_scalar_t<VR>;
+  const ConstMatrixView<T> r = cview(r_in);
+  const idx n = r.rows();
+  CAQR_CHECK(r.cols() == n && n >= 1);
+
+  // ||R||_1: max column sum of the triangle.
+  double norm_r = 0;
+  for (idx j = 0; j < n; ++j) {
+    double s = 0;
+    for (idx i = 0; i <= j; ++i) s += std::abs(static_cast<double>(r(i, j)));
+    norm_r = std::max(norm_r, s);
+  }
+
+  // Estimate ||R^-1||_1 by the classic x <- R^-1 sign-vector iteration.
+  std::vector<double> x(static_cast<std::size_t>(n), 1.0 / static_cast<double>(n));
+  double est = 0;
+  for (int it = 0; it < iterations; ++it) {
+    // y = R^-1 x (back substitution in double).
+    std::vector<double> y(x);
+    for (idx i = n - 1; i >= 0; --i) {
+      double acc = y[static_cast<std::size_t>(i)];
+      for (idx j = i + 1; j < n; ++j) {
+        acc -= static_cast<double>(r(i, j)) * y[static_cast<std::size_t>(j)];
+      }
+      const double d = static_cast<double>(r(i, i));
+      if (d == 0.0) return std::numeric_limits<double>::infinity();
+      y[static_cast<std::size_t>(i)] = acc / d;
+    }
+    double norm_y = 0;
+    for (const double v : y) norm_y += std::abs(v);
+    est = std::max(est, norm_y);
+
+    // z = R^-T sign(y) (forward substitution), next x = e_{argmax |z|}.
+    std::vector<double> z(static_cast<std::size_t>(n));
+    for (idx i = 0; i < n; ++i) {
+      double acc = y[static_cast<std::size_t>(i)] >= 0 ? 1.0 : -1.0;
+      for (idx j = 0; j < i; ++j) {
+        acc -= static_cast<double>(r(j, i)) * z[static_cast<std::size_t>(j)];
+      }
+      const double d = static_cast<double>(r(i, i));
+      if (d == 0.0) return std::numeric_limits<double>::infinity();
+      z[static_cast<std::size_t>(i)] = acc / d;
+    }
+    idx best = 0;
+    for (idx i = 1; i < n; ++i) {
+      if (std::abs(z[static_cast<std::size_t>(i)]) >
+          std::abs(z[static_cast<std::size_t>(best)])) {
+        best = i;
+      }
+    }
+    std::fill(x.begin(), x.end(), 0.0);
+    x[static_cast<std::size_t>(best)] = 1.0;
+  }
+  return norm_r * est;
+}
+
+}  // namespace caqr

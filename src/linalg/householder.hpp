@@ -1,0 +1,60 @@
+#pragma once
+
+// Householder reflector generation and application (LAPACK larfg/larf
+// conventions): H = I - tau * v * v^T with v[0] = 1 stored implicitly.
+//
+// Shared by the reference blocked QR, the TSQR structured factorizations and
+// the simulated-GPU kernels, so every QR in the library eliminates columns
+// with bit-identical reflectors — that is what makes cross-implementation
+// R-comparison tests exact up to column signs.
+
+#include <cmath>
+
+#include "linalg/blas1.hpp"
+#include "linalg/matrix.hpp"
+
+namespace caqr {
+
+// Generates a reflector that maps x = [alpha; x_rest] (length n) onto
+// [beta; 0]. On return x_rest holds the tail of v (v[0] == 1 implicit),
+// alpha holds beta, and tau is returned. n == 0 or an already-zero tail
+// yields tau == 0 (H = I).
+template <typename T>
+T make_householder(idx n, T& alpha, T* x_rest) {
+  if (n <= 1) return T(0);
+  const T xnorm = nrm2(n - 1, x_rest);
+  if (xnorm == T(0)) return T(0);
+
+  // beta = -sign(alpha) * ||[alpha; x]||  (LAPACK sign choice: avoids
+  // cancellation in alpha - beta).
+  T beta = -std::copysign(std::hypot(alpha, xnorm), alpha);
+  const T tau = (beta - alpha) / beta;
+  const T inv = T(1) / (alpha - beta);
+  scal(n - 1, inv, x_rest);
+  alpha = beta;
+  return tau;
+}
+
+// Applies H = I - tau * v * v^T from the left to C (m x n), where v has
+// length m with v[0] == 1 implicit and tail v_rest. work must hold n scalars.
+template <typename T>
+void apply_householder_left(idx m, T tau, const T* v_rest, MatrixView<T> c,
+                            T* work) {
+  if (tau == T(0) || c.cols() == 0) return;
+  CAQR_DCHECK(c.rows() == m);
+  const idx n = c.cols();
+  // w = C^T v  (v[0] == 1)
+  for (idx j = 0; j < n; ++j) {
+    const T* col = c.col(j);
+    work[j] = col[0] + dot(m - 1, col + 1, v_rest);
+  }
+  // C -= tau * v * w^T
+  for (idx j = 0; j < n; ++j) {
+    T* col = c.col(j);
+    const T tw = tau * work[j];
+    col[0] -= tw;
+    axpy(m - 1, -tw, v_rest, col + 1);
+  }
+}
+
+}  // namespace caqr

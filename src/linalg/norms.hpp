@@ -1,0 +1,112 @@
+#pragma once
+
+// Matrix norms and the error metrics used by the test-suite invariants:
+// factorization residual, orthogonality defect, and R-vs-R comparison up to
+// column signs (Householder QR determines R only up to the sign of each row).
+
+#include <cmath>
+
+#include "linalg/blas3.hpp"
+#include "linalg/matrix.hpp"
+
+namespace caqr {
+
+template <typename VA>
+double frobenius_norm(const VA& a_in) {
+  const auto a = cview(a_in);
+  using T = view_scalar_t<VA>;
+  double acc = 0.0;
+  for (idx j = 0; j < a.cols(); ++j) {
+    const T* col = a.col(j);
+    for (idx i = 0; i < a.rows(); ++i) {
+      acc += static_cast<double>(col[i]) * static_cast<double>(col[i]);
+    }
+  }
+  return std::sqrt(acc);
+}
+
+template <typename VA>
+double max_abs(const VA& a_in) {
+  const auto a = cview(a_in);
+  using T = view_scalar_t<VA>;
+  double best = 0.0;
+  for (idx j = 0; j < a.cols(); ++j) {
+    const T* col = a.col(j);
+    for (idx i = 0; i < a.rows(); ++i) {
+      best = std::max(best, std::fabs(static_cast<double>(col[i])));
+    }
+  }
+  return best;
+}
+
+// ||Q^T Q - I||_F, computed in double regardless of T.
+template <typename VQ>
+double orthogonality_error(const VQ& q_in) {
+  const auto q = cview(q_in);
+  using T = view_scalar_t<VQ>;
+  const idx n = q.cols();
+  double acc = 0.0;
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i <= j; ++i) {
+      double s = 0.0;
+      const T* ci = q.col(i);
+      const T* cj = q.col(j);
+      for (idx r = 0; r < q.rows(); ++r) {
+        s += static_cast<double>(ci[r]) * static_cast<double>(cj[r]);
+      }
+      if (i == j) s -= 1.0;
+      acc += (i == j ? 1.0 : 2.0) * s * s;
+    }
+  }
+  return std::sqrt(acc);
+}
+
+// ||A - Q R||_F / ||A||_F, computed in double.
+template <typename VA, typename VQ, typename VR>
+double factorization_residual(const VA& a_in, const VQ& q_in, const VR& r_in) {
+  const auto a = cview(a_in);
+  const auto q = cview(q_in);
+  const auto r = cview(r_in);
+  CAQR_CHECK(q.rows() == a.rows() && r.cols() == a.cols());
+  CAQR_CHECK(q.cols() == r.rows());
+  double num = 0.0;
+  for (idx j = 0; j < a.cols(); ++j) {
+    for (idx i = 0; i < a.rows(); ++i) {
+      double s = 0.0;
+      const idx kk = std::min<idx>(r.rows(), j + 1);  // R upper triangular
+      for (idx p = 0; p < kk; ++p) {
+        s += static_cast<double>(q(i, p)) * static_cast<double>(r(p, j));
+      }
+      const double d = static_cast<double>(a(i, j)) - s;
+      num += d * d;
+    }
+  }
+  const double den = frobenius_norm(a);
+  return den > 0.0 ? std::sqrt(num) / den : std::sqrt(num);
+}
+
+// Relative difference between two R factors after aligning row signs to the
+// first: returns max_ij |R1 - S R2| / max|R1| where S = diag(+-1).
+template <typename V1, typename V2>
+double r_factor_difference(const V1& r1_in, const V2& r2_in) {
+  const auto r1 = cview(r1_in);
+  const auto r2 = cview(r2_in);
+  CAQR_CHECK(r1.rows() == r2.rows() && r1.cols() == r2.cols());
+  const idx n = r1.rows();
+  const double scale = max_abs(r1);
+  double worst = 0.0;
+  for (idx i = 0; i < n; ++i) {
+    // Align using the diagonal entry (largest-magnitude row representative).
+    const double d1 = static_cast<double>(r1(i, i));
+    const double d2 = static_cast<double>(r2(i, i));
+    const double sign = (d1 < 0) == (d2 < 0) ? 1.0 : -1.0;
+    for (idx j = i; j < r1.cols(); ++j) {
+      const double diff = std::fabs(static_cast<double>(r1(i, j)) -
+                                    sign * static_cast<double>(r2(i, j)));
+      worst = std::max(worst, diff);
+    }
+  }
+  return scale > 0.0 ? worst / scale : worst;
+}
+
+}  // namespace caqr

@@ -1,0 +1,113 @@
+#pragma once
+
+// Deterministic random test-matrix generators: Gaussian, prescribed
+// condition number (via random orthogonal factors), and the planted
+// low-rank-plus-sparse matrices used by the Robust PCA tests.
+
+#include <cmath>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "linalg/blas3.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/qr.hpp"
+
+namespace caqr {
+
+template <typename T>
+Matrix<T> gaussian_matrix(idx rows, idx cols, std::uint64_t seed) {
+  Matrix<T> a(rows, cols);
+  // One stream per column keeps generation order-independent if ever
+  // parallelized, and reproducible across matrix shapes sharing columns.
+  for (idx j = 0; j < cols; ++j) {
+    Rng rng(seed, static_cast<std::uint64_t>(j));
+    T* col = a.view().col(j);
+    for (idx i = 0; i < rows; ++i) col[i] = static_cast<T>(rng.normal());
+  }
+  return a;
+}
+
+// Random orthonormal columns: Q factor of a Gaussian matrix.
+template <typename T>
+Matrix<T> random_orthonormal(idx rows, idx cols, std::uint64_t seed) {
+  CAQR_CHECK(cols <= rows);
+  Matrix<T> g = gaussian_matrix<T>(rows, cols, seed);
+  std::vector<T> tau(static_cast<std::size_t>(cols));
+  geqrf(g.view(), tau.data());
+  return form_q(g.view(), tau.data(), cols);
+}
+
+// A = U * diag(sigma) * V^T with log-uniform singular values spanning
+// [1/cond, 1]; exercises the stability differences between Householder-based
+// QR and CholeskyQR / Gram-Schmidt.
+template <typename T>
+Matrix<T> matrix_with_condition(idx rows, idx cols, double cond,
+                                std::uint64_t seed) {
+  CAQR_CHECK(cols <= rows && cond >= 1.0);
+  Matrix<T> u = random_orthonormal<T>(rows, cols, seed);
+  Matrix<T> v = random_orthonormal<T>(cols, cols, seed + 1);
+  // Scale U's columns by sigma_i, then multiply by V^T.
+  for (idx j = 0; j < cols; ++j) {
+    const double t = cols > 1 ? static_cast<double>(j) / (cols - 1) : 0.0;
+    const T sigma = static_cast<T>(std::pow(cond, -t));
+    T* col = u.view().col(j);
+    for (idx i = 0; i < rows; ++i) col[i] *= sigma;
+  }
+  Matrix<T> a = Matrix<T>::zeros(rows, cols);
+  gemm(Trans::No, Trans::Yes, T(1), u.view(), v.view(), T(0), a.view());
+  return a;
+}
+
+struct LowRankPlusSparse {
+  idx rank = 0;
+  double sparse_fraction = 0.0;   // fraction of entries that are corrupted
+  double sparse_magnitude = 1.0;  // uniform [-mag, mag] corruption
+};
+
+template <typename T>
+struct PlantedRpca {
+  Matrix<T> observed;    // L + S
+  Matrix<T> low_rank;    // planted L
+  Matrix<T> sparse;      // planted S
+};
+
+// M = L + S with L = X Y^T (rank r, entries O(1/sqrt(mn))) and S sparse
+// with uniformly random support — the Candes et al. recovery regime.
+template <typename T>
+PlantedRpca<T> planted_low_rank_plus_sparse(idx rows, idx cols,
+                                            const LowRankPlusSparse& spec,
+                                            std::uint64_t seed) {
+  CAQR_CHECK(spec.rank >= 1 && spec.rank <= std::min(rows, cols));
+  Matrix<T> x = gaussian_matrix<T>(rows, spec.rank, seed);
+  Matrix<T> y = gaussian_matrix<T>(cols, spec.rank, seed + 1);
+  const T scale = static_cast<T>(1.0 / std::sqrt(static_cast<double>(
+                                            spec.rank) *
+                                        std::sqrt(static_cast<double>(rows) *
+                                                  static_cast<double>(cols))));
+  PlantedRpca<T> out{Matrix<T>::zeros(rows, cols), Matrix<T>::zeros(rows, cols),
+                     Matrix<T>::zeros(rows, cols)};
+  gemm(Trans::No, Trans::Yes, T(1), x.view(), y.view(), T(0),
+       out.low_rank.view());
+  for (idx j = 0; j < cols; ++j) {
+    T* col = out.low_rank.view().col(j);
+    scal(rows, scale, col);
+  }
+
+  Rng rng(seed, 0x5A4B5Eull);  // dedicated stream for the sparse support
+  for (idx j = 0; j < cols; ++j) {
+    for (idx i = 0; i < rows; ++i) {
+      if (rng.next_double() < spec.sparse_fraction) {
+        out.sparse(i, j) = static_cast<T>(
+            rng.uniform(-spec.sparse_magnitude, spec.sparse_magnitude));
+      }
+    }
+  }
+  for (idx j = 0; j < cols; ++j) {
+    for (idx i = 0; i < rows; ++i) {
+      out.observed(i, j) = out.low_rank(i, j) + out.sparse(i, j);
+    }
+  }
+  return out;
+}
+
+}  // namespace caqr

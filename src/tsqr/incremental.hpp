@@ -1,0 +1,132 @@
+#pragma once
+
+// Incremental (streaming) TSQR: consume a tall-skinny matrix one row block
+// at a time, maintaining only O(width^2) state, and produce the same R as a
+// monolithic TSQR (up to reflector signs).
+//
+// This is the natural out-of-core/streaming extension of the paper's TSQR:
+// because the reduction tree can have any shape (§II.B), a left-deep
+// "caterpillar" tree — combine the running R with each arriving block's R —
+// needs only the current 2w x w stack in memory. It serves workloads where
+// the matrix is produced incrementally (sensor frames, s-step basis vectors,
+// out-of-core panels) and never materialized.
+//
+// Each push costs one `factor` of the arriving block plus one binary
+// `factor_tree` combine on the simulated device. The Q factor is not
+// retained (streaming consumers typically need only R, e.g. for CholeskyQR-
+// style reconstruction, normal-equation-free least squares on R, or
+// conditioning estimates); use the monolithic TSQR when Q is needed.
+
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "kernels/block_ops.hpp"
+#include "kernels/kernels.hpp"
+#include "linalg/matrix.hpp"
+
+namespace caqr::tsqr {
+
+template <typename T>
+class IncrementalTsqr {
+ public:
+  IncrementalTsqr(gpusim::Device& dev, idx width,
+                  kernels::ReductionVariant variant =
+                      kernels::ReductionVariant::RegisterSerialTransposed)
+      : dev_(&dev),
+        width_(width),
+        variant_(variant),
+        r_(Matrix<T>::zeros(width, width)) {
+    CAQR_CHECK(width >= 1);
+  }
+
+  idx width() const { return width_; }
+  idx rows_consumed() const { return rows_consumed_; }
+  bool empty() const { return rows_consumed_ == 0; }
+
+  // Consumes one row block (any height >= 1; blocks of height >= width are
+  // most efficient). The block is copied internally; the caller may reuse
+  // its storage immediately.
+  void push(ConstMatrixView<T> block) {
+    CAQR_CHECK(block.cols() == width_);
+    CAQR_CHECK(block.rows() >= 1);
+    const idx h = block.rows();
+
+    // Factor the arriving block on the device (functionally here when the
+    // device is functional; cost charged either way).
+    Matrix<T> work = Matrix<T>::from(block);
+    std::vector<T> tau(static_cast<std::size_t>(std::min(h, width_)));
+    if (dev_->mode() == gpusim::ExecMode::Functional) {
+      kernels::block_geqr2(work.view(), tau.data());
+    }
+    charge_factor(h);
+
+    // Combine its R with the running R (binary caterpillar step). The
+    // arriving R may be trapezoidal when h < width.
+    const idx rrows = std::min(h, width_);
+    if (rows_consumed_ == 0) {
+      for (idx j = 0; j < width_; ++j) {
+        for (idx i = 0; i < std::min<idx>(j + 1, rrows); ++i) {
+          r_(i, j) = work(i, j);
+        }
+      }
+    } else if (dev_->mode() == gpusim::ExecMode::Functional) {
+      // Stack [running R; new R] (2w x w; the short-block case pads with
+      // zero rows, harmless to the combine) and re-factor.
+      Matrix<T> stack = Matrix<T>::zeros(2 * width_, width_);
+      stack.view().block(0, 0, width_, width_).copy_from(r_.view());
+      for (idx j = 0; j < width_; ++j) {
+        for (idx i = 0; i < std::min<idx>(j + 1, rrows); ++i) {
+          stack(width_ + i, j) = work(i, j);
+        }
+      }
+      std::vector<T> tau2(static_cast<std::size_t>(width_));
+      std::vector<T> scratch(static_cast<std::size_t>(1 + width_));
+      kernels::stacked_geqr2(stack.view(), width_, 2, tau2.data(),
+                             scratch.data());
+      for (idx j = 0; j < width_; ++j) {
+        for (idx i = 0; i <= j; ++i) r_(i, j) = stack(i, j);
+      }
+    }
+    if (rows_consumed_ > 0) charge_combine();
+    rows_consumed_ += h;
+  }
+
+  // The running R (width x width upper triangular) of everything consumed.
+  const Matrix<T>& r() const { return r_; }
+
+ private:
+  void charge_factor(idx h) {
+    kernels::CostOnlyKernel k{
+        "stream_factor",
+        kernels::detail::householder_block_stats(
+            kernels::block_geqr2_flops(h, width_),
+            static_cast<double>(h) * width_,
+            static_cast<double>(std::min(h, width_)),
+            (2.0 * h * width_ + width_) * sizeof(T) *
+                dev_->model().tile_locality_penalty,
+            kernels::cost_params(variant_), dev_->model().uncoalesced_penalty,
+            h, width_)};
+    dev_->launch(k, 1);
+  }
+
+  void charge_combine() {
+    kernels::CostOnlyKernel k{
+        "stream_combine",
+        kernels::detail::householder_block_stats(
+            kernels::stacked_geqr2_flops(width_, 2),
+            2.0 * static_cast<double>(width_) * width_,
+            static_cast<double>(width_),
+            (2.0 * 2 * width_ * width_ + width_) * sizeof(T),
+            kernels::cost_params(variant_),
+            dev_->model().uncoalesced_penalty)};
+    dev_->launch(k, 1);
+  }
+
+  gpusim::Device* dev_;
+  idx width_;
+  kernels::ReductionVariant variant_;
+  Matrix<T> r_;
+  idx rows_consumed_ = 0;
+};
+
+}  // namespace caqr::tsqr

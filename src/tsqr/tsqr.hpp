@@ -1,0 +1,221 @@
+#pragma once
+
+// Tall-Skinny QR (TSQR, §II.B) on the simulated GPU.
+//
+// The panel is split vertically into blocks of ~block_rows; each block is
+// factored independently (`factor`), then the per-block R triangles are
+// combined up a reduction tree (`factor_tree`) whose arity defaults to the
+// paper's choice block_rows / width (a quad-tree for 64 x 16 blocks). All
+// state — reflectors from every stage — lives in the panel itself plus the
+// tau arrays recorded in PanelFactor, exactly like the paper's in-place
+// scheme: the tree-level reflectors overwrite the R entries they consume.
+//
+// PanelFactor is the replay script: CAQR's trailing-matrix update and the
+// later apply-Q/form-Q entry points re-walk the same offsets/groups.
+
+#include <algorithm>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "kernels/kernels.hpp"
+#include "linalg/matrix.hpp"
+
+namespace caqr::tsqr {
+
+struct TsqrOptions {
+  idx block_rows = 128;  // H: nominal vertical block height (>= width)
+  // Reduction-tree fan-in; 0 derives the paper's choice max(2, H / W).
+  idx arity = 0;
+  kernels::ReductionVariant variant =
+      kernels::ReductionVariant::RegisterSerialTransposed;
+  // Pre-transpose panels (out-of-place, §IV.E.4). Adds a transpose kernel
+  // per panel; the reduction variant's cost parameters assume the matching
+  // layout. Ignored (no transpose charged) for non-transposed variants.
+  bool transposed_panels = true;
+  // Trailing-matrix tile width for the CAQR update kernels.
+  idx tile_cols = 16;
+
+  idx effective_arity(idx width) const {
+    if (arity >= 2) return arity;
+    const idx derived = width > 0 ? block_rows / width : 2;
+    return derived >= 2 ? derived : 2;
+  }
+};
+
+// Metadata describing one panel's TSQR factorization.
+template <typename T>
+struct PanelFactor {
+  idx rows = 0;   // panel height
+  idx width = 0;  // panel width
+  // Level-0 block decomposition: offsets[b]..offsets[b+1] are block b's rows.
+  std::vector<idx> offsets;
+  std::vector<T> taus0;  // width scalars per block
+  struct Level {
+    // groups[g] lists panel-row offsets of the R triangles combined by
+    // group g (first entry holds the surviving R). Singleton groups are
+    // pass-throughs and carry zero taus.
+    std::vector<std::vector<idx>> groups;
+    std::vector<T> taus;  // width scalars per group
+  };
+  std::vector<Level> levels;
+
+  idx num_blocks() const { return static_cast<idx>(offsets.size()) - 1; }
+};
+
+// Splits `rows` into blocks of ~block_rows with every block >= width:
+// the last block absorbs the remainder (height in [block_rows, 2*block_rows)
+// when there are at least two blocks).
+inline std::vector<idx> split_rows(idx rows, idx block_rows, idx width) {
+  CAQR_CHECK(rows >= width);
+  CAQR_CHECK(block_rows >= width);
+  const idx nblocks = rows / block_rows > 1 ? rows / block_rows : 1;
+  std::vector<idx> offsets;
+  offsets.reserve(static_cast<std::size_t>(nblocks) + 1);
+  for (idx b = 0; b < nblocks; ++b) offsets.push_back(b * block_rows);
+  offsets.push_back(rows);
+  return offsets;
+}
+
+// In-place TSQR factorization of `panel` on `dev`. On return the panel holds
+// R (top width x width, from the tree root at row offset 0) and the
+// distributed reflectors of every stage.
+template <typename T>
+PanelFactor<T> tsqr_factor(gpusim::Device& dev, MatrixView<T> panel,
+                           const TsqrOptions& opt) {
+  const idx rows = panel.rows();
+  const idx width = panel.cols();
+  CAQR_CHECK(rows >= width && width >= 1);
+
+  PanelFactor<T> f;
+  f.rows = rows;
+  f.width = width;
+  f.offsets = split_rows(rows, opt.block_rows, width);
+  const idx nblocks = f.num_blocks();
+  f.taus0.assign(static_cast<std::size_t>(nblocks * width), T(0));
+
+  const auto cost = kernels::cost_params(opt.variant);
+  const bool charge_transpose =
+      opt.transposed_panels &&
+      opt.variant == kernels::ReductionVariant::RegisterSerialTransposed;
+  if (charge_transpose) {
+    kernels::TransposeKernel<T> tk{rows, width, opt.block_rows};
+    dev.launch(tk, tk.num_blocks());
+  }
+
+  kernels::FactorKernel<T> fk{panel, &f.offsets, f.taus0.data(), cost,
+                              dev.model().uncoalesced_penalty,
+                              dev.model().tile_locality_penalty};
+  dev.launch(fk, fk.num_blocks());
+
+  // Reduction tree over the surviving R triangles.
+  std::vector<idx> survivors(f.offsets.begin(), f.offsets.end() - 1);
+  const idx arity = opt.effective_arity(width);
+  while (static_cast<idx>(survivors.size()) > 1) {
+    typename PanelFactor<T>::Level level;
+    std::vector<idx> next;
+    for (std::size_t g = 0; g < survivors.size(); g += static_cast<std::size_t>(arity)) {
+      const std::size_t end =
+          std::min(survivors.size(), g + static_cast<std::size_t>(arity));
+      level.groups.emplace_back(survivors.begin() + static_cast<std::ptrdiff_t>(g),
+                                survivors.begin() + static_cast<std::ptrdiff_t>(end));
+      next.push_back(survivors[g]);
+    }
+    level.taus.assign(level.groups.size() * static_cast<std::size_t>(width), T(0));
+    kernels::FactorTreeKernel<T> tk{panel, &level.groups, level.taus.data(),
+                                    cost, dev.model().uncoalesced_penalty,
+                                    dev.model().tile_locality_penalty};
+    dev.launch(tk, tk.num_blocks());
+    survivors = std::move(next);
+    f.levels.push_back(std::move(level));
+  }
+  return f;
+}
+
+// Applies Q^T (transpose_q) or Q of a factored panel to `c`, which shares
+// the panel's row space (c.rows() == panel.rows()).
+template <typename T>
+void tsqr_apply(gpusim::Device& dev, In<ConstMatrixView<T>> panel,
+                const PanelFactor<T>& f, In<MatrixView<T>> c,
+                const TsqrOptions& opt, bool transpose_q) {
+  CAQR_CHECK(panel.rows() == f.rows && panel.cols() == f.width);
+  CAQR_CHECK(c.rows() == f.rows);
+  if (c.cols() == 0) return;
+  const auto cost = kernels::cost_params(opt.variant);
+  const double pen = dev.model().uncoalesced_penalty;
+  const double tile_pen = dev.model().tile_locality_penalty;
+
+  auto launch_h = [&] {
+    kernels::ApplyQtHKernel<T> k{panel,         &f.offsets, f.taus0.data(), c,
+                                 opt.tile_cols, cost,       pen,
+                                 tile_pen,      false,      transpose_q};
+    dev.launch(k, k.num_blocks());
+  };
+  auto launch_tree = [&](const typename PanelFactor<T>::Level& level) {
+    kernels::ApplyQtTreeKernel<T> k{panel,         &level.groups, level.taus.data(), c,
+                                    opt.tile_cols, cost,          pen,
+                                    tile_pen,      false,         transpose_q};
+    dev.launch(k, k.num_blocks());
+  };
+
+  if (transpose_q) {
+    // Q^T = Q_L^T ... Q_1^T Q_0^T: level 0 first, then up the tree.
+    launch_h();
+    for (const auto& level : f.levels) launch_tree(level);
+  } else {
+    // Q = Q_0 Q_1 ... Q_L: down the tree, level 0 last.
+    for (auto it = f.levels.rbegin(); it != f.levels.rend(); ++it) {
+      launch_tree(*it);
+    }
+    launch_h();
+  }
+}
+
+template <typename T>
+void tsqr_apply_qt(gpusim::Device& dev, In<ConstMatrixView<T>> panel,
+                   const PanelFactor<T>& f, In<MatrixView<T>> c,
+                   const TsqrOptions& opt) {
+  tsqr_apply(dev, panel, f, c, opt, /*transpose_q=*/true);
+}
+
+template <typename T>
+void tsqr_apply_q(gpusim::Device& dev, In<ConstMatrixView<T>> panel,
+                  const PanelFactor<T>& f, In<MatrixView<T>> c,
+                  const TsqrOptions& opt) {
+  tsqr_apply(dev, panel, f, c, opt, /*transpose_q=*/false);
+}
+
+// Convenience single-panel TSQR: factors a copy of `a` and returns
+// (factored storage, metadata). R is the top width x width triangle of the
+// factored storage.
+template <typename T>
+struct TsqrResult {
+  Matrix<T> storage;  // factored panel (reflectors + R)
+  PanelFactor<T> meta;
+
+  Matrix<T> r() const {
+    const idx w = meta.width;
+    Matrix<T> out = Matrix<T>::zeros(w, w);
+    for (idx j = 0; j < w; ++j) {
+      for (idx i = 0; i <= j; ++i) out(i, j) = storage(i, j);
+    }
+    return out;
+  }
+
+  // Explicit thin Q (rows x width).
+  Matrix<T> form_q(gpusim::Device& dev, const TsqrOptions& opt) const {
+    Matrix<T> q = Matrix<T>::identity(meta.rows, meta.width);
+    tsqr_apply_q(dev, storage.view(), meta, q.view(), opt);
+    return q;
+  }
+};
+
+template <typename VA>
+TsqrResult<view_scalar_t<VA>> tsqr(gpusim::Device& dev, const VA& a,
+                                   const TsqrOptions& opt = {}) {
+  using T = view_scalar_t<VA>;
+  TsqrResult<T> out{Matrix<T>::from(cview(a)), {}};
+  out.meta = tsqr_factor(dev, out.storage.view(), opt);
+  return out;
+}
+
+}  // namespace caqr::tsqr

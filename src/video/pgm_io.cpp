@@ -1,0 +1,149 @@
+#include "video/pgm_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace caqr::video {
+
+namespace {
+
+// Reads the next token, skipping whitespace and '#' comment lines.
+bool next_token(FILE* f, std::string& tok) {
+  tok.clear();
+  int c = std::fgetc(f);
+  for (;;) {
+    while (c != EOF && std::isspace(c)) c = std::fgetc(f);
+    if (c == '#') {
+      while (c != EOF && c != '\n') c = std::fgetc(f);
+      continue;
+    }
+    break;
+  }
+  if (c == EOF) return false;
+  while (c != EOF && !std::isspace(c)) {
+    tok.push_back(static_cast<char>(c));
+    c = std::fgetc(f);
+  }
+  return !tok.empty();
+}
+
+bool parse_nonneg(const std::string& tok, long long& value) {
+  if (tok.empty()) return false;
+  value = 0;
+  for (const char c : tok) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    value = value * 10 + (c - '0');
+    if (value > (1LL << 30)) return false;
+  }
+  return true;
+}
+
+bool parse_positive(const std::string& tok, long long& value) {
+  return parse_nonneg(tok, value) && value > 0;
+}
+
+}  // namespace
+
+bool read_pgm(const std::string& path, PgmImage& out) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+
+  std::string tok;
+  bool ok = next_token(f, tok) && (tok == "P2" || tok == "P5");
+  const bool binary = tok == "P5";
+  long long width = 0, height = 0, maxval = 0;
+  ok = ok && next_token(f, tok) && parse_positive(tok, width);
+  ok = ok && next_token(f, tok) && parse_positive(tok, height);
+  ok = ok && next_token(f, tok) && parse_positive(tok, maxval) && maxval <= 255;
+  if (!ok) {
+    std::fclose(f);
+    return false;
+  }
+
+  PgmImage img;
+  img.width = static_cast<idx>(width);
+  img.height = static_cast<idx>(height);
+  img.pixels.resize(static_cast<std::size_t>(width * height));
+  const float scale = 1.0f / static_cast<float>(maxval);
+
+  if (binary) {
+    // P5: exactly one whitespace after maxval, then raw bytes.
+    std::vector<unsigned char> raw(img.pixels.size());
+    ok = std::fread(raw.data(), 1, raw.size(), f) == raw.size();
+    if (ok) {
+      for (std::size_t i = 0; i < raw.size(); ++i) {
+        img.pixels[i] = static_cast<float>(raw[i]) * scale;
+      }
+    }
+  } else {
+    for (std::size_t i = 0; ok && i < img.pixels.size(); ++i) {
+      long long v = 0;
+      ok = next_token(f, tok) && parse_nonneg(tok, v) && v <= maxval;
+      if (ok) img.pixels[i] = static_cast<float>(v) * scale;
+    }
+  }
+  std::fclose(f);
+  if (ok) out = std::move(img);
+  return ok;
+}
+
+bool write_pgm(const std::string& path, const PgmImage& img, bool binary) {
+  CAQR_CHECK(img.width >= 1 && img.height >= 1);
+  CAQR_CHECK(static_cast<idx>(img.pixels.size()) == img.width * img.height);
+  FILE* f = std::fopen(path.c_str(), binary ? "wb" : "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "%s\n%lld %lld\n255\n", binary ? "P5" : "P2",
+               static_cast<long long>(img.width),
+               static_cast<long long>(img.height));
+  bool ok = true;
+  if (binary) {
+    std::vector<unsigned char> raw(img.pixels.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      const float v = std::clamp(img.pixels[i], 0.0f, 1.0f);
+      raw[i] = static_cast<unsigned char>(v * 255.0f + 0.5f);
+    }
+    ok = std::fwrite(raw.data(), 1, raw.size(), f) == raw.size();
+  } else {
+    for (idx y = 0; ok && y < img.height; ++y) {
+      for (idx x = 0; x < img.width; ++x) {
+        const float v = std::clamp(img.at(y, x), 0.0f, 1.0f);
+        ok = std::fprintf(f, "%d ", static_cast<int>(v * 255.0f + 0.5f)) > 0;
+      }
+      std::fprintf(f, "\n");
+    }
+  }
+  return std::fclose(f) == 0 && ok;
+}
+
+void frame_to_column(const PgmImage& img, MatrixView<float> matrix, idx col) {
+  CAQR_CHECK(matrix.rows() == img.width * img.height);
+  CAQR_CHECK(col >= 0 && col < matrix.cols());
+  float* dst = matrix.col(col);
+  for (idx x = 0; x < img.width; ++x) {
+    for (idx y = 0; y < img.height; ++y) {
+      dst[y + x * img.height] = img.at(y, x);
+    }
+  }
+}
+
+PgmImage column_to_frame(ConstMatrixView<float> matrix, idx col, idx height,
+                         idx width) {
+  CAQR_CHECK(matrix.rows() == height * width);
+  CAQR_CHECK(col >= 0 && col < matrix.cols());
+  PgmImage img;
+  img.height = height;
+  img.width = width;
+  img.pixels.resize(static_cast<std::size_t>(height * width));
+  const float* src = matrix.col(col);
+  for (idx x = 0; x < width; ++x) {
+    for (idx y = 0; y < height; ++y) {
+      img.at(y, x) = src[y + x * height];
+    }
+  }
+  return img;
+}
+
+}  // namespace caqr::video

@@ -1,0 +1,41 @@
+#pragma once
+
+// Minimal PGM (portable graymap) image IO for the video pipeline: lets the
+// background-subtraction example consume real frames and write its
+// decomposition as viewable images. Supports P2 (ASCII) and P5 (binary),
+// 8-bit depth; pixel values map to [0, 1] floats.
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace caqr::video {
+
+struct PgmImage {
+  idx height = 0;
+  idx width = 0;
+  std::vector<float> pixels;  // row-major, [0, 1]
+
+  float& at(idx y, idx x) {
+    return pixels[static_cast<std::size_t>(y * width + x)];
+  }
+  float at(idx y, idx x) const {
+    return pixels[static_cast<std::size_t>(y * width + x)];
+  }
+};
+
+// Returns false (and leaves `out` untouched) on malformed input or IO error.
+bool read_pgm(const std::string& path, PgmImage& out);
+
+// `binary` selects P5 vs P2. Returns false on IO error.
+bool write_pgm(const std::string& path, const PgmImage& img,
+               bool binary = true);
+
+// Frame <-> video-matrix column conversion, matching the generator's packing
+// (column-major within the frame: pixel (y, x) -> row y + x * height).
+void frame_to_column(const PgmImage& img, MatrixView<float> matrix, idx col);
+PgmImage column_to_frame(ConstMatrixView<float> matrix, idx col, idx height,
+                         idx width);
+
+}  // namespace caqr::video

@@ -1,0 +1,132 @@
+#include "video/video.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace caqr::video {
+
+namespace {
+
+struct Blob {
+  double x, y;    // center, in pixels
+  double vx, vy;  // pixels per frame
+  double half;    // half edge length
+  float intensity;
+};
+
+}  // namespace
+
+SyntheticVideo generate_video(const VideoSpec& spec) {
+  CAQR_CHECK(spec.height >= 4 && spec.width >= 4 && spec.frames >= 1);
+  const idx pixels = spec.pixels();
+
+  SyntheticVideo out{spec, Matrix<float>(pixels, spec.frames),
+                     Matrix<float>(pixels, spec.frames), {}};
+  out.foreground_mask.assign(
+      static_cast<std::size_t>(spec.frames),
+      std::vector<std::uint8_t>(static_cast<std::size_t>(pixels), 0));
+
+  // Static background: smooth gradient + fixed pseudo-texture.
+  std::vector<float> bg(static_cast<std::size_t>(pixels));
+  {
+    Rng rng(spec.seed, 1);
+    for (idx x = 0; x < spec.width; ++x) {
+      for (idx y = 0; y < spec.height; ++y) {
+        const double gx = static_cast<double>(x) / spec.width;
+        const double gy = static_cast<double>(y) / spec.height;
+        const double texture = 0.05 * std::sin(0.7 * x) * std::cos(1.3 * y);
+        bg[static_cast<std::size_t>(y + x * spec.height)] =
+            static_cast<float>(0.4 + 0.3 * gx + 0.2 * gy + texture +
+                               0.02 * rng.next_double());
+      }
+    }
+  }
+
+  // Foreground blobs with straight-line trajectories (wrap-around).
+  std::vector<Blob> blobs;
+  {
+    Rng rng(spec.seed, 2);
+    const double half = 0.5 * spec.blob_size * spec.height;
+    for (idx b = 0; b < spec.num_blobs; ++b) {
+      Blob blob;
+      blob.x = rng.uniform(half, spec.width - half);
+      blob.y = rng.uniform(half, spec.height - half);
+      blob.vx = rng.uniform(-3.0, 3.0);
+      blob.vy = rng.uniform(-2.0, 2.0);
+      blob.half = half;
+      blob.intensity = static_cast<float>(rng.uniform(0.35, 0.6));
+      blobs.push_back(blob);
+    }
+  }
+
+  Rng noise(spec.seed, 3);
+  for (idx f = 0; f < spec.frames; ++f) {
+    const double gain =
+        1.0 + spec.illumination_drift *
+                  std::sin(2.0 * 3.14159265358979 * f / spec.frames);
+    float* frame = out.matrix.view().col(f);
+    float* truth_bg = out.background.view().col(f);
+    auto& mask = out.foreground_mask[static_cast<std::size_t>(f)];
+
+    for (idx p = 0; p < pixels; ++p) {
+      truth_bg[p] = static_cast<float>(gain * bg[static_cast<std::size_t>(p)]);
+      frame[p] = truth_bg[p] +
+                 static_cast<float>(spec.noise_sigma * noise.normal());
+    }
+
+    for (const Blob& blob : blobs) {
+      const double cx = std::fmod(blob.x + blob.vx * f + 10.0 * spec.width,
+                                  static_cast<double>(spec.width));
+      const double cy = std::fmod(blob.y + blob.vy * f + 10.0 * spec.height,
+                                  static_cast<double>(spec.height));
+      const idx x0 = std::max<idx>(0, static_cast<idx>(cx - blob.half));
+      const idx x1 = std::min<idx>(spec.width - 1,
+                                   static_cast<idx>(cx + blob.half));
+      const idx y0 = std::max<idx>(0, static_cast<idx>(cy - blob.half));
+      const idx y1 = std::min<idx>(spec.height - 1,
+                                   static_cast<idx>(cy + blob.half));
+      for (idx x = x0; x <= x1; ++x) {
+        for (idx y = y0; y <= y1; ++y) {
+          const idx p = y + x * spec.height;
+          frame[p] = blob.intensity;
+          mask[static_cast<std::size_t>(p)] = 1;
+        }
+      }
+    }
+
+    for (idx p = 0; p < pixels; ++p) {
+      frame[p] = std::clamp(frame[p], 0.0f, 1.0f);
+    }
+  }
+  return out;
+}
+
+SeparationQuality evaluate_separation(const SyntheticVideo& truth,
+                                      ConstMatrixView<float> sparse,
+                                      float threshold) {
+  CAQR_CHECK(sparse.rows() == truth.spec.pixels());
+  CAQR_CHECK(sparse.cols() == truth.spec.frames);
+  long long tp = 0, fp = 0, fn = 0;
+  for (idx f = 0; f < truth.spec.frames; ++f) {
+    const float* col = sparse.col(f);
+    const auto& mask = truth.foreground_mask[static_cast<std::size_t>(f)];
+    for (idx p = 0; p < truth.spec.pixels(); ++p) {
+      const bool detected = std::fabs(col[p]) > threshold;
+      const bool actual = mask[static_cast<std::size_t>(p)] != 0;
+      if (detected && actual) ++tp;
+      else if (detected && !actual) ++fp;
+      else if (!detected && actual) ++fn;
+    }
+  }
+  SeparationQuality q;
+  q.precision = tp + fp > 0 ? static_cast<double>(tp) / (tp + fp) : 0.0;
+  q.recall = tp + fn > 0 ? static_cast<double>(tp) / (tp + fn) : 0.0;
+  q.f1 = q.precision + q.recall > 0
+             ? 2.0 * q.precision * q.recall / (q.precision + q.recall)
+             : 0.0;
+  return q;
+}
+
+}  // namespace caqr::video

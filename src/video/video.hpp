@@ -1,0 +1,59 @@
+#pragma once
+
+// Synthetic stationary-surveillance-video generator (substitute for the
+// ViSOR clip of §VI.D, per DESIGN.md): a static background plus moving
+// sparse foreground blobs plus sensor noise. Robust PCA needs exactly this
+// structure — low-rank background, sparse foreground — with controllable
+// size, so the synthetic source preserves the experiment's behaviour.
+//
+// Frames are packed one-per-column into a (pixels x frames) matrix, the
+// paper's video-matrix layout (§I: "each column contains all pixels in a
+// frame").
+
+#include <cstdint>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "linalg/matrix.hpp"
+
+namespace caqr::video {
+
+struct VideoSpec {
+  idx height = 288;       // paper's frame height
+  idx width = 384;        // paper's frame width
+  idx frames = 100;       // paper's clip length
+  idx num_blobs = 3;      // moving foreground objects
+  double blob_size = 0.08;   // blob edge as a fraction of frame height
+  double noise_sigma = 0.01; // sensor noise std-dev (pixel range [0, 1])
+  double illumination_drift = 0.02;  // slow global gain variation
+  std::uint64_t seed = 42;
+
+  idx pixels() const { return height * width; }
+};
+
+struct SyntheticVideo {
+  VideoSpec spec;
+  Matrix<float> matrix;       // pixels x frames (observed)
+  Matrix<float> background;   // pixels x frames (ground-truth low rank)
+  std::vector<std::vector<std::uint8_t>> foreground_mask;  // per frame, pixels
+};
+
+// Deterministic synthetic clip. The background is a smooth 2-D gradient with
+// fixed texture; blobs follow straight-line paths with per-blob velocity;
+// illumination drift makes the background genuinely (numerically) rank > 1
+// but still effectively low rank.
+SyntheticVideo generate_video(const VideoSpec& spec);
+
+// Foreground/background separation quality: pixel-level F1 of
+// |sparse| > threshold against the ground-truth foreground mask.
+struct SeparationQuality {
+  double precision = 0;
+  double recall = 0;
+  double f1 = 0;
+};
+
+SeparationQuality evaluate_separation(const SyntheticVideo& truth,
+                                      ConstMatrixView<float> sparse,
+                                      float threshold);
+
+}  // namespace caqr::video

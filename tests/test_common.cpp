@@ -1,0 +1,192 @@
+// Tests for the common substrate: thread pool, PRNG, stats, tables, CLI.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+#include "common/cli.hpp"
+#include "common/prng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+
+namespace caqr {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 10'000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(kCount, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, GrainBatchingCoversAllIndices) {
+  ThreadPool pool(3);
+  constexpr std::size_t kCount = 1003;  // deliberately not a grain multiple
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(
+      kCount,
+      [&](std::size_t i) { hits[i].fetch_add(1, std::memory_order_relaxed); },
+      /*grain=*/7);
+  for (std::size_t i = 0; i < kCount; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, ZeroAndSingleItemWork) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ResultIndependentOfThreadCount) {
+  // Deterministic because items write disjoint slots.
+  constexpr std::size_t kCount = 4096;
+  auto run = [&](std::size_t threads) {
+    ThreadPool pool(threads);
+    std::vector<double> out(kCount);
+    pool.parallel_for(kCount, [&](std::size_t i) {
+      out[i] = std::sin(static_cast<double>(i)) * 3.0;
+    });
+    return out;
+  };
+  const auto a = run(1);
+  const auto b = run(5);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ThreadPool, ManyConsecutiveJobsDoNotDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.parallel_for(17, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 200u * 17u);
+}
+
+TEST(AlignedBuffer, AlignmentAndMove) {
+  AlignedBuffer<float> buf(100);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kCacheLineBytes, 0u);
+  buf[0] = 1.5f;
+  buf[99] = -2.5f;
+  AlignedBuffer<float> moved = std::move(buf);
+  EXPECT_EQ(moved[0], 1.5f);
+  EXPECT_EQ(moved[99], -2.5f);
+  EXPECT_EQ(buf.data(), nullptr);
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(Rng, DeterministicStreams) {
+  Rng a(42, 0), b(42, 0), c(42, 1);
+  for (int i = 0; i < 100; ++i) {
+    const auto x = a.next_u64();
+    EXPECT_EQ(x, b.next_u64());
+  }
+  // Different streams diverge immediately with overwhelming probability.
+  Rng a2(42, 0);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a2.next_u64() == c.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformBoundsAndCoverage) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 3000; ++i) {
+    const auto v = rng.next_below(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  Rng rng(123);
+  const int n = 200'000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats s;
+  for (int i = 1; i <= 5; ++i) s.add(i);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.5);  // sample variance of 1..5
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(TextTable, AlignedOutputAndCsv) {
+  TextTable t({"name", "value"});
+  t.cell("alpha").cell(1.25, 2).end_row();
+  t.cell("b").cell(100LL).end_row();
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.25"), std::string::npos);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("name,value"), std::string::npos);
+  EXPECT_NE(csv.find("b,100"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Format, DoubleAndUnits) {
+  EXPECT_EQ(format_double(1.5, 2), "1.50");
+  EXPECT_NE(format_double(1e-9, 2).find("e"), std::string::npos);
+  EXPECT_EQ(format_bytes(2048.0), "2.00 KB");
+  EXPECT_EQ(format_flops(388e9), "388.0 GFLOP/s");
+}
+
+TEST(Cli, ParsesFlagsAndPositionals) {
+  const char* argv[] = {"prog", "--m=100", "--name", "x",  "pos1",
+                        "--flag", "--ratio=2.5"};
+  CliArgs args(7, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_int("m", 0), 100);
+  EXPECT_EQ(args.get("name", ""), "x");
+  EXPECT_TRUE(args.get_bool("flag", false));
+  EXPECT_DOUBLE_EQ(args.get_double("ratio", 0.0), 2.5);
+  EXPECT_EQ(args.get_int("absent", -7), -7);
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+}
+
+}  // namespace
+}  // namespace caqr

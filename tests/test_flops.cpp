@@ -1,0 +1,124 @@
+// Property tests for the operation-count functions and the flop-reporting
+// conventions: closed forms vs independent formulas, monotonicity, and the
+// standard LAPACK counts used for GFLOP/s reporting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/block_ops.hpp"
+#include "linalg/flops.hpp"
+
+namespace caqr {
+namespace {
+
+using kernels::block_apply_qt_flops;
+using kernels::block_geqr2_flops;
+using kernels::stacked_apply_qt_flops;
+using kernels::stacked_geqr2_flops;
+
+TEST(GeqrfFlops, MatchesTextbookFormula) {
+  // 2mn^2 - (2/3)n^3 for tall matrices.
+  EXPECT_DOUBLE_EQ(geqrf_flop_count(1000, 100),
+                   2.0 * 1000 * 100 * 100 - (2.0 / 3.0) * 100 * 100 * 100);
+  // Square: (4/3)n^3.
+  EXPECT_NEAR(geqrf_flop_count(64, 64), (4.0 / 3.0) * 64.0 * 64 * 64, 1e-6);
+  // Wide matrices mirror the formula with m and n swapped roles.
+  EXPECT_DOUBLE_EQ(geqrf_flop_count(100, 1000), geqrf_flop_count(1000, 100));
+}
+
+TEST(GeqrfFlops, MonotoneInBothDimensions) {
+  EXPECT_LT(geqrf_flop_count(1000, 50), geqrf_flop_count(2000, 50));
+  EXPECT_LT(geqrf_flop_count(1000, 50), geqrf_flop_count(1000, 60));
+}
+
+TEST(GemmFlops, Basic) {
+  EXPECT_DOUBLE_EQ(gemm_flop_count(3, 4, 5), 120.0);
+  EXPECT_DOUBLE_EQ(gemm_flop_count(0, 4, 5), 0.0);
+}
+
+TEST(BlockGeqr2Flops, AsymptoticMatchesLapackCount) {
+  // The data-oblivious kernel count must track 2mn^2 - (2/3)n^3 to within
+  // the lower-order terms (generation cost, the -2 per column).
+  for (const idx m : {256, 1024, 4096}) {
+    for (const idx n : {8, 16, 32}) {
+      const double exact = block_geqr2_flops(m, n);
+      const double lapack = geqrf_flop_count(m, n);
+      EXPECT_NEAR(exact / lapack, 1.0, 0.08) << m << "x" << n;
+    }
+  }
+}
+
+TEST(BlockGeqr2Flops, EdgeCases) {
+  EXPECT_DOUBLE_EQ(block_geqr2_flops(1, 1), 0.0);   // nothing to eliminate
+  EXPECT_DOUBLE_EQ(block_geqr2_flops(0, 0), 0.0);
+  EXPECT_GT(block_geqr2_flops(2, 1), 0.0);
+  // Square block: last column has a length-1 reflector (tau = 0, free).
+  EXPECT_DOUBLE_EQ(block_geqr2_flops(4, 4) - block_geqr2_flops(4, 3),
+                   0.0 + (block_geqr2_flops(4, 4) - block_geqr2_flops(4, 3)));
+}
+
+TEST(BlockGeqr2Flops, StrictlyMonotone) {
+  for (idx m = 8; m <= 64; m *= 2) {
+    EXPECT_LT(block_geqr2_flops(m, 4), block_geqr2_flops(2 * m, 4));
+    EXPECT_LT(block_geqr2_flops(m, 4), block_geqr2_flops(m, 5));
+  }
+}
+
+TEST(BlockApplyQtFlops, LinearInTrailingColumns) {
+  const double one = block_apply_qt_flops(128, 16, 1);
+  for (const idx nc : {2, 5, 16, 33}) {
+    EXPECT_DOUBLE_EQ(block_apply_qt_flops(128, 16, nc),
+                     one * static_cast<double>(nc));
+  }
+  EXPECT_DOUBLE_EQ(block_apply_qt_flops(128, 16, 0), 0.0);
+}
+
+TEST(StackedFlops, ReduceToZeroForSingletonStack) {
+  EXPECT_DOUBLE_EQ(stacked_geqr2_flops(16, 1), 0.0);
+  EXPECT_DOUBLE_EQ(stacked_apply_qt_flops(16, 1, 10), 0.0);
+}
+
+TEST(StackedFlops, GrowWithFanInAndWidth) {
+  EXPECT_LT(stacked_geqr2_flops(16, 2), stacked_geqr2_flops(16, 4));
+  EXPECT_LT(stacked_geqr2_flops(8, 4), stacked_geqr2_flops(16, 4));
+  EXPECT_LT(stacked_apply_qt_flops(16, 2, 4), stacked_apply_qt_flops(16, 4, 4));
+}
+
+TEST(StackedFlops, StructuredSavingFactorApproachesOneThird) {
+  // For a stack of k triangles, structured QR does ~(1/3) the flops of the
+  // dense QR of the same (kw x w) matrix as w grows (triangle vs full
+  // columns), modulo lower-order terms.
+  const idx w = 64, k = 4;
+  const double ratio = stacked_geqr2_flops(w, k) / block_geqr2_flops(k * w, w);
+  EXPECT_GT(ratio, 0.25);
+  EXPECT_LT(ratio, 0.55);
+}
+
+TEST(TsqrTotalFlops, TreeOverheadIsSmallForTallPanels) {
+  // TSQR total = leaf factors + combines; for m >> w the combine flops are
+  // a vanishing fraction — the "extra work" CAQR trades for communication.
+  const idx w = 16, h = 64, m = 1 << 20;
+  const idx leaves = m / h;
+  const double leaf_flops = static_cast<double>(leaves) * block_geqr2_flops(h, w);
+  double combine_flops = 0;
+  idx survivors = leaves;
+  while (survivors > 1) {
+    const idx groups = (survivors + 3) / 4;
+    // Full groups of 4 dominate; count them all as fan-in 4 (upper bound).
+    combine_flops += static_cast<double>(groups) * stacked_geqr2_flops(w, 4);
+    survivors = groups;
+  }
+  EXPECT_LT(combine_flops / leaf_flops, 0.25);
+  EXPECT_GT(combine_flops, 0.0);
+}
+
+TEST(TallSkinnySvdFlops, DominatedByQrForPaperShape) {
+  const double total = tall_skinny_svd_flop_count(110592, 100);
+  const double qr = geqrf_flop_count(110592, 100);
+  EXPECT_GT(qr / total, 0.45);
+  EXPECT_LT(qr / total, 0.75);
+}
+
+}  // namespace
+}  // namespace caqr

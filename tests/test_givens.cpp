@@ -1,0 +1,109 @@
+// Tests for Givens-rotation QR and the triangular condition estimator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "caqr/caqr.hpp"
+#include "linalg/givens.hpp"
+#include "linalg/norms.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/random_matrix.hpp"
+#include "linalg/svd.hpp"
+
+namespace caqr {
+namespace {
+
+TEST(Givens, RotationZeroesSecondComponent) {
+  for (const auto& [a, b] : {std::pair<double, double>{3, 4},
+                            {-3, 4}, {3, -4}, {1e-30, 1.0}, {1.0, 1e-30},
+                            {5, 0}, {0, 5}}) {
+    double r;
+    const auto g = make_givens(a, b, r);
+    // [c s; -s c]^T acting as rows: c*a + s*b = r; -s*a + c*b = 0.
+    EXPECT_NEAR(g.c * a + g.s * b, r, 1e-14 * (std::fabs(r) + 1));
+    EXPECT_NEAR(-g.s * a + g.c * b, 0.0, 1e-14 * (std::fabs(a) + std::fabs(b)));
+    EXPECT_NEAR(g.c * g.c + g.s * g.s, 1.0, 1e-14);
+    EXPECT_NEAR(std::fabs(r), std::hypot(a, b), 1e-14 * std::hypot(a, b));
+  }
+}
+
+TEST(Givens, RotationAvoidsOverflow) {
+  double r;
+  const auto g = make_givens(1e300, 1e300, r);
+  EXPECT_TRUE(std::isfinite(g.c) && std::isfinite(g.s));
+  EXPECT_TRUE(std::isfinite(r));
+}
+
+TEST(GivensQr, FactorizationInvariants) {
+  for (const auto& [m, n] : {std::pair<idx, idx>{20, 8}, {50, 50}, {13, 5}}) {
+    auto a0 = gaussian_matrix<double>(m, n, 83);
+    auto a = a0.clone();
+    auto q = givens_qr(a.view());
+    // R upper triangular (below-diagonal exactly zeroed).
+    for (idx j = 0; j < n; ++j) {
+      for (idx i = j + 1; i < std::min(m, n); ++i) {
+        ASSERT_EQ(a(i, j), 0.0);
+      }
+    }
+    EXPECT_LT(orthogonality_error(q.view()), 1e-13);
+    auto r = extract_r(a.view());
+    EXPECT_LT(factorization_residual(a0.view(), q.view(), r.view()), 1e-13);
+  }
+}
+
+TEST(GivensQr, RMatchesHouseholderUpToSigns) {
+  auto a0 = gaussian_matrix<double>(40, 12, 85);
+  auto ag = a0.clone();
+  auto q = givens_qr(ag.view());
+  (void)q;
+  auto ah = a0.clone();
+  std::vector<double> tau(12);
+  geqrf(ah.view(), tau.data());
+  EXPECT_LT(r_factor_difference(extract_r(ah.view()).view(),
+                                extract_r(ag.view()).view()),
+            1e-12);
+}
+
+TEST(CondEstimate, ExactForDiagonal) {
+  auto r = Matrix<double>::zeros(4, 4);
+  r(0, 0) = 8;
+  r(1, 1) = 4;
+  r(2, 2) = 2;
+  r(3, 3) = 1e-2;
+  // kappa_1 of a diagonal matrix = max|d| / min|d|.
+  EXPECT_NEAR(condition_estimate_upper(r.view()), 800.0, 1e-9);
+}
+
+TEST(CondEstimate, TracksTrueConditionNumber) {
+  // Compare against the SVD condition number of R from a matrix with a
+  // prescribed spectrum; the 1-norm estimate is within a factor ~n of
+  // kappa_2 and must never underestimate grossly.
+  for (const double cond : {1e2, 1e5, 1e8}) {
+    auto a = matrix_with_condition<double>(300, 12, cond, 87);
+    gpusim::Device dev;
+    auto f = caqr_factor(dev, a.view());
+    auto r = f.r();
+    const double est = condition_estimate_upper(
+        r.view().block(0, 0, 12, 12).as_const()
+        );
+    EXPECT_GT(est, 0.3 * cond) << cond;
+    EXPECT_LT(est, 50.0 * cond) << cond;
+  }
+}
+
+TEST(CondEstimate, SingularMatrixGivesInfinity) {
+  auto r = Matrix<double>::identity(3, 3);
+  r(1, 1) = 0.0;
+  EXPECT_TRUE(std::isinf(condition_estimate_upper(r.view())));
+}
+
+TEST(CondEstimate, WellConditionedNearOne) {
+  auto r = Matrix<double>::identity(8, 8);
+  EXPECT_NEAR(condition_estimate_upper(r.view()), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace caqr

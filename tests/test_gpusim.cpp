@@ -1,0 +1,285 @@
+// Tests for the GPU simulator: machine models, launch timing arithmetic,
+// timeline aggregation, and Functional / ModelOnly equivalence.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "gpusim/report.hpp"
+#include "kernels/kernels.hpp"
+#include "linalg/random_matrix.hpp"
+
+namespace caqr {
+namespace {
+
+using gpusim::BlockStats;
+using gpusim::Device;
+using gpusim::ExecMode;
+using gpusim::GpuMachineModel;
+using gpusim::PcieModel;
+
+TEST(MachineModel, C2050Peak) {
+  const auto m = GpuMachineModel::c2050();
+  // 14 SMs x 32 lanes x 1.15 GHz x 2 (FMA) = 1.03 TFLOP/s.
+  EXPECT_NEAR(m.peak_flops(), 1.0304e12, 1e9);
+  EXPECT_DOUBLE_EQ(m.dram_bw_gbs, 144.0);
+}
+
+TEST(MachineModel, Gtx480FasterThanC2050) {
+  const auto a = GpuMachineModel::c2050();
+  const auto b = GpuMachineModel::gtx480();
+  EXPECT_GT(b.peak_flops(), a.peak_flops());
+  EXPECT_GT(b.dram_bw_gbs, a.dram_bw_gbs);
+}
+
+TEST(MachineModel, PcieTransferTime) {
+  PcieModel link;
+  // Latency only for a zero-byte transfer.
+  EXPECT_NEAR(link.transfer_seconds(0), 15e-6, 1e-12);
+  // 5 GB at 5 GB/s = 1 s plus latency.
+  EXPECT_NEAR(link.transfer_seconds(5e9), 1.0 + 15e-6, 1e-9);
+}
+
+// A compute-bound launch: time = launch overhead + cycles / (SMs * clock).
+TEST(Device, ComputeBoundLaunchTiming) {
+  auto model = GpuMachineModel::c2050();
+  Device dev(model, ExecMode::ModelOnly);
+
+  BlockStats s;
+  s.flops = 1000;
+  s.issue_cycles = 1e6;  // dominates
+  kernels::CostOnlyKernel k{"k", s};
+  dev.launch(k, 28);  // 2 blocks per SM
+
+  const double cycles = 1e6 * model.issue_stall_factor;
+  const double expect =
+      model.kernel_launch_us * 1e-6 + 28.0 * cycles / 14.0 / model.clock_hz();
+  EXPECT_NEAR(dev.elapsed_seconds(), expect, expect * 1e-12);
+}
+
+// A memory-bound launch: time = launch overhead + bytes / bandwidth.
+TEST(Device, MemoryBoundLaunchTiming) {
+  auto model = GpuMachineModel::c2050();
+  Device dev(model, ExecMode::ModelOnly);
+
+  BlockStats s;
+  s.gmem_bytes = 144e9 / 100.0;  // exactly 10 ms of DRAM traffic per block
+  kernels::CostOnlyKernel k{"k", s};
+  dev.launch(k, 1);
+  EXPECT_NEAR(dev.elapsed_seconds(), model.kernel_launch_us * 1e-6 + 0.01,
+              1e-9);
+}
+
+// The latency floor: one huge block cannot be spread over SMs.
+TEST(Device, LatencyFloorForFewBlocks) {
+  auto model = GpuMachineModel::c2050();
+  model.issue_stall_factor = 1.0;
+  Device dev(model, ExecMode::ModelOnly);
+
+  BlockStats s;
+  s.issue_cycles = 1e6;
+  kernels::CostOnlyKernel k{"k", s};
+  dev.launch(k, 1);  // one block: 13 of 14 SMs idle
+
+  const double expect =
+      model.kernel_launch_us * 1e-6 + 1e6 / model.clock_hz();
+  EXPECT_NEAR(dev.elapsed_seconds(), expect, expect * 1e-12);
+
+  // 14 such blocks take the same core time (perfect spread)...
+  Device dev14(model, ExecMode::ModelOnly);
+  dev14.launch(k, 14);
+  EXPECT_NEAR(dev14.elapsed_seconds(), expect, expect * 1e-12);
+}
+
+TEST(Device, SyncAndSmemCyclesCharged) {
+  auto model = GpuMachineModel::c2050();
+  model.issue_stall_factor = 1.0;
+  Device dev(model, ExecMode::ModelOnly);
+  BlockStats s;
+  s.issue_cycles = 100;
+  s.smem_accesses = 50;
+  s.syncs = 2;
+  kernels::CostOnlyKernel k{"k", s};
+  dev.launch(k, 14);
+  const double cycles = 100 + 50 * model.smem_cycles_per_access +
+                        2 * model.sync_cycles;
+  EXPECT_NEAR(dev.elapsed_seconds(),
+              model.kernel_launch_us * 1e-6 + cycles / model.clock_hz(),
+              1e-15);
+}
+
+TEST(Device, ProfilesAggregateByKernelName) {
+  Device dev(GpuMachineModel::c2050(), ExecMode::ModelOnly);
+  BlockStats s;
+  s.flops = 10;
+  s.issue_cycles = 10;
+  kernels::CostOnlyKernel a{"alpha", s};
+  kernels::CostOnlyKernel b{"beta", s};
+  dev.launch(a, 3);
+  dev.launch(a, 2);
+  dev.launch(b, 1);
+
+  const auto* pa = dev.profile("alpha");
+  ASSERT_NE(pa, nullptr);
+  EXPECT_EQ(pa->launches, 2);
+  EXPECT_EQ(pa->blocks, 5);
+  EXPECT_DOUBLE_EQ(pa->flops, 50);
+  const auto* pb = dev.profile("beta");
+  ASSERT_NE(pb, nullptr);
+  EXPECT_EQ(pb->launches, 1);
+  EXPECT_EQ(dev.profiles().size(), 2u);
+  EXPECT_EQ(dev.profile("gamma"), nullptr);
+
+  const double total = pa->seconds + pb->seconds;
+  EXPECT_NEAR(dev.elapsed_seconds(), total, 1e-15);
+
+  dev.reset_timeline();
+  EXPECT_EQ(dev.elapsed_seconds(), 0.0);
+  EXPECT_TRUE(dev.profiles().empty());
+}
+
+TEST(Device, TransferAndExternalTime) {
+  Device dev(GpuMachineModel::c2050(), ExecMode::ModelOnly);
+  dev.transfer(1e9);  // 1 GB over PCIe at 5 GB/s
+  EXPECT_NEAR(dev.elapsed_seconds(), 0.2 + 15e-6, 1e-9);
+  dev.add_external_seconds(0.5, "cpu_svd");
+  EXPECT_NEAR(dev.elapsed_seconds(), 0.7 + 15e-6, 1e-9);
+  EXPECT_NE(dev.profile("cpu_svd"), nullptr);
+  EXPECT_NE(dev.profile("pcie_transfer"), nullptr);
+}
+
+TEST(Device, ZeroBlockLaunchIsFree) {
+  Device dev(GpuMachineModel::c2050(), ExecMode::ModelOnly);
+  kernels::CostOnlyKernel k{"k", BlockStats{}};
+  dev.launch(k, 0);
+  EXPECT_EQ(dev.elapsed_seconds(), 0.0);
+}
+
+// ModelOnly must produce the identical timeline to Functional, since
+// block_stats is the only input to the simulated clock.
+TEST(Device, FunctionalAndModelOnlyTimelinesMatch) {
+  auto run = [&](ExecMode mode) {
+    Device dev(GpuMachineModel::c2050(), mode);
+    auto a = gaussian_matrix<float>(256, 16, 3);
+    std::vector<idx> offsets = {0, 64, 128, 192, 256};
+    std::vector<float> taus(4 * 16, 0.0f);
+    kernels::FactorKernel<float> k{
+        a.view(), &offsets, taus.data(),
+        kernels::cost_params(
+            kernels::ReductionVariant::RegisterSerialTransposed),
+        8.0};
+    dev.launch(k, k.num_blocks());
+    return dev.elapsed_seconds();
+  };
+  const double t_func = run(ExecMode::Functional);
+  const double t_model = run(ExecMode::ModelOnly);
+  EXPECT_DOUBLE_EQ(t_func, t_model);
+}
+
+TEST(Device, GFlopsReporting) {
+  Device dev(GpuMachineModel::c2050(), ExecMode::ModelOnly);
+  BlockStats s;
+  s.flops = 1e9;
+  s.issue_cycles = 1;
+  kernels::CostOnlyKernel k{"k", s};
+  dev.launch(k, 1);
+  const auto* p = dev.profile("k");
+  ASSERT_NE(p, nullptr);
+  EXPECT_GT(p->gflops(), 0.0);
+  EXPECT_NEAR(p->gflops(), 1e9 / p->seconds * 1e-9, 1e-6);
+}
+
+// stats_summary must partition the grid exactly: same totals as iterating
+// block_stats over every block, for ragged shapes that produce multiple
+// classes.
+TEST(StatsSummary, MatchesPerBlockTotalsForApplyKernels) {
+  auto panel = Matrix<float>::shape_only(1000, 16);  // ragged: 7 blocks, tail
+  auto trailing = Matrix<float>::shape_only(1000, 100);  // ragged tiles too
+  std::vector<idx> offsets = {0, 128, 256, 384, 512, 640, 768, 1000};
+  std::vector<float> taus(7 * 16, 0.5f);
+
+  kernels::ApplyQtHKernel<float> k{panel.view(),
+                                   &offsets,
+                                   taus.data(),
+                                   trailing.view(),
+                                   16,
+                                   kernels::cost_params(
+                                       kernels::ReductionVariant::RegisterSerialTransposed),
+                                   8.0,
+                                   3.0,
+                                   false,
+                                   true};
+  BlockStats total_summary{}, total_blocks{};
+  idx covered = 0;
+  for (const auto& c : k.stats_summary()) {
+    BlockStats s = c.stats;
+    total_summary.flops += s.flops * c.count;
+    total_summary.issue_cycles += s.issue_cycles * c.count;
+    total_summary.smem_accesses += s.smem_accesses * c.count;
+    total_summary.syncs += s.syncs * c.count;
+    total_summary.gmem_bytes += s.gmem_bytes * c.count;
+    covered += c.count;
+  }
+  EXPECT_EQ(covered, k.num_blocks());
+  for (idx b = 0; b < k.num_blocks(); ++b) total_blocks += k.block_stats(b);
+  EXPECT_NEAR(total_summary.flops, total_blocks.flops, 1e-6);
+  EXPECT_NEAR(total_summary.issue_cycles, total_blocks.issue_cycles, 1e-6);
+  EXPECT_NEAR(total_summary.smem_accesses, total_blocks.smem_accesses, 1e-6);
+  EXPECT_NEAR(total_summary.syncs, total_blocks.syncs, 1e-6);
+  EXPECT_NEAR(total_summary.gmem_bytes, total_blocks.gmem_bytes, 1.0);
+}
+
+TEST(StatsSummary, TreeKernelMixedFanins) {
+  auto panel = Matrix<float>::shape_only(2000, 16);
+  auto trailing = Matrix<float>::shape_only(2000, 50);
+  // Mixed group sizes including a singleton (pass-through).
+  std::vector<std::vector<idx>> groups = {
+      {0, 64, 128, 192}, {256, 320, 384, 448}, {512, 576}, {640}};
+  std::vector<float> taus(groups.size() * 16, 0.5f);
+  kernels::ApplyQtTreeKernel<float> k{panel.view(),
+                                      &groups,
+                                      taus.data(),
+                                      trailing.view(),
+                                      16,
+                                      kernels::cost_params(
+                                          kernels::ReductionVariant::RegisterSerialTransposed),
+                                      8.0,
+                                      3.0,
+                                      false,
+                                      true};
+  BlockStats total_summary{}, total_blocks{};
+  idx covered = 0;
+  for (const auto& c : k.stats_summary()) {
+    total_summary.flops += c.stats.flops * c.count;
+    total_summary.gmem_bytes += c.stats.gmem_bytes * c.count;
+    covered += c.count;
+  }
+  EXPECT_EQ(covered, k.num_blocks());
+  for (idx b = 0; b < k.num_blocks(); ++b) total_blocks += k.block_stats(b);
+  EXPECT_NEAR(total_summary.flops, total_blocks.flops, 1e-6);
+  EXPECT_NEAR(total_summary.gmem_bytes, total_blocks.gmem_bytes, 1.0);
+}
+
+TEST(Report, ProfileTableAndCsv) {
+  Device dev(GpuMachineModel::c2050(), ExecMode::ModelOnly);
+  BlockStats s;
+  s.flops = 1e6;
+  s.issue_cycles = 100;
+  kernels::CostOnlyKernel k{"mykernel", s};
+  dev.launch(k, 4);
+  dev.add_external_seconds(0.25, "cpu_leg");
+
+  const auto table = gpusim::profile_table(dev);
+  EXPECT_EQ(table.rows(), 2u);
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("mykernel"), std::string::npos);
+  EXPECT_NE(text.find("cpu_leg"), std::string::npos);
+  const std::string csv = gpusim::profile_csv(dev);
+  EXPECT_NE(csv.find("kernel,launches,blocks,ms,share,GFLOP/s"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace caqr

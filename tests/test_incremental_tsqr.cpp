@@ -1,0 +1,117 @@
+// Tests for the streaming (incremental) TSQR.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/norms.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/random_matrix.hpp"
+#include "tsqr/incremental.hpp"
+#include "tsqr/tsqr.hpp"
+
+namespace caqr {
+namespace {
+
+using gpusim::Device;
+using gpusim::ExecMode;
+
+TEST(IncrementalTsqr, MatchesMonolithicR) {
+  const idx m = 1000, n = 16, chunk = 128;
+  auto a = gaussian_matrix<double>(m, n, 61);
+  Device dev;
+
+  tsqr::IncrementalTsqr<double> inc(dev, n);
+  for (idx r0 = 0; r0 < m; r0 += chunk) {
+    const idx h = std::min(chunk, m - r0);
+    inc.push(a.view().block(r0, 0, h, n));
+  }
+  EXPECT_EQ(inc.rows_consumed(), m);
+
+  auto ref = a.clone();
+  std::vector<double> tau(static_cast<std::size_t>(n));
+  geqrf(ref.view(), tau.data());
+  auto r_ref = extract_r(ref.view());
+  EXPECT_LT(r_factor_difference(r_ref.view(), inc.r().view()), 1e-11);
+}
+
+TEST(IncrementalTsqr, ChunkSizeDoesNotChangeR) {
+  const idx m = 769, n = 8;  // ragged sizes on purpose
+  auto a = gaussian_matrix<double>(m, n, 62);
+  Device dev;
+
+  auto run = [&](idx chunk) {
+    tsqr::IncrementalTsqr<double> inc(dev, n);
+    for (idx r0 = 0; r0 < m; r0 += chunk) {
+      inc.push(a.view().block(r0, 0, std::min(chunk, m - r0), n));
+    }
+    return Matrix<double>::from(inc.r().view());
+  };
+  auto r64 = run(64);
+  auto r100 = run(100);
+  auto r769 = run(769);  // single push
+  EXPECT_LT(r_factor_difference(r64.view(), r100.view()), 1e-12);
+  EXPECT_LT(r_factor_difference(r64.view(), r769.view()), 1e-12);
+}
+
+TEST(IncrementalTsqr, HandlesShortBlocks) {
+  // Blocks shorter than the width (even single rows) must still work.
+  const idx m = 40, n = 8;
+  auto a = gaussian_matrix<double>(m, n, 63);
+  Device dev;
+  tsqr::IncrementalTsqr<double> inc(dev, n);
+  for (idx r0 = 0; r0 < m; ++r0) {
+    inc.push(a.view().block(r0, 0, 1, n));  // one row at a time
+  }
+  auto ref = a.clone();
+  std::vector<double> tau(static_cast<std::size_t>(n));
+  geqrf(ref.view(), tau.data());
+  EXPECT_LT(r_factor_difference(extract_r(ref.view()).view(), inc.r().view()),
+            1e-11);
+}
+
+TEST(IncrementalTsqr, GramIdentityHolds) {
+  // R^T R == A^T A (the defining property of any valid R, sign-free).
+  const idx m = 600, n = 12;
+  auto a = gaussian_matrix<double>(m, n, 64);
+  Device dev;
+  tsqr::IncrementalTsqr<double> inc(dev, n);
+  for (idx r0 = 0; r0 < m; r0 += 150) {
+    inc.push(a.view().block(r0, 0, 150, n));
+  }
+  Matrix<double> ata = Matrix<double>::zeros(n, n);
+  syrk_t(1.0, a.view(), 0.0, ata.view());
+  Matrix<double> rtr = Matrix<double>::zeros(n, n);
+  gemm(Trans::Yes, Trans::No, 1.0, inc.r().view(), inc.r().view(), 0.0,
+       rtr.view());
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      ASSERT_NEAR(rtr(i, j), ata(i, j), 1e-9 * (1.0 + std::fabs(ata(i, j))));
+    }
+  }
+}
+
+TEST(IncrementalTsqr, TimelineChargesStreamKernels) {
+  Device dev(gpusim::GpuMachineModel::c2050(), ExecMode::ModelOnly);
+  tsqr::IncrementalTsqr<float> inc(dev, 16);
+  auto block = Matrix<float>::zeros(128, 16);
+  for (int i = 0; i < 10; ++i) inc.push(block.view());
+  const auto* f = dev.profile("stream_factor");
+  const auto* c = dev.profile("stream_combine");
+  ASSERT_NE(f, nullptr);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(f->launches, 10);
+  EXPECT_EQ(c->launches, 9);  // first push has nothing to combine with
+  EXPECT_GT(dev.elapsed_seconds(), 0.0);
+}
+
+TEST(IncrementalTsqr, EmptyAndWidthChecks) {
+  Device dev;
+  tsqr::IncrementalTsqr<double> inc(dev, 4);
+  EXPECT_TRUE(inc.empty());
+  auto wrong = Matrix<double>::zeros(10, 5);
+  EXPECT_DEATH(inc.push(wrong.view()), "cols");
+}
+
+}  // namespace
+}  // namespace caqr

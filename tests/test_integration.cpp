@@ -1,0 +1,200 @@
+// Cross-module integration sweeps: every QR implementation in the library
+// must agree on R (up to reflector signs) and satisfy the backward-stability
+// invariants over randomized shapes and seeds; the SVD pipeline must agree
+// with the direct Jacobi SVD; contract violations must trap.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "baselines/qr_baselines.hpp"
+#include "caqr/solver.hpp"
+#include "linalg/norms.hpp"
+#include "linalg/random_matrix.hpp"
+#include "svd/tall_skinny_svd.hpp"
+#include "tsqr/tsqr.hpp"
+
+namespace caqr {
+namespace {
+
+using gpusim::Device;
+using gpusim::ExecMode;
+using gpusim::GpuMachineModel;
+
+class RandomizedQrSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};  // (seed, shape)
+
+struct SweepShape {
+  idx m, n;
+};
+
+SweepShape shape_for(int s) {
+  static const SweepShape shapes[] = {
+      {97, 13}, {512, 16}, {1000, 24}, {2048, 64}, {300, 300}, {150, 40},
+  };
+  return shapes[static_cast<std::size_t>(s)];
+}
+
+TEST_P(RandomizedQrSweep, AllImplementationsAgreeOnR) {
+  const auto [seed, shape_i] = GetParam();
+  const auto [m, n] = shape_for(shape_i);
+  auto a = gaussian_matrix<double>(m, n, static_cast<std::uint64_t>(seed) * 977 + 3);
+
+  Device dev;
+  // Reference.
+  auto ref = a.clone();
+  std::vector<double> tau(static_cast<std::size_t>(std::min(m, n)));
+  geqrf(ref.view(), tau.data());
+  auto r_ref = extract_r(ref.view());
+
+  // CAQR.
+  auto f = caqr_factor(dev, a.view());
+  EXPECT_LT(r_factor_difference(r_ref.view(), f.r().view()), 1e-10);
+
+  // TSQR (single panel) where applicable.
+  if (m >= n) {
+    tsqr::TsqrOptions topt;
+    topt.block_rows = std::max<idx>(64, n);
+    auto t = tsqr::tsqr(dev, a.view(), topt);
+    auto r_t = t.r();
+    EXPECT_LT(r_factor_difference(
+                  r_ref.view().block(0, 0, n, n), r_t.view()),
+              1e-10);
+  }
+
+  // Baselines.
+  auto hy = baselines::hybrid_qr(dev, a.clone());
+  EXPECT_LT(r_factor_difference(r_ref.view(), extract_r(hy.factored.view()).view()),
+            1e-10);
+  auto b2 = baselines::gpu_blas2_qr(dev, a.clone());
+  EXPECT_LT(r_factor_difference(r_ref.view(), extract_r(b2.factored.view()).view()),
+            1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomizedQrSweep,
+                         ::testing::Combine(::testing::Range(0, 4),
+                                            ::testing::Range(0, 6)));
+
+class BackwardStabilitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BackwardStabilitySweep, CaqrResidualScalesWithEpsilon) {
+  const int seed = GetParam();
+  const idx m = 700 + 31 * seed, n = 20 + seed;
+  auto a = gaussian_matrix<double>(m, n, static_cast<std::uint64_t>(seed));
+  Device dev;
+  auto f = caqr_factor(dev, a.view());
+  auto q = f.form_q(dev, n);
+  auto r = f.r();
+  const double scale = std::sqrt(static_cast<double>(n));
+  EXPECT_LT(orthogonality_error(q.view()), 1e-13 * scale * 20);
+  EXPECT_LT(factorization_residual(a.view(), q.view(), r.view()),
+            1e-13 * scale * 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackwardStabilitySweep, ::testing::Range(0, 8));
+
+TEST(Integration, SvdPipelineAgreesWithDirectJacobiAcrossShapes) {
+  for (const auto& [m, n] : {std::pair<idx, idx>{200, 10},
+                             {1000, 32}, {64, 64}}) {
+    auto a = gaussian_matrix<double>(m, n,
+                                     static_cast<std::uint64_t>(m * 7 + n));
+    Device dev;
+    auto pipe = svd::tall_skinny_svd(dev, a.view());
+    auto direct = jacobi_svd(a.view());
+    for (idx i = 0; i < n; ++i) {
+      ASSERT_NEAR(pipe.sigma[static_cast<std::size_t>(i)],
+                  direct.sigma[static_cast<std::size_t>(i)],
+                  1e-10 * (1.0 + direct.sigma[0]))
+          << m << "x" << n;
+    }
+  }
+}
+
+TEST(Integration, FloatAndDoubleCaqrAgreeToSinglePrecision) {
+  const idx m = 2000, n = 32;
+  auto ad = gaussian_matrix<double>(m, n, 99);
+  Matrix<float> af(m, n);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < m; ++i) af(i, j) = static_cast<float>(ad(i, j));
+  }
+  Device dev;
+  auto fd = caqr_factor(dev, ad.view());
+  auto ff = caqr_factor(dev, af.view());
+  auto rd = fd.r();
+  auto rf = ff.r();
+  // Compare magnitudes row-sign-aligned at single-precision accuracy.
+  Matrix<double> rf_d(n, n);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) rf_d(i, j) = static_cast<double>(rf(i, j));
+  }
+  EXPECT_LT(r_factor_difference(rd.view().block(0, 0, n, n), rf_d.view()),
+            1e-4);
+}
+
+TEST(Integration, EndToEndLeastSquaresThroughEveryAlgorithm) {
+  const idx m = 900, n = 12;
+  auto a = gaussian_matrix<double>(m, n, 101);
+  auto xt = gaussian_matrix<double>(n, 1, 102);
+  auto b = Matrix<double>::zeros(m, 1);
+  gemm(Trans::No, Trans::No, 1.0, a.view(), xt.view(), 0.0, b.view());
+
+  Device dev;
+  auto x_auto = least_squares_solve(dev, a.view(), b.view());
+  auto x_caqr = least_squares_solve(dev, a.view(), b.view(), QrAlgorithm::Caqr);
+  auto x_hyb = least_squares_solve(dev, a.view(), b.view(), QrAlgorithm::Hybrid);
+  for (idx i = 0; i < n; ++i) {
+    ASSERT_NEAR(x_auto(i, 0), xt(i, 0), 1e-10);
+    ASSERT_NEAR(x_caqr(i, 0), xt(i, 0), 1e-10);
+    ASSERT_NEAR(x_hyb(i, 0), xt(i, 0), 1e-10);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Contract-violation trapping (CAQR_CHECK aborts).
+// ---------------------------------------------------------------------------
+
+using IntegrationDeathTest = ::testing::Test;
+
+TEST(IntegrationDeathTest, TsqrRejectsWideInput) {
+  Device dev;
+  auto a = Matrix<double>::zeros(8, 16);  // wider than tall
+  tsqr::TsqrOptions opt;
+  EXPECT_DEATH(
+      { auto f = tsqr::tsqr(dev, a.view(), opt); (void)f; },
+      "rows >= width");
+}
+
+TEST(IntegrationDeathTest, CaqrRejectsBlockRowsBelowPanelWidth) {
+  Device dev;
+  auto a = Matrix<double>::zeros(64, 32);
+  CaqrOptions opt;
+  opt.panel_width = 32;
+  opt.tsqr.block_rows = 16;
+  EXPECT_DEATH(
+      {
+        auto f = CaqrFactorization<double>::factor(dev, std::move(a), opt);
+        (void)f;
+      },
+      "block_rows >= opt.panel_width");
+}
+
+TEST(IntegrationDeathTest, ApplyQtRejectsMismatchedRows) {
+  Device dev;
+  auto a = gaussian_matrix<double>(100, 8, 1);
+  auto f = caqr_factor(dev, a.view());
+  auto c = Matrix<double>::zeros(50, 2);  // wrong row count
+  EXPECT_DEATH(f.apply_qt(dev, c.view()), "rows");
+}
+
+TEST(IntegrationDeathTest, LeastSquaresRejectsUnderdetermined) {
+  Device dev;
+  auto a = Matrix<double>::zeros(5, 10);
+  auto b = Matrix<double>::zeros(5, 1);
+  EXPECT_DEATH(
+      { auto x = least_squares_solve(dev, a.view(), b.view()); (void)x; },
+      "m >= n");
+}
+
+}  // namespace
+}  // namespace caqr

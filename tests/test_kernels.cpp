@@ -1,0 +1,371 @@
+// Tests for the CAQR kernel numerical cores and their exact operation
+// counts. The flop-count functions must match the functional execution
+// operation-for-operation (that equivalence is what makes ModelOnly timing
+// exact), verified here with a counting scalar type.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "kernels/block_ops.hpp"
+#include "kernels/cost_params.hpp"
+#include "kernels/kernels.hpp"
+#include "linalg/norms.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/random_matrix.hpp"
+
+namespace caqr {
+namespace {
+
+using kernels::block_apply_qt;
+using kernels::block_apply_qt_flops;
+using kernels::block_geqr2;
+using kernels::block_geqr2_flops;
+using kernels::stacked_apply_qt;
+using kernels::stacked_apply_qt_flops;
+using kernels::stacked_geqr2;
+using kernels::stacked_geqr2_flops;
+
+// ---------------------------------------------------------------------------
+// Counting scalar: every mul/add/sub/div/sqrt bumps a global counter.
+// ---------------------------------------------------------------------------
+
+struct Counted {
+  double v = 0;
+  static inline long long ops = 0;
+
+  Counted() = default;
+  Counted(double x) : v(x) {}  // NOLINT: implicit by design
+
+  friend Counted operator+(Counted a, Counted b) { ++ops; return {a.v + b.v}; }
+  friend Counted operator-(Counted a, Counted b) { ++ops; return {a.v - b.v}; }
+  friend Counted operator*(Counted a, Counted b) { ++ops; return {a.v * b.v}; }
+  friend Counted operator/(Counted a, Counted b) { ++ops; return {a.v / b.v}; }
+  friend Counted operator-(Counted a) { return {-a.v}; }  // sign flip: free
+  Counted& operator+=(Counted b) { ++ops; v += b.v; return *this; }
+  Counted& operator-=(Counted b) { ++ops; v -= b.v; return *this; }
+  Counted& operator*=(Counted b) { ++ops; v *= b.v; return *this; }
+  friend bool operator==(Counted a, Counted b) { return a.v == b.v; }
+  friend bool operator>=(Counted a, Counted b) { return a.v >= b.v; }
+  friend Counted sqrt(Counted a) { ++ops; return {std::sqrt(a.v)}; }
+};
+
+template <typename Fn>
+long long count_ops(Fn&& fn) {
+  Counted::ops = 0;
+  fn();
+  return Counted::ops;
+}
+
+Matrix<Counted> counted_from(ConstMatrixView<double> src) {
+  Matrix<Counted> m(src.rows(), src.cols());
+  for (idx j = 0; j < src.cols(); ++j) {
+    for (idx i = 0; i < src.rows(); ++i) m(i, j) = Counted(src(i, j));
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Numerical equivalence with the reference LAPACK-style routines.
+// ---------------------------------------------------------------------------
+
+struct BlockShape {
+  idx h, w;
+};
+
+class BlockGeqr2Shapes : public ::testing::TestWithParam<BlockShape> {};
+
+TEST_P(BlockGeqr2Shapes, MatchesReferenceGeqr2) {
+  const auto [h, w] = GetParam();
+  auto a0 = gaussian_matrix<double>(h, w, 11);
+  auto a_ref = a0.clone();
+  auto a_fast = a0.clone();
+  std::vector<double> tau_ref(static_cast<std::size_t>(w)), work(static_cast<std::size_t>(w));
+  std::vector<double> tau_fast(static_cast<std::size_t>(w));
+  geqr2(a_ref.view(), tau_ref.data(), work.data());
+  block_geqr2(a_fast.view(), tau_fast.data());
+
+  for (idx j = 0; j < w; ++j) {
+    for (idx i = 0; i < h; ++i) {
+      ASSERT_NEAR(a_fast(i, j), a_ref(i, j), 1e-11) << i << "," << j;
+    }
+  }
+  const idx kmax = std::min(h, w);
+  for (idx k = 0; k < kmax; ++k) {
+    ASSERT_NEAR(tau_fast[static_cast<std::size_t>(k)],
+                tau_ref[static_cast<std::size_t>(k)], 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BlockGeqr2Shapes,
+                         ::testing::Values(BlockShape{1, 1}, BlockShape{16, 16},
+                                           BlockShape{64, 16}, BlockShape{128, 16},
+                                           BlockShape{65, 16}, BlockShape{32, 4},
+                                           BlockShape{200, 8}, BlockShape{17, 17}));
+
+TEST(BlockApplyQt, ReproducesRFromOriginalBlock) {
+  const idx h = 96, w = 12;
+  auto a0 = gaussian_matrix<double>(h, w, 5);
+  auto f = a0.clone();
+  std::vector<double> tau(static_cast<std::size_t>(w));
+  block_geqr2(f.view(), tau.data());
+
+  // Applying Q^T to the original block must reproduce [R; 0].
+  auto c = a0.clone();
+  block_apply_qt(f.as_const(), tau.data(), c.view());
+  for (idx j = 0; j < w; ++j) {
+    for (idx i = 0; i < h; ++i) {
+      const double expect = i <= j ? f(i, j) : 0.0;
+      ASSERT_NEAR(c(i, j), expect, 1e-11);
+    }
+  }
+}
+
+TEST(BlockApplyQ, InverseOfApplyQt) {
+  const idx h = 80, w = 16;
+  auto a = gaussian_matrix<double>(h, w, 6);
+  auto f = a.clone();
+  std::vector<double> tau(static_cast<std::size_t>(w));
+  block_geqr2(f.view(), tau.data());
+
+  auto c0 = gaussian_matrix<double>(h, 7, 8);
+  auto c = c0.clone();
+  block_apply_qt(f.as_const(), tau.data(), c.view());
+  kernels::block_apply_q(f.as_const(), tau.data(), c.view());
+  for (idx j = 0; j < 7; ++j) {
+    for (idx i = 0; i < h; ++i) ASSERT_NEAR(c(i, j), c0(i, j), 1e-11);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stacked-triangle (tree combine) kernels.
+// ---------------------------------------------------------------------------
+
+// Builds a stack of k random upper-triangular w x w blocks.
+Matrix<double> random_triangle_stack(idx w, idx k, std::uint64_t seed) {
+  auto stack = Matrix<double>::zeros(k * w, w);
+  Rng rng(seed);
+  for (idx b = 0; b < k; ++b) {
+    for (idx j = 0; j < w; ++j) {
+      for (idx i = 0; i <= j; ++i) {
+        stack(b * w + i, j) = rng.uniform(-1.0, 1.0);
+      }
+    }
+  }
+  return stack;
+}
+
+class StackedQrParams : public ::testing::TestWithParam<std::tuple<idx, idx>> {};
+
+TEST_P(StackedQrParams, MatchesDenseQrUpToSigns) {
+  const auto [w, k] = GetParam();
+  auto s0 = random_triangle_stack(w, k, 21);
+
+  // Structured QR.
+  auto s = s0.clone();
+  std::vector<double> tau(static_cast<std::size_t>(w));
+  std::vector<double> scratch(static_cast<std::size_t>(1 + (k - 1) * w));
+  stacked_geqr2(s.view(), w, k, tau.data(), scratch.data());
+
+  // Dense reference QR on the same stack.
+  auto d = s0.clone();
+  std::vector<double> tau_d(static_cast<std::size_t>(w)), work(static_cast<std::size_t>(w));
+  geqr2(d.view(), tau_d.data(), work.data());
+
+  auto r_s = extract_r(s.block(0, 0, w, w));
+  auto r_d = extract_r(d.block(0, 0, w, w));
+  EXPECT_LT(r_factor_difference(r_d.view(), r_s.view()), 1e-12);
+
+  // The structured result must preserve the sparsity pattern: entries of
+  // lower blocks strictly below their local diagonal stay exactly zero.
+  for (idx b = 1; b < k; ++b) {
+    for (idx j = 0; j < w; ++j) {
+      for (idx i = j + 1; i < w; ++i) {
+        ASSERT_EQ(s(b * w + i, j), 0.0) << "block " << b;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, StackedQrParams,
+                         ::testing::Combine(::testing::Values<idx>(1, 4, 8, 16),
+                                            ::testing::Values<idx>(2, 3, 4, 8)));
+
+TEST(StackedQr, SingletonStackIsPassThrough) {
+  const idx w = 8;
+  auto s0 = random_triangle_stack(w, 1, 3);
+  auto s = s0.clone();
+  std::vector<double> tau(static_cast<std::size_t>(w), -1.0);
+  std::vector<double> scratch(1);
+  stacked_geqr2(s.view(), w, 1, tau.data(), scratch.data());
+  for (idx j = 0; j < w; ++j) {
+    EXPECT_EQ(tau[static_cast<std::size_t>(j)], 0.0);
+    for (idx i = 0; i < w; ++i) ASSERT_EQ(s(i, j), s0(i, j));
+  }
+}
+
+TEST(StackedApplyQt, ReproducesCombinedRFromStack) {
+  const idx w = 8, k = 4;
+  auto s0 = random_triangle_stack(w, k, 31);
+  auto s = s0.clone();
+  std::vector<double> tau(static_cast<std::size_t>(w));
+  std::vector<double> scratch(static_cast<std::size_t>(1 + (k - 1) * w));
+  stacked_geqr2(s.view(), w, k, tau.data(), scratch.data());
+
+  // Q^T applied to the original stack must give [R; 0] (structured).
+  auto c = s0.clone();
+  stacked_apply_qt(s.as_const(), w, k, tau.data(), c.view());
+  for (idx j = 0; j < w; ++j) {
+    for (idx i = 0; i < k * w; ++i) {
+      const double expect = i <= j ? s(i, j) : 0.0;
+      ASSERT_NEAR(c(i, j), expect, 1e-12) << i << "," << j;
+    }
+  }
+}
+
+TEST(StackedApplyQ, InverseOfApplyQt) {
+  const idx w = 6, k = 3;
+  auto s = random_triangle_stack(w, k, 41);
+  std::vector<double> tau(static_cast<std::size_t>(w));
+  std::vector<double> scratch(static_cast<std::size_t>(1 + (k - 1) * w));
+  stacked_geqr2(s.view(), w, k, tau.data(), scratch.data());
+
+  auto c0 = gaussian_matrix<double>(k * w, 5, 42);
+  auto c = c0.clone();
+  stacked_apply_qt(s.as_const(), w, k, tau.data(), c.view());
+  kernels::stacked_apply_q(s.as_const(), w, k, tau.data(), c.view());
+  for (idx j = 0; j < 5; ++j) {
+    for (idx i = 0; i < k * w; ++i) ASSERT_NEAR(c(i, j), c0(i, j), 1e-12);
+  }
+}
+
+// Structured combine must cost strictly fewer flops than a dense QR of the
+// same stack — this is TSQR's sparsity saving.
+TEST(StackedQr, StructuredFlopsBelowDense) {
+  for (const idx w : {4, 8, 16, 32}) {
+    for (const idx k : {2, 4, 8}) {
+      EXPECT_LT(stacked_geqr2_flops(w, k), block_geqr2_flops(k * w, w))
+          << "w=" << w << " k=" << k;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exact operation counting.
+// ---------------------------------------------------------------------------
+
+class FlopCountShapes : public ::testing::TestWithParam<BlockShape> {};
+
+TEST_P(FlopCountShapes, BlockGeqr2CountIsExact) {
+  const auto [h, w] = GetParam();
+  auto a = counted_from(gaussian_matrix<double>(h, w, 7).view());
+  std::vector<Counted> tau(static_cast<std::size_t>(w));
+  const long long ops =
+      count_ops([&] { block_geqr2(a.view(), tau.data()); });
+  EXPECT_EQ(static_cast<double>(ops), block_geqr2_flops(h, w));
+}
+
+TEST_P(FlopCountShapes, BlockApplyQtCountIsExact) {
+  const auto [h, w] = GetParam();
+  auto f = counted_from(gaussian_matrix<double>(h, w, 7).view());
+  std::vector<Counted> tau(static_cast<std::size_t>(w));
+  block_geqr2(f.view(), tau.data());
+
+  const idx ncols = 5;
+  auto c = counted_from(gaussian_matrix<double>(h, ncols, 9).view());
+  const long long ops = count_ops(
+      [&] { block_apply_qt(f.as_const(), tau.data(), c.view()); });
+  EXPECT_EQ(static_cast<double>(ops), block_apply_qt_flops(h, w, ncols));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, FlopCountShapes,
+                         ::testing::Values(BlockShape{16, 16}, BlockShape{64, 16},
+                                           BlockShape{128, 16}, BlockShape{33, 7},
+                                           BlockShape{128, 32}, BlockShape{12, 12}));
+
+TEST(FlopCount, StackedGeqr2CountIsExact) {
+  for (const idx w : {4, 8, 16}) {
+    for (const idx k : {2, 4}) {
+      auto s_d = random_triangle_stack(w, k, 17);
+      auto s = counted_from(s_d.view());
+      std::vector<Counted> tau(static_cast<std::size_t>(w));
+      std::vector<Counted> scratch(static_cast<std::size_t>(1 + (k - 1) * w));
+      const long long ops = count_ops(
+          [&] { stacked_geqr2(s.view(), w, k, tau.data(), scratch.data()); });
+      EXPECT_EQ(static_cast<double>(ops), stacked_geqr2_flops(w, k))
+          << "w=" << w << " k=" << k;
+    }
+  }
+}
+
+TEST(FlopCount, StackedApplyQtCountIsExact) {
+  const idx w = 8, k = 4, ncols = 6;
+  auto s = counted_from(random_triangle_stack(w, k, 19).view());
+  std::vector<Counted> tau(static_cast<std::size_t>(w));
+  std::vector<Counted> scratch(static_cast<std::size_t>(1 + (k - 1) * w));
+  stacked_geqr2(s.view(), w, k, tau.data(), scratch.data());
+
+  auto c = counted_from(gaussian_matrix<double>(k * w, ncols, 23).view());
+  const long long ops = count_ops(
+      [&] { stacked_apply_qt(s.as_const(), w, k, tau.data(), c.view()); });
+  EXPECT_EQ(static_cast<double>(ops), stacked_apply_qt_flops(w, k, ncols));
+}
+
+// The kernel structs' reported flops must equal the numeric cores' counts
+// (the same functions back both, but this pins the wiring: offsets, tile
+// decomposition, per-block dims).
+TEST(KernelStats, FactorKernelFlopsMatchFlopFunctions) {
+  auto panel = Matrix<float>::shape_only(300, 16);
+  std::vector<idx> offsets = {0, 128, 300};
+  std::vector<float> taus(2 * 16);
+  kernels::FactorKernel<float> k{
+      panel.view(), &offsets, taus.data(),
+      kernels::cost_params(kernels::ReductionVariant::RegisterSerialTransposed),
+      8.0, 3.0, false};
+  EXPECT_DOUBLE_EQ(k.block_stats(0).flops, block_geqr2_flops(128, 16));
+  EXPECT_DOUBLE_EQ(k.block_stats(1).flops, block_geqr2_flops(172, 16));
+}
+
+TEST(KernelStats, ApplyKernelFlopsMatchTileDecomposition) {
+  auto panel = Matrix<float>::shape_only(256, 16);
+  auto trailing = Matrix<float>::shape_only(256, 40);  // tiles: 16, 16, 8
+  std::vector<idx> offsets = {0, 128, 256};
+  std::vector<float> taus(2 * 16);
+  kernels::ApplyQtHKernel<float> k{
+      panel.view(), &offsets, taus.data(), trailing.view(), 16,
+      kernels::cost_params(kernels::ReductionVariant::RegisterSerialTransposed),
+      8.0, 3.0, false, true};
+  ASSERT_EQ(k.num_blocks(), 6);
+  // Block 2 of row-block 0: the ragged 8-wide tile.
+  EXPECT_DOUBLE_EQ(k.block_stats(2).flops, block_apply_qt_flops(128, 16, 8));
+  EXPECT_DOUBLE_EQ(k.block_stats(0).flops, block_apply_qt_flops(128, 16, 16));
+}
+
+// ---------------------------------------------------------------------------
+// Cost parameterization sanity.
+// ---------------------------------------------------------------------------
+
+TEST(CostParams, VariantLadderIsMonotone) {
+  using kernels::ReductionVariant;
+  const auto v1 = kernels::cost_params(ReductionVariant::SmemParallelReduction);
+  const auto v2 = kernels::cost_params(ReductionVariant::SmemSerialReduction);
+  const auto v3 = kernels::cost_params(ReductionVariant::RegisterSerialReduction);
+  const auto v4 = kernels::cost_params(ReductionVariant::RegisterSerialTransposed);
+  // Each tuning step must strictly reduce the dominant cost terms.
+  EXPECT_GT(v1.issue_mult, v2.issue_mult);
+  EXPECT_GT(v2.smem_per_fma32, v3.smem_per_fma32);
+  EXPECT_GT(v3.smem_per_fma32, v4.smem_per_fma32);
+}
+
+TEST(CostParams, VariantNames) {
+  using kernels::ReductionVariant;
+  EXPECT_STREQ(kernels::variant_name(ReductionVariant::RegisterSerialTransposed),
+               "register_serial_transposed");
+  EXPECT_STREQ(kernels::variant_name(ReductionVariant::SmemParallelReduction),
+               "smem_parallel_reduction");
+}
+
+}  // namespace
+}  // namespace caqr

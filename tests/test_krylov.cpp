@@ -1,0 +1,238 @@
+// Tests for the s-step Krylov module: matrix-powers basis generation,
+// block orthogonalization, CA-Arnoldi invariants (orthonormality, Arnoldi
+// relation), Newton-basis conditioning, and CA-GMRES convergence.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "krylov/sstep.hpp"
+#include "linalg/norms.hpp"
+#include "linalg/random_matrix.hpp"
+#include "linalg/svd.hpp"
+
+namespace caqr {
+namespace {
+
+using gpusim::Device;
+using krylov::BasisKind;
+using sparse::CsrMatrix;
+
+std::vector<double> unit_seed(idx m, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(static_cast<std::size_t>(m));
+  for (auto& x : v) x = rng.normal();
+  double n = nrm2(static_cast<idx>(v.size()), v.data());
+  scal(static_cast<idx>(v.size()), 1.0 / n, v.data());
+  return v;
+}
+
+TEST(MatrixPowers, MonomialBasisSpansKrylovSpace) {
+  auto a = CsrMatrix<double>::laplacian_2d(12);
+  const idx m = a.rows();
+  auto v = unit_seed(m, 3);
+  Device dev;
+  auto k = krylov::matrix_powers(dev, a, v.data(), 4, BasisKind::Monomial);
+  ASSERT_EQ(k.cols(), 5);
+  // Column j must equal A * column j-1 exactly (monomial construction).
+  std::vector<double> av(static_cast<std::size_t>(m));
+  for (idx j = 1; j <= 4; ++j) {
+    a.spmv(k.view().col(j - 1), av.data());
+    for (idx i = 0; i < m; ++i) {
+      ASSERT_EQ(k(i, j), av[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+TEST(MatrixPowers, NewtonBasisSpansSameSpace) {
+  // Newton vectors are linear combinations of the monomial ones: the R
+  // factor of [monomial | newton] must have rank s+1, and projecting the
+  // Newton block onto the monomial Q must be lossless.
+  auto a = CsrMatrix<double>::laplacian_2d(10);
+  const idx m = a.rows(), s = 5;
+  auto v = unit_seed(m, 4);
+  Device dev;
+  auto mono = krylov::matrix_powers(dev, a, v.data(), s, BasisKind::Monomial);
+  auto newt = krylov::matrix_powers(dev, a, v.data(), s, BasisKind::Newton);
+
+  // Orthonormalize the monomial block and check the Newton block's residual
+  // after projection is ~0.
+  std::vector<double> tau(static_cast<std::size_t>(s + 1));
+  auto qr = mono.clone();
+  geqrf(qr.view(), tau.data());
+  auto q = form_q(qr.view(), tau.data(), s + 1);
+  Matrix<double> c = Matrix<double>::zeros(s + 1, s + 1);
+  gemm(Trans::Yes, Trans::No, 1.0, q.view(), newt.view(), 0.0, c.view());
+  Matrix<double> recon = Matrix<double>::zeros(m, s + 1);
+  gemm(Trans::No, Trans::No, 1.0, q.view(), c.view(), 0.0, recon.view());
+  double num = 0, den = 0;
+  for (idx j = 0; j <= s; ++j) {
+    for (idx i = 0; i < m; ++i) {
+      num += std::pow(recon(i, j) - newt(i, j), 2);
+      den += std::pow(newt(i, j), 2);
+    }
+  }
+  EXPECT_LT(std::sqrt(num / den), 1e-10);
+}
+
+TEST(MatrixPowers, NewtonBasisBetterConditionedThanMonomial) {
+  // The reason s-step methods use shifted bases (§I's reference [2]).
+  auto a = CsrMatrix<double>::laplacian_2d(20);
+  const idx m = a.rows(), s = 8;
+  auto v = unit_seed(m, 5);
+  Device dev;
+  auto mono = krylov::matrix_powers(dev, a, v.data(), s, BasisKind::Monomial);
+  auto newt = krylov::matrix_powers(dev, a, v.data(), s, BasisKind::Newton);
+
+  auto cond_of = [](ConstMatrixView<double> b) {
+    auto f = jacobi_svd(b);
+    return f.sigma.front() / std::max(f.sigma.back(), 1e-300);
+  };
+  EXPECT_LT(cond_of(newt.view()), 0.2 * cond_of(mono.view()));
+}
+
+TEST(BlockOrthogonalize, ProducesOrthonormalAugmentedBasis) {
+  const idx m = 600, k0 = 6, w = 4;
+  auto basis = random_orthonormal<double>(m, k0 + w, 7);  // reserve space
+  auto block = gaussian_matrix<double>(m, w, 8);
+  Device dev;
+  tsqr::TsqrOptions topt;
+  topt.block_rows = 64;
+
+  Matrix<double> full = Matrix<double>::zeros(m, k0 + w);
+  full.view().block(0, 0, m, k0).copy_from(basis.view().block(0, 0, m, k0));
+  auto blk = full.view().block(0, k0, m, w);
+  blk.copy_from(block.view());
+  auto res = krylov::block_orthogonalize(dev, full.view(), k0, blk, topt);
+  (void)res;
+  EXPECT_LT(orthogonality_error(full.view()), 1e-12);
+}
+
+TEST(BlockOrthogonalize, ReconstructionIdentityHolds) {
+  // block_in = basis * C + Q R.
+  const idx m = 300, k0 = 5, w = 3;
+  auto basis0 = random_orthonormal<double>(m, k0, 9);
+  auto block0 = gaussian_matrix<double>(m, w, 10);
+  Device dev;
+  tsqr::TsqrOptions topt;
+  topt.block_rows = 64;
+
+  Matrix<double> full = Matrix<double>::zeros(m, k0 + w);
+  full.view().block(0, 0, m, k0).copy_from(basis0.view());
+  auto blk = full.view().block(0, k0, m, w);
+  blk.copy_from(block0.view());
+  auto res = krylov::block_orthogonalize(dev, full.view(), k0, blk, topt);
+
+  Matrix<double> recon = Matrix<double>::zeros(m, w);
+  gemm(Trans::No, Trans::No, 1.0, basis0.view(), res.coeffs.view(), 0.0,
+       recon.view());
+  gemm(Trans::No, Trans::No, 1.0, blk.as_const(), res.r.view(), 1.0,
+       recon.view());
+  for (idx j = 0; j < w; ++j) {
+    for (idx i = 0; i < m; ++i) {
+      ASSERT_NEAR(recon(i, j), block0(i, j), 1e-10);
+    }
+  }
+}
+
+TEST(CaArnoldi, BasisOrthonormalAndHessenbergCorrect) {
+  auto a = CsrMatrix<double>::laplacian_2d(16);
+  const idx m = a.rows();
+  auto v = unit_seed(m, 11);
+  Device dev;
+  auto ar = krylov::ca_arnoldi(dev, a, v.data(), /*s=*/4, /*blocks=*/3);
+  ASSERT_EQ(ar.width, 12);
+  EXPECT_LT(orthogonality_error(ar.v.view().block(0, 0, m, ar.width + 1)),
+            1e-11);
+
+  // H(i, j) must equal v_i^T A v_j (direct check).
+  std::vector<double> av(static_cast<std::size_t>(m));
+  for (idx j = 0; j < ar.width; ++j) {
+    a.spmv(ar.v.view().col(j), av.data());
+    for (idx i = 0; i <= std::min<idx>(j + 1, ar.width); ++i) {
+      const double expect = dot(m, ar.v.view().col(i), av.data());
+      ASSERT_NEAR(ar.h(i, j), expect, 1e-12);
+    }
+  }
+}
+
+TEST(CaArnoldi, MatchesMgsArnoldiRitzValues) {
+  // Both build a basis of the same Krylov space: the projected operator's
+  // eigenvalues (Ritz values via the symmetric part) must coincide.
+  auto a = CsrMatrix<double>::laplacian_2d(12);
+  const idx m = a.rows();
+  auto v = unit_seed(m, 13);
+  Device dev;
+  const idx s = 3, blocks = 2, width = s * blocks;
+  auto ca = krylov::ca_arnoldi(dev, a, v.data(), s, blocks);
+  auto mgs = krylov::arnoldi_mgs(dev, a, v.data(), width);
+
+  auto ritz = [&](ConstMatrixView<double> h, idx w) {
+    Matrix<double> hs = Matrix<double>::zeros(w, w);
+    for (idx j = 0; j < w; ++j) {
+      for (idx i = 0; i < w; ++i) hs(i, j) = h(i, j);
+    }
+    auto f = jacobi_svd(hs.view());  // SPD operator: singular = eigen values
+    return f.sigma;
+  };
+  const auto r1 = ritz(ca.h.view(), width);
+  const auto r2 = ritz(mgs.h.view(), width);
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_NEAR(r1[i], r2[i], 1e-6 * (1.0 + r2[0])) << i;
+  }
+}
+
+TEST(CaGmres, ConvergesOnLaplacian) {
+  auto a = CsrMatrix<double>::laplacian_2d(16);
+  const idx m = a.rows();
+  auto xt = unit_seed(m, 17);
+  std::vector<double> b(static_cast<std::size_t>(m));
+  a.spmv(xt.data(), b.data());
+
+  Device dev;
+  auto res = krylov::ca_gmres(dev, a, b.data(), /*s=*/4, /*blocks=*/5,
+                              /*max_restarts=*/30, 1e-9);
+  ASSERT_TRUE(res.converged) << "final residual " << res.residuals.back();
+  double err = 0;
+  for (idx i = 0; i < m; ++i) {
+    err = std::max(err, std::fabs(res.x[static_cast<std::size_t>(i)] -
+                                  xt[static_cast<std::size_t>(i)]));
+  }
+  EXPECT_LT(err, 1e-6);
+}
+
+TEST(CaGmres, ResidualsMonotoneAcrossRestarts) {
+  auto a = CsrMatrix<double>::laplacian_2d(12);
+  const idx m = a.rows();
+  auto b = unit_seed(m, 19);
+  Device dev;
+  auto res = krylov::ca_gmres(dev, a, b.data(), 3, 4, 10, 1e-12);
+  for (std::size_t i = 1; i < res.residuals.size(); ++i) {
+    EXPECT_LE(res.residuals[i], res.residuals[i - 1] * (1.0 + 1e-12)) << i;
+  }
+}
+
+TEST(CaGmres, ZeroRhsConvergesImmediately) {
+  auto a = CsrMatrix<double>::laplacian_2d(4);
+  std::vector<double> b(16, 0.0);
+  Device dev;
+  auto res = krylov::ca_gmres(dev, a, b.data(), 2, 2, 3);
+  EXPECT_TRUE(res.converged);
+  for (const double x : res.x) EXPECT_EQ(x, 0.0);
+}
+
+TEST(CaGmres, TimelineChargesSpmvAndQrWork) {
+  auto a = CsrMatrix<double>::laplacian_2d(12);
+  auto b = unit_seed(a.rows(), 21);
+  Device dev;
+  auto res = krylov::ca_gmres(dev, a, b.data(), 3, 3, 3, 1e-10);
+  (void)res;
+  EXPECT_NE(dev.profile("spmv"), nullptr);
+  EXPECT_NE(dev.profile("factor"), nullptr);       // TSQR inside the blocks
+  EXPECT_NE(dev.profile("bgs_project"), nullptr);  // block Gram-Schmidt
+  EXPECT_GT(dev.elapsed_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace caqr

@@ -1,0 +1,173 @@
+// Tests for the flat LAPACK-convention API: info-code argument validation,
+// LAPACK storage semantics (lda/ldb strides, in-place results), numerical
+// agreement with the underlying routines, and the CAQR handle lifecycle.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "api/lapack_compat.hpp"
+#include "linalg/norms.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/random_matrix.hpp"
+
+namespace caqr {
+namespace {
+
+using api::caqr_dgels;
+using api::caqr_dgeqrf;
+using api::caqr_dorgqr;
+using api::caqr_dormqr;
+using api::caqr_sgeqrf;
+using api::lapack_int;
+
+TEST(LapackApi, GeqrfArgumentValidation) {
+  std::vector<double> a(10), tau(2);
+  EXPECT_EQ(caqr_dgeqrf(-1, 2, a.data(), 5, tau.data()), -1);
+  EXPECT_EQ(caqr_dgeqrf(5, -2, a.data(), 5, tau.data()), -2);
+  EXPECT_EQ(caqr_dgeqrf(5, 2, nullptr, 5, tau.data()), -3);
+  EXPECT_EQ(caqr_dgeqrf(5, 2, a.data(), 3, tau.data()), -4);  // lda < m
+  EXPECT_EQ(caqr_dgeqrf(5, 2, a.data(), 5, nullptr), -5);
+  EXPECT_EQ(caqr_dgeqrf(0, 0, nullptr, 1, nullptr), 0);  // empty: OK
+}
+
+TEST(LapackApi, GeqrfMatchesLibraryRoutine) {
+  const lapack_int m = 30, n = 8, lda = 35;  // padded leading dimension
+  std::vector<double> a(static_cast<std::size_t>(lda * n));
+  auto ref = gaussian_matrix<double>(m, n, 71);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < m; ++i) a[static_cast<std::size_t>(i + j * lda)] = ref(i, j);
+  }
+  std::vector<double> tau(static_cast<std::size_t>(n));
+  ASSERT_EQ(caqr_dgeqrf(m, n, a.data(), lda, tau.data()), 0);
+
+  auto direct = ref.clone();
+  std::vector<double> tau2(static_cast<std::size_t>(n));
+  geqrf(direct.view(), tau2.data());
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < m; ++i) {
+      ASSERT_NEAR(a[static_cast<std::size_t>(i + j * lda)], direct(i, j), 1e-13);
+    }
+  }
+}
+
+TEST(LapackApi, OrgqrProducesOrthonormalColumns) {
+  const lapack_int m = 40, n = 10;
+  auto a = gaussian_matrix<double>(m, n, 72);
+  std::vector<double> tau(static_cast<std::size_t>(n));
+  ASSERT_EQ(caqr_dgeqrf(m, n, a.data(), m, tau.data()), 0);
+  ASSERT_EQ(caqr_dorgqr(m, n, a.data(), m, tau.data()), 0);
+  EXPECT_LT(orthogonality_error(ConstMatrixView<double>(a.data(), m, n, m)),
+            1e-13);
+}
+
+TEST(LapackApi, OrgqrValidation) {
+  std::vector<double> a(10), tau(2);
+  EXPECT_EQ(caqr_dorgqr(-1, 1, a.data(), 1, tau.data()), -1);
+  EXPECT_EQ(caqr_dorgqr(2, 5, a.data(), 2, tau.data()), -2);  // k > m
+  EXPECT_EQ(caqr_dorgqr(5, 2, a.data(), 2, tau.data()), -4);  // lda < m
+}
+
+TEST(LapackApi, OrmqrAppliesQtThenQRoundTrips) {
+  const lapack_int m = 25, k = 6, nc = 3;
+  auto a = gaussian_matrix<double>(m, k, 73);
+  std::vector<double> tau(static_cast<std::size_t>(k));
+  ASSERT_EQ(caqr_dgeqrf(m, k, a.data(), m, tau.data()), 0);
+
+  auto c0 = gaussian_matrix<double>(m, nc, 74);
+  auto c = c0.clone();
+  ASSERT_EQ(caqr_dormqr('T', m, nc, k, a.data(), m, tau.data(), c.data(), m), 0);
+  ASSERT_EQ(caqr_dormqr('N', m, nc, k, a.data(), m, tau.data(), c.data(), m), 0);
+  for (idx j = 0; j < nc; ++j) {
+    for (idx i = 0; i < m; ++i) ASSERT_NEAR(c(i, j), c0(i, j), 1e-12);
+  }
+  EXPECT_EQ(caqr_dormqr('X', m, nc, k, a.data(), m, tau.data(), c.data(), m),
+            -1);
+}
+
+TEST(LapackApi, GelsSolvesLeastSquaresInPlace) {
+  const lapack_int m = 50, n = 6, nrhs = 2;
+  auto a = gaussian_matrix<double>(m, n, 75);
+  auto xt = gaussian_matrix<double>(n, nrhs, 76);
+  auto b = Matrix<double>::zeros(m, nrhs);
+  gemm(Trans::No, Trans::No, 1.0, a.view(), xt.view(), 0.0, b.view());
+
+  auto a_io = a.clone();
+  auto b_io = b.clone();
+  ASSERT_EQ(caqr_dgels(m, n, nrhs, a_io.data(), m, b_io.data(), m), 0);
+  for (idx j = 0; j < nrhs; ++j) {
+    for (idx i = 0; i < n; ++i) ASSERT_NEAR(b_io(i, j), xt(i, j), 1e-11);
+  }
+}
+
+TEST(LapackApi, GelsRejectsUnderdetermined) {
+  std::vector<double> a(20), b(10);
+  EXPECT_EQ(caqr_dgels(2, 5, 1, a.data(), 2, b.data(), 2), -2);
+}
+
+TEST(LapackApi, SinglePrecisionVariant) {
+  const lapack_int m = 60, n = 12;
+  auto ref = gaussian_matrix<float>(m, n, 77);
+  auto a = ref.clone();
+  std::vector<float> tau(static_cast<std::size_t>(n));
+  ASSERT_EQ(caqr_sgeqrf(m, n, a.data(), m, tau.data()), 0);
+  ASSERT_EQ(api::caqr_sorgqr(m, n, a.data(), m, tau.data()), 0);
+  EXPECT_LT(orthogonality_error(ConstMatrixView<float>(a.data(), m, n, m)),
+            1e-4);
+}
+
+TEST(LapackApi, HandleLifecycleAndResults) {
+  const lapack_int m = 200, n = 16;
+  auto a = gaussian_matrix<float>(m, n, 78);
+  api::CaqrHandle* h = api::caqr_handle_sfactor(m, n, a.data(), m);
+  ASSERT_NE(h, nullptr);
+
+  // R matches the reference factorization up to signs.
+  std::vector<float> r(static_cast<std::size_t>(n * n));
+  ASSERT_EQ(api::caqr_handle_extract_r(h, r.data(), n), 0);
+  auto ref = a.clone();
+  std::vector<float> tau(static_cast<std::size_t>(n));
+  geqrf(ref.view(), tau.data());
+  EXPECT_LT(r_factor_difference(extract_r(ref.view()).view(),
+                                ConstMatrixView<float>(r.data(), n, n, n)),
+            1e-4);
+
+  // apply Q^T then Q round-trips.
+  auto c0 = gaussian_matrix<float>(m, 2, 79);
+  auto c = c0.clone();
+  ASSERT_EQ(api::caqr_handle_apply_q(h, 'T', c.data(), m, 2), 0);
+  ASSERT_EQ(api::caqr_handle_apply_q(h, 'N', c.data(), m, 2), 0);
+  for (idx j = 0; j < 2; ++j) {
+    for (idx i = 0; i < m; ++i) ASSERT_NEAR(c(i, j), c0(i, j), 1e-3);
+  }
+
+  // Explicit Q orthonormal.
+  std::vector<float> q(static_cast<std::size_t>(m * n));
+  ASSERT_EQ(api::caqr_handle_form_q(h, q.data(), m, n), 0);
+  EXPECT_LT(orthogonality_error(ConstMatrixView<float>(q.data(), m, n, m)),
+            1e-4);
+
+  EXPECT_GT(api::caqr_handle_simulated_seconds(h), 0.0);
+  api::caqr_handle_destroy(h);
+}
+
+TEST(LapackApi, HandleValidation) {
+  EXPECT_EQ(api::caqr_handle_sfactor(0, 5, nullptr, 1), nullptr);
+  EXPECT_EQ(api::caqr_handle_extract_r(nullptr, nullptr, 1), -1);
+  EXPECT_EQ(api::caqr_handle_apply_q(nullptr, 'T', nullptr, 1, 1), -1);
+  EXPECT_EQ(api::caqr_handle_simulated_seconds(nullptr), 0.0);
+  api::caqr_handle_destroy(nullptr);  // must be safe
+
+  auto a = gaussian_matrix<float>(10, 4, 80);
+  api::CaqrHandle* h = api::caqr_handle_sfactor(10, 4, a.data(), 10);
+  ASSERT_NE(h, nullptr);
+  std::vector<float> buf(100);
+  EXPECT_EQ(api::caqr_handle_extract_r(h, buf.data(), 2), -3);   // ldr < k
+  EXPECT_EQ(api::caqr_handle_apply_q(h, 'X', buf.data(), 10, 1), -2);
+  EXPECT_EQ(api::caqr_handle_form_q(h, buf.data(), 10, 0), -4);
+  api::caqr_handle_destroy(h);
+}
+
+}  // namespace
+}  // namespace caqr

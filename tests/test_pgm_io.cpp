@@ -1,0 +1,133 @@
+// Tests for PGM image IO and frame/matrix packing.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "video/pgm_io.hpp"
+#include "video/video.hpp"
+
+namespace caqr {
+namespace {
+
+using video::column_to_frame;
+using video::frame_to_column;
+using video::PgmImage;
+using video::read_pgm;
+using video::write_pgm;
+
+std::string temp_path(const char* name) {
+  return std::string("/tmp/caqr_test_") + name;
+}
+
+PgmImage gradient_image(idx h, idx w) {
+  PgmImage img;
+  img.height = h;
+  img.width = w;
+  img.pixels.resize(static_cast<std::size_t>(h * w));
+  for (idx y = 0; y < h; ++y) {
+    for (idx x = 0; x < w; ++x) {
+      img.at(y, x) =
+          static_cast<float>(y * w + x) / static_cast<float>(h * w - 1);
+    }
+  }
+  return img;
+}
+
+TEST(PgmIo, BinaryRoundTrip) {
+  const auto path = temp_path("bin.pgm");
+  auto img = gradient_image(9, 13);
+  ASSERT_TRUE(write_pgm(path, img, /*binary=*/true));
+  PgmImage back;
+  ASSERT_TRUE(read_pgm(path, back));
+  ASSERT_EQ(back.height, 9);
+  ASSERT_EQ(back.width, 13);
+  for (idx y = 0; y < 9; ++y) {
+    for (idx x = 0; x < 13; ++x) {
+      // 8-bit quantization: half an LSB.
+      ASSERT_NEAR(back.at(y, x), img.at(y, x), 0.5f / 255.0f + 1e-6f);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PgmIo, AsciiRoundTrip) {
+  const auto path = temp_path("ascii.pgm");
+  auto img = gradient_image(5, 7);
+  ASSERT_TRUE(write_pgm(path, img, /*binary=*/false));
+  PgmImage back;
+  ASSERT_TRUE(read_pgm(path, back));
+  ASSERT_EQ(back.height, 5);
+  for (idx y = 0; y < 5; ++y) {
+    for (idx x = 0; x < 7; ++x) {
+      ASSERT_NEAR(back.at(y, x), img.at(y, x), 0.5f / 255.0f + 1e-6f);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PgmIo, CommentsAndWhitespaceHandled) {
+  const auto path = temp_path("comments.pgm");
+  FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fprintf(f, "P2\n# a comment\n  3 # trailing\n2\n255\n"
+                  "0 128 255\n10 20 30\n");
+  std::fclose(f);
+  PgmImage img;
+  ASSERT_TRUE(read_pgm(path, img));
+  EXPECT_EQ(img.width, 3);
+  EXPECT_EQ(img.height, 2);
+  EXPECT_NEAR(img.at(0, 1), 128.0f / 255.0f, 1e-6f);
+  EXPECT_NEAR(img.at(1, 2), 30.0f / 255.0f, 1e-6f);
+  std::remove(path.c_str());
+}
+
+TEST(PgmIo, RejectsMalformedInputs) {
+  PgmImage img;
+  EXPECT_FALSE(read_pgm("/nonexistent/path.pgm", img));
+
+  const auto path = temp_path("bad.pgm");
+  for (const char* contents :
+       {"P3\n2 2\n255\n0 0 0 0\n",       // wrong magic
+        "P2\n0 2\n255\n",                // zero dimension
+        "P2\n2 2\n70000\n0 0 0 0\n",     // maxval too large
+        "P2\n2 2\n255\n0 0 0\n",         // truncated pixels
+        "P2\n2 2\n255\n0 0 0 abc\n"}) {  // non-numeric pixel
+    FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(contents, f);
+    std::fclose(f);
+    EXPECT_FALSE(read_pgm(path, img)) << contents;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PgmIo, FrameColumnRoundTrip) {
+  auto img = gradient_image(6, 4);
+  Matrix<float> m(24, 3);
+  frame_to_column(img, m.view(), 1);
+  auto back = column_to_frame(m.view(), 1, 6, 4);
+  for (idx y = 0; y < 6; ++y) {
+    for (idx x = 0; x < 4; ++x) ASSERT_EQ(back.at(y, x), img.at(y, x));
+  }
+}
+
+TEST(PgmIo, PackingMatchesGeneratorLayout) {
+  // The generator packs pixel (y, x) at row y + x*height; frame_to_column
+  // must agree so real frames and synthetic ones are interchangeable.
+  video::VideoSpec spec;
+  spec.height = 8;
+  spec.width = 6;
+  spec.frames = 2;
+  auto clip = video::generate_video(spec);
+  auto frame0 = column_to_frame(clip.matrix.view(), 0, spec.height, spec.width);
+  Matrix<float> repacked(spec.pixels(), 1);
+  frame_to_column(frame0, repacked.view(), 0);
+  for (idx p = 0; p < spec.pixels(); ++p) {
+    ASSERT_EQ(repacked(p, 0), clip.matrix(p, 0));
+  }
+}
+
+}  // namespace
+}  // namespace caqr

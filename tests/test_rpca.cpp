@@ -1,0 +1,207 @@
+// Tests for Robust PCA: shrinkage operator, recovery of planted
+// low-rank + sparse decompositions, convergence behaviour, and the
+// iteration-rate accounting behind Table II.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/norms.hpp"
+#include "linalg/random_matrix.hpp"
+#include "rpca/rpca.hpp"
+
+namespace caqr {
+namespace {
+
+using gpusim::Device;
+using gpusim::ExecMode;
+using gpusim::GpuMachineModel;
+
+TEST(Shrink, SoftThresholdElementwise) {
+  auto a = Matrix<double>::zeros(2, 3);
+  a(0, 0) = 5;
+  a(1, 0) = -5;
+  a(0, 1) = 1;
+  a(1, 1) = -1;
+  a(0, 2) = 2.5;
+  rpca::shrink(a.view(), 2.0);
+  EXPECT_DOUBLE_EQ(a(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(a(1, 0), -3.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(a(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(a(0, 2), 0.5);
+  EXPECT_DOUBLE_EQ(a(1, 2), 0.0);
+}
+
+TEST(Rpca, RecoversPlantedDecomposition) {
+  LowRankPlusSparse spec;
+  spec.rank = 2;
+  spec.sparse_fraction = 0.05;
+  spec.sparse_magnitude = 0.5;
+  auto planted = planted_low_rank_plus_sparse<double>(300, 40, spec, 77);
+
+  Device dev;
+  rpca::RpcaOptions opt;
+  opt.max_iterations = 120;
+  opt.tolerance = 1e-7;
+  auto res = rpca::robust_pca(dev, planted.observed.view(), opt);
+  ASSERT_TRUE(res.converged);
+
+  // L close to the planted low-rank part.
+  double err_l = 0;
+  for (idx j = 0; j < 40; ++j) {
+    for (idx i = 0; i < 300; ++i) {
+      const double d = res.low_rank(i, j) - planted.low_rank(i, j);
+      err_l += d * d;
+    }
+  }
+  const double rel_l = std::sqrt(err_l) / frobenius_norm(planted.low_rank.view());
+  EXPECT_LT(rel_l, 0.05);
+
+  // Sparse support mostly recovered: large planted entries appear in S.
+  idx hits = 0, planted_large = 0;
+  for (idx j = 0; j < 40; ++j) {
+    for (idx i = 0; i < 300; ++i) {
+      if (std::fabs(planted.sparse(i, j)) > 0.25) {
+        ++planted_large;
+        if (std::fabs(res.sparse(i, j)) > 0.05) ++hits;
+      }
+    }
+  }
+  ASSERT_GT(planted_large, 50);
+  EXPECT_GT(static_cast<double>(hits) / planted_large, 0.9);
+}
+
+TEST(Rpca, LPlusSEqualsM) {
+  LowRankPlusSparse spec;
+  spec.rank = 3;
+  spec.sparse_fraction = 0.1;
+  auto planted = planted_low_rank_plus_sparse<double>(200, 30, spec, 78);
+  Device dev;
+  rpca::RpcaOptions opt;
+  opt.max_iterations = 100;
+  auto res = rpca::robust_pca(dev, planted.observed.view(), opt);
+  EXPECT_LT(res.residual, 1e-5);
+  EXPECT_GT(res.iterations, 1);
+}
+
+TEST(Rpca, LowRankResultHasLowRank) {
+  LowRankPlusSparse spec;
+  spec.rank = 2;
+  spec.sparse_fraction = 0.05;
+  auto planted = planted_low_rank_plus_sparse<double>(256, 32, spec, 79);
+  Device dev;
+  auto res = rpca::robust_pca(dev, planted.observed.view());
+  // Final thresholded rank should be close to the planted rank.
+  EXPECT_LE(res.final_rank, 8);
+  auto svd = jacobi_svd(res.low_rank.view());
+  // Energy concentrated in the top components.
+  double top = 0, total = 0;
+  for (std::size_t i = 0; i < svd.sigma.size(); ++i) {
+    total += svd.sigma[i] * svd.sigma[i];
+    if (i < 4) top += svd.sigma[i] * svd.sigma[i];
+  }
+  EXPECT_GT(top / total, 0.98);
+}
+
+TEST(Rpca, ZeroMatrixConvergesImmediately) {
+  auto m = Matrix<double>::zeros(50, 10);
+  Device dev;
+  rpca::RpcaOptions opt;
+  opt.max_iterations = 5;
+  auto res = rpca::robust_pca(dev, m.view(), opt);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(max_abs(res.low_rank.view()), 1e-12);
+  EXPECT_LT(max_abs(res.sparse.view()), 1e-12);
+}
+
+TEST(Rpca, IterationRateOrderingMatchesTableII) {
+  // CAQR backend must iterate faster than the BLAS2 backend at the paper's
+  // video-matrix size (GTX480 model), by roughly 3x.
+  svd::TallSkinnySvdOptions caqr_opt;
+  caqr_opt.backend = svd::QrBackend::Caqr;
+  svd::TallSkinnySvdOptions blas2_opt;
+  blas2_opt.backend = svd::QrBackend::GpuBlas2;
+
+  Device d1(GpuMachineModel::gtx480(), ExecMode::ModelOnly);
+  Device d2(GpuMachineModel::gtx480(), ExecMode::ModelOnly);
+  const double rate_caqr =
+      rpca::rpca_iteration_rate<float>(d1, 110592, 100, caqr_opt);
+  const double rate_blas2 =
+      rpca::rpca_iteration_rate<float>(d2, 110592, 100, blas2_opt);
+  EXPECT_GT(rate_caqr, rate_blas2);
+  EXPECT_GT(rate_caqr / rate_blas2, 1.5);
+  EXPECT_LT(rate_caqr / rate_blas2, 8.0);
+}
+
+TEST(Rpca, SimulatedSecondsPerIterationPositive) {
+  LowRankPlusSparse spec;
+  spec.rank = 1;
+  spec.sparse_fraction = 0.02;
+  auto planted = planted_low_rank_plus_sparse<double>(128, 16, spec, 80);
+  Device dev;
+  rpca::RpcaOptions opt;
+  opt.max_iterations = 3;
+  opt.tolerance = 0.0;  // force all iterations
+  auto res = rpca::robust_pca(dev, planted.observed.view(), opt);
+  EXPECT_EQ(res.iterations, 3);
+  EXPECT_GT(res.seconds_per_iteration, 0.0);
+  EXPECT_NEAR(res.simulated_seconds,
+              res.seconds_per_iteration * res.iterations, 1e-12);
+}
+
+// Robustness sweep over corruption levels: recovery quality degrades
+// gracefully as the sparse fraction grows, and holds at the regime the
+// video application lives in (a few percent of pixels are foreground).
+class RpcaCorruptionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RpcaCorruptionSweep, RecoversLowRankPart) {
+  const double fraction = GetParam();
+  LowRankPlusSparse spec;
+  spec.rank = 2;
+  spec.sparse_fraction = fraction;
+  spec.sparse_magnitude = 0.5;
+  auto planted = planted_low_rank_plus_sparse<double>(240, 32, spec, 881);
+  Device dev;
+  rpca::RpcaOptions opt;
+  opt.max_iterations = 120;
+  opt.tolerance = 1e-7;
+  auto res = rpca::robust_pca(dev, planted.observed.view(), opt);
+  ASSERT_TRUE(res.converged);
+  double err = 0;
+  for (idx j = 0; j < 32; ++j) {
+    for (idx i = 0; i < 240; ++i) {
+      err += std::pow(res.low_rank(i, j) - planted.low_rank(i, j), 2);
+    }
+  }
+  const double rel = std::sqrt(err) / frobenius_norm(planted.low_rank.view());
+  EXPECT_LT(rel, fraction <= 0.05 ? 0.06 : 0.25) << "fraction " << fraction;
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, RpcaCorruptionSweep,
+                         ::testing::Values(0.01, 0.03, 0.05, 0.10));
+
+TEST(Rpca, SmallSvdBackendDoesNotChangeResult) {
+  LowRankPlusSparse spec;
+  spec.rank = 2;
+  spec.sparse_fraction = 0.05;
+  auto planted = planted_low_rank_plus_sparse<double>(150, 20, spec, 882);
+  auto run = [&](svd::SmallSvd algo) {
+    Device dev;
+    rpca::RpcaOptions opt;
+    opt.max_iterations = 40;
+    opt.svd.small_svd = algo;
+    return rpca::robust_pca(dev, planted.observed.view(), opt);
+  };
+  auto a = run(svd::SmallSvd::Jacobi);
+  auto b = run(svd::SmallSvd::TwoPhase);
+  EXPECT_EQ(a.iterations, b.iterations);
+  for (idx j = 0; j < 20; ++j) {
+    for (idx i = 0; i < 150; ++i) {
+      ASSERT_NEAR(a.low_rank(i, j), b.low_rank(i, j), 1e-7);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace caqr

@@ -1,0 +1,117 @@
+// Tests for the CSR sparse-matrix substrate.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "linalg/blas2.hpp"
+#include "sparse/csr.hpp"
+
+namespace caqr {
+namespace {
+
+using sparse::CsrMatrix;
+
+TEST(Csr, FromTripletsBasic) {
+  auto m = CsrMatrix<double>::from_triplets(
+      3, 3, {{0, 0, 1.0}, {1, 1, 2.0}, {2, 2, 3.0}, {0, 2, 5.0}});
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.nnz(), 4);
+  auto d = m.to_dense();
+  EXPECT_EQ(d(0, 0), 1.0);
+  EXPECT_EQ(d(0, 2), 5.0);
+  EXPECT_EQ(d(1, 1), 2.0);
+  EXPECT_EQ(d(1, 0), 0.0);
+}
+
+TEST(Csr, DuplicateTripletsAreSummed) {
+  auto m = CsrMatrix<double>::from_triplets(2, 2,
+                                            {{0, 0, 1.0}, {0, 0, 2.5}, {1, 0, 1.0}});
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_EQ(m.to_dense()(0, 0), 3.5);
+}
+
+TEST(Csr, UnsortedTripletsHandled) {
+  auto m = CsrMatrix<double>::from_triplets(
+      3, 3, {{2, 1, 9.0}, {0, 2, 1.0}, {1, 0, 4.0}, {0, 1, 2.0}});
+  auto d = m.to_dense();
+  EXPECT_EQ(d(2, 1), 9.0);
+  EXPECT_EQ(d(0, 2), 1.0);
+  EXPECT_EQ(d(1, 0), 4.0);
+  EXPECT_EQ(d(0, 1), 2.0);
+}
+
+TEST(Csr, SpmvMatchesDenseGemv) {
+  Rng rng(5);
+  std::vector<std::tuple<idx, idx, double>> trip;
+  const idx n = 40;
+  for (int k = 0; k < 200; ++k) {
+    trip.emplace_back(static_cast<idx>(rng.next_below(n)),
+                      static_cast<idx>(rng.next_below(n)),
+                      rng.uniform(-1, 1));
+  }
+  auto m = CsrMatrix<double>::from_triplets(n, n, std::move(trip));
+  auto d = m.to_dense();
+
+  std::vector<double> x(static_cast<std::size_t>(n)), y1(static_cast<std::size_t>(n)),
+      y2(static_cast<std::size_t>(n), 0.0);
+  for (auto& v : x) v = rng.normal();
+  m.spmv(x.data(), y1.data());
+  gemv_n(1.0, d.view(), x.data(), 0.0, y2.data());
+  for (idx i = 0; i < n; ++i) ASSERT_NEAR(y1[static_cast<std::size_t>(i)], y2[static_cast<std::size_t>(i)], 1e-13);
+}
+
+TEST(Csr, Laplacian2dProperties) {
+  auto a = CsrMatrix<double>::laplacian_2d(8);
+  EXPECT_EQ(a.rows(), 64);
+  EXPECT_EQ(a.cols(), 64);
+  // Interior points have 5 entries, corners 3, edges 4: nnz = 5n^2-4n... for
+  // an 8x8 grid: 5*64 - 4*8*... count: 64*5 - boundary deficit (4 per side
+  // row/col edge). Just verify structural facts:
+  EXPECT_GT(a.nnz(), 64 * 3);
+  EXPECT_LT(a.nnz(), 64 * 5 + 1);
+  EXPECT_TRUE(a.is_symmetric());
+
+  // Row sums are >= 0 (diagonally dominant) and 0 only for interior rows...
+  // For the Dirichlet Laplacian, boundary rows have positive row sums.
+  auto d = a.to_dense();
+  for (idx i = 0; i < 64; ++i) {
+    double sum = 0;
+    for (idx j = 0; j < 64; ++j) sum += d(i, j);
+    EXPECT_GE(sum, -1e-14);
+  }
+}
+
+TEST(Csr, LaplacianSpmvConstantVector) {
+  const idx g = 16;
+  auto a = CsrMatrix<double>::laplacian_2d(g);
+  std::vector<double> x(static_cast<std::size_t>(g * g), 1.0),
+      y(static_cast<std::size_t>(g * g));
+  a.spmv(x.data(), y.data());
+  // Interior rows: 4 - 4 = 0; boundary rows positive.
+  EXPECT_NEAR(y[static_cast<std::size_t>(g + 1)], 0.0, 1e-14);  // interior
+  EXPECT_GT(y[0], 0.0);                                         // corner
+}
+
+TEST(Csr, ChargeSpmvAdvancesTimeline) {
+  auto a = CsrMatrix<float>::laplacian_2d(64);
+  gpusim::Device dev(gpusim::GpuMachineModel::c2050(),
+                     gpusim::ExecMode::ModelOnly);
+  a.charge_spmv(dev);
+  EXPECT_GT(dev.elapsed_seconds(), 0.0);
+  const auto* p = dev.profile("spmv");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->launches, 1);
+  EXPECT_DOUBLE_EQ(p->flops, 2.0 * a.nnz());
+}
+
+TEST(Csr, EmptyMatrix) {
+  auto m = CsrMatrix<double>::from_triplets(0, 0, {});
+  EXPECT_EQ(m.nnz(), 0);
+  m.spmv(nullptr, nullptr);  // no-op, must not crash
+}
+
+}  // namespace
+}  // namespace caqr

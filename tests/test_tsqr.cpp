@@ -1,0 +1,254 @@
+// Tests for TSQR: factorization invariants across shapes, tree arities and
+// reduction variants; equivalence with the reference QR; apply/form-Q
+// consistency; tree structure properties; timing sanity.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "linalg/norms.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/random_matrix.hpp"
+#include "tsqr/tsqr.hpp"
+
+namespace caqr {
+namespace {
+
+using gpusim::Device;
+using gpusim::ExecMode;
+using gpusim::GpuMachineModel;
+using tsqr::split_rows;
+using tsqr::TsqrOptions;
+
+TEST(SplitRows, BlocksCoverRangeAndRespectMinimum) {
+  // 1000 rows, blocks of 128: 7 blocks, last absorbs the remainder.
+  auto off = split_rows(1000, 128, 16);
+  ASSERT_EQ(off.size(), 8u);
+  EXPECT_EQ(off.front(), 0);
+  EXPECT_EQ(off.back(), 1000);
+  for (std::size_t i = 0; i + 1 < off.size(); ++i) {
+    EXPECT_GE(off[i + 1] - off[i], 16);
+    EXPECT_LT(off[i + 1] - off[i], 2 * 128);
+  }
+  // Fewer rows than a block: single block.
+  auto one = split_rows(100, 128, 16);
+  ASSERT_EQ(one.size(), 2u);
+  EXPECT_EQ(one[1], 100);
+  // Exactly one block.
+  auto exact = split_rows(128, 128, 16);
+  ASSERT_EQ(exact.size(), 2u);
+}
+
+struct TsqrCase {
+  idx m, n, block_rows, arity;
+};
+
+class TsqrShapes : public ::testing::TestWithParam<TsqrCase> {};
+
+TEST_P(TsqrShapes, FactorizationInvariants) {
+  const auto [m, n, h, arity] = GetParam();
+  TsqrOptions opt;
+  opt.block_rows = h;
+  opt.arity = arity;
+
+  auto a = gaussian_matrix<double>(m, n, 97);
+  Device dev;
+  auto f = tsqr::tsqr(dev, a.view(), opt);
+
+  // R upper triangular and matches the reference factorization up to signs.
+  auto r = f.r();
+  auto ref = a.clone();
+  std::vector<double> tau(static_cast<std::size_t>(n));
+  geqrf(ref.view(), tau.data());
+  auto r_ref = extract_r(ref.block(0, 0, std::min(m, n), n));
+  EXPECT_LT(r_factor_difference(r_ref.view(), r.view()), 1e-11);
+
+  // Q orthonormal, A = Q R.
+  auto q = f.form_q(dev, opt);
+  EXPECT_LT(orthogonality_error(q.view()), 1e-12 * std::sqrt(double(n)) * 50);
+  EXPECT_LT(factorization_residual(a.view(), q.view(), r.view()), 1e-13 * 100);
+
+  // Simulated time advanced.
+  EXPECT_GT(dev.elapsed_seconds(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TsqrShapes,
+    ::testing::Values(TsqrCase{64, 16, 64, 0},      // single block
+                      TsqrCase{256, 16, 64, 0},     // quad tree, one level
+                      TsqrCase{1024, 16, 64, 0},    // quad tree, two levels
+                      TsqrCase{1000, 16, 64, 0},    // ragged tail block
+                      TsqrCase{1024, 16, 64, 2},    // binary tree
+                      TsqrCase{1024, 16, 64, 8},    // wide tree
+                      TsqrCase{1024, 16, 64, 64},   // flat tree (one combine)
+                      TsqrCase{512, 8, 128, 0},     // arity 16
+                      TsqrCase{333, 5, 32, 3},      // odd everything
+                      TsqrCase{2048, 32, 128, 4},   // wider panel
+                      TsqrCase{16, 16, 64, 0}));    // square, single block
+
+TEST(Tsqr, ApplyQtToOriginalGivesR) {
+  const idx m = 512, n = 16;
+  auto a = gaussian_matrix<double>(m, n, 3);
+  Device dev;
+  TsqrOptions opt;
+  opt.block_rows = 64;
+  auto f = tsqr::tsqr(dev, a.view(), opt);
+
+  auto c = a.clone();
+  tsqr::tsqr_apply_qt(dev, f.storage.view(), f.meta, c.view(), opt);
+  auto r = f.r();
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < m; ++i) {
+      const double expect = i <= j ? r(i, j) : 0.0;
+      ASSERT_NEAR(c(i, j), expect, 1e-11) << i << "," << j;
+    }
+  }
+}
+
+TEST(Tsqr, ApplyQThenQtIsIdentity) {
+  const idx m = 700, n = 12;
+  auto a = gaussian_matrix<double>(m, n, 4);
+  Device dev;
+  TsqrOptions opt;
+  opt.block_rows = 96;
+  auto f = tsqr::tsqr(dev, a.view(), opt);
+
+  auto c0 = gaussian_matrix<double>(m, 9, 5);
+  auto c = c0.clone();
+  tsqr::tsqr_apply_qt(dev, f.storage.view(), f.meta, c.view(), opt);
+  tsqr::tsqr_apply_q(dev, f.storage.view(), f.meta, c.view(), opt);
+  for (idx j = 0; j < 9; ++j) {
+    for (idx i = 0; i < m; ++i) ASSERT_NEAR(c(i, j), c0(i, j), 1e-11);
+  }
+}
+
+TEST(Tsqr, RIndependentOfTreeShape) {
+  const idx m = 2048, n = 16;
+  auto a = gaussian_matrix<double>(m, n, 7);
+  Device dev;
+
+  Matrix<double> r_prev;
+  bool first = true;
+  for (const idx arity : {2, 4, 8, 32}) {
+    TsqrOptions opt;
+    opt.block_rows = 64;
+    opt.arity = arity;
+    auto f = tsqr::tsqr(dev, a.view(), opt);
+    auto r = f.r();
+    if (!first) {
+      EXPECT_LT(r_factor_difference(r_prev.view(), r.view()), 1e-11)
+          << "arity " << arity;
+    }
+    r_prev = std::move(r);
+    first = false;
+  }
+}
+
+TEST(Tsqr, LevelCountMatchesTreeArity) {
+  // 4096 rows, 64-row blocks => 64 leaves.
+  auto a = gaussian_matrix<double>(4096, 16, 9);
+  Device dev(GpuMachineModel::c2050(), ExecMode::ModelOnly);
+
+  auto levels_for = [&](idx arity) {
+    TsqrOptions opt;
+    opt.block_rows = 64;
+    opt.arity = arity;
+    auto f = tsqr::tsqr(dev, a.view(), opt);
+    return f.meta.levels.size();
+  };
+  EXPECT_EQ(levels_for(2), 6u);   // log2(64)
+  EXPECT_EQ(levels_for(4), 3u);   // log4(64)
+  EXPECT_EQ(levels_for(8), 2u);
+  EXPECT_EQ(levels_for(64), 1u);  // flat
+}
+
+TEST(Tsqr, DefaultArityIsBlockRowsOverWidth) {
+  TsqrOptions opt;
+  opt.block_rows = 64;
+  EXPECT_EQ(opt.effective_arity(16), 4);  // the paper's quad tree
+  EXPECT_EQ(opt.effective_arity(8), 8);
+  EXPECT_EQ(opt.effective_arity(64), 2);  // floor at binary
+  opt.arity = 3;
+  EXPECT_EQ(opt.effective_arity(16), 3);  // explicit override wins
+}
+
+TEST(Tsqr, FloatPrecisionInvariants) {
+  const idx m = 4096, n = 16;
+  auto a = gaussian_matrix<float>(m, n, 13);
+  Device dev;
+  TsqrOptions opt;
+  opt.block_rows = 128;
+  auto f = tsqr::tsqr(dev, a.view(), opt);
+  auto q = f.form_q(dev, opt);
+  auto r = f.r();
+  EXPECT_LT(orthogonality_error(q.view()), 5e-5);
+  EXPECT_LT(factorization_residual(a.view(), q.view(), r.view()), 5e-5);
+}
+
+TEST(Tsqr, IllConditionedStability) {
+  // TSQR is Householder-based: must stay backward stable where CholeskyQR
+  // would fail (cond ~ 1e8 in double).
+  auto a = matrix_with_condition<double>(1024, 12, 1e8, 15);
+  Device dev;
+  TsqrOptions opt;
+  opt.block_rows = 64;
+  auto f = tsqr::tsqr(dev, a.view(), opt);
+  auto q = f.form_q(dev, opt);
+  EXPECT_LT(orthogonality_error(q.view()), 1e-12);
+}
+
+TEST(Tsqr, DeterministicAcrossThreadPools) {
+  auto a = gaussian_matrix<double>(1024, 16, 17);
+  auto run = [&](std::size_t threads) {
+    ThreadPool pool(threads);
+    Device dev(GpuMachineModel::c2050(), ExecMode::Functional, &pool);
+    TsqrOptions opt;
+    opt.block_rows = 64;
+    auto f = tsqr::tsqr(dev, a.view(), opt);
+    return std::move(f.storage);
+  };
+  auto s1 = run(1);
+  auto s4 = run(4);
+  for (idx j = 0; j < s1.cols(); ++j) {
+    for (idx i = 0; i < s1.rows(); ++i) {
+      ASSERT_EQ(s1(i, j), s4(i, j)) << i << "," << j;  // bitwise
+    }
+  }
+}
+
+TEST(Tsqr, KernelProfilesRecorded) {
+  auto a = gaussian_matrix<double>(1024, 16, 19);
+  Device dev;
+  TsqrOptions opt;
+  opt.block_rows = 64;
+  auto f = tsqr::tsqr(dev, a.view(), opt);
+  (void)f;
+  EXPECT_NE(dev.profile("factor"), nullptr);
+  EXPECT_NE(dev.profile("factor_tree"), nullptr);
+  EXPECT_NE(dev.profile("transpose"), nullptr);  // transposed_panels default
+  const auto* fp = dev.profile("factor");
+  EXPECT_EQ(fp->launches, 1);
+  EXPECT_EQ(fp->blocks, 16);  // 1024 / 64
+}
+
+TEST(Tsqr, QuadTreeBeatsBinaryOnSimulatedTime) {
+  // The paper's motivation for the quad tree: fewer levels => fewer kernel
+  // launches and latency-bound top-of-tree steps.
+  auto a = gaussian_matrix<float>(65536, 16, 23);
+  auto time_for = [&](idx arity) {
+    Device dev(GpuMachineModel::c2050(), ExecMode::ModelOnly);
+    TsqrOptions opt;
+    opt.block_rows = 64;
+    opt.arity = arity;
+    auto f = tsqr::tsqr(dev, a.view(), opt);
+    (void)f;
+    return dev.elapsed_seconds();
+  };
+  EXPECT_LT(time_for(4), time_for(2));
+}
+
+}  // namespace
+}  // namespace caqr

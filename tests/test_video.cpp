@@ -1,0 +1,140 @@
+// Tests for the synthetic surveillance-video generator and the end-to-end
+// background-subtraction pipeline on a reduced-size clip.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/norms.hpp"
+#include "linalg/svd.hpp"
+#include "rpca/rpca.hpp"
+#include "video/video.hpp"
+
+namespace caqr {
+namespace {
+
+video::VideoSpec small_spec() {
+  video::VideoSpec spec;
+  spec.height = 24;
+  spec.width = 32;
+  spec.frames = 20;
+  spec.num_blobs = 2;
+  spec.blob_size = 0.2;
+  spec.noise_sigma = 0.005;
+  spec.seed = 7;
+  return spec;
+}
+
+TEST(Video, DimensionsAndRange) {
+  const auto spec = small_spec();
+  auto v = video::generate_video(spec);
+  EXPECT_EQ(v.matrix.rows(), spec.pixels());
+  EXPECT_EQ(v.matrix.cols(), spec.frames);
+  EXPECT_EQ(v.foreground_mask.size(), static_cast<std::size_t>(spec.frames));
+  for (idx j = 0; j < v.matrix.cols(); ++j) {
+    for (idx i = 0; i < v.matrix.rows(); ++i) {
+      ASSERT_GE(v.matrix(i, j), 0.0f);
+      ASSERT_LE(v.matrix(i, j), 1.0f);
+    }
+  }
+}
+
+TEST(Video, Deterministic) {
+  auto a = video::generate_video(small_spec());
+  auto b = video::generate_video(small_spec());
+  for (idx j = 0; j < a.matrix.cols(); ++j) {
+    for (idx i = 0; i < a.matrix.rows(); ++i) {
+      ASSERT_EQ(a.matrix(i, j), b.matrix(i, j));
+    }
+  }
+}
+
+TEST(Video, BackgroundIsEffectivelyLowRank) {
+  auto v = video::generate_video(small_spec());
+  auto svd = jacobi_svd(v.background.view());
+  // Illumination drift makes it rank ~2-3; energy must concentrate there.
+  double top = 0, total = 0;
+  for (std::size_t i = 0; i < svd.sigma.size(); ++i) {
+    total += svd.sigma[i] * svd.sigma[i];
+    if (i < 3) top += svd.sigma[i] * svd.sigma[i];
+  }
+  EXPECT_GT(top / total, 0.9999);
+}
+
+TEST(Video, ForegroundIsSparse) {
+  const auto spec = small_spec();
+  auto v = video::generate_video(spec);
+  long long fg = 0;
+  for (const auto& mask : v.foreground_mask) {
+    for (const auto m : mask) fg += m;
+  }
+  const double fraction = static_cast<double>(fg) /
+                          (static_cast<double>(spec.pixels()) * spec.frames);
+  EXPECT_GT(fraction, 0.01);
+  EXPECT_LT(fraction, 0.25);
+}
+
+TEST(Video, BlobsActuallyMove) {
+  auto v = video::generate_video(small_spec());
+  // Masks of first and last frames must differ substantially.
+  const auto& first = v.foreground_mask.front();
+  const auto& last = v.foreground_mask.back();
+  long long diff = 0;
+  for (std::size_t p = 0; p < first.size(); ++p) {
+    diff += first[p] != last[p] ? 1 : 0;
+  }
+  EXPECT_GT(diff, 10);
+}
+
+TEST(Video, EvaluateSeparationPerfectDetector) {
+  const auto spec = small_spec();
+  auto v = video::generate_video(spec);
+  // Build the "sparse" matrix directly from the ground truth mask.
+  auto s = Matrix<float>::zeros(spec.pixels(), spec.frames);
+  for (idx f = 0; f < spec.frames; ++f) {
+    for (idx p = 0; p < spec.pixels(); ++p) {
+      if (v.foreground_mask[static_cast<std::size_t>(f)][static_cast<std::size_t>(p)]) {
+        s(p, f) = 1.0f;
+      }
+    }
+  }
+  const auto q = video::evaluate_separation(v, s.view(), 0.5f);
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);
+  EXPECT_DOUBLE_EQ(q.f1, 1.0);
+}
+
+TEST(Video, RpcaSeparatesForegroundFromBackground) {
+  // End-to-end miniature of §VI: generate a clip, run Robust PCA, check the
+  // sparse component localizes the moving blobs.
+  const auto spec = small_spec();
+  auto v = video::generate_video(spec);
+
+  gpusim::Device dev;
+  rpca::RpcaOptions opt;
+  opt.max_iterations = 60;
+  opt.tolerance = 1e-6;
+  auto res = rpca::robust_pca(dev, v.matrix.view(), opt);
+
+  const auto q = video::evaluate_separation(v, res.sparse.view(), 0.08f);
+  EXPECT_GT(q.recall, 0.7);
+  EXPECT_GT(q.precision, 0.5);
+  EXPECT_GT(q.f1, 0.6);
+
+  // The low-rank component approximates the true background off-foreground.
+  double err = 0;
+  long long count = 0;
+  for (idx f = 0; f < spec.frames; ++f) {
+    for (idx p = 0; p < spec.pixels(); ++p) {
+      if (!v.foreground_mask[static_cast<std::size_t>(f)][static_cast<std::size_t>(p)]) {
+        const double d = res.low_rank(p, f) - v.background(p, f);
+        err += d * d;
+        ++count;
+      }
+    }
+  }
+  EXPECT_LT(std::sqrt(err / count), 0.05);
+}
+
+}  // namespace
+}  // namespace caqr
