@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_transpose.dir/bench_ablation_transpose.cpp.o"
+  "CMakeFiles/bench_ablation_transpose.dir/bench_ablation_transpose.cpp.o.d"
+  "bench_ablation_transpose"
+  "bench_ablation_transpose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_transpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_host_linalg.dir/bench_host_linalg.cpp.o"
+  "CMakeFiles/bench_host_linalg.dir/bench_host_linalg.cpp.o.d"
+  "bench_host_linalg"
+  "bench_host_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_host_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_svd_pipeline.dir/bench_svd_pipeline.cpp.o"
+  "CMakeFiles/bench_svd_pipeline.dir/bench_svd_pipeline.cpp.o.d"
+  "bench_svd_pipeline"
+  "bench_svd_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_svd_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

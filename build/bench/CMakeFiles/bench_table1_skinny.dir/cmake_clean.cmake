@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_skinny.dir/bench_table1_skinny.cpp.o"
+  "CMakeFiles/bench_table1_skinny.dir/bench_table1_skinny.cpp.o.d"
+  "bench_table1_skinny"
+  "bench_table1_skinny.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_skinny.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

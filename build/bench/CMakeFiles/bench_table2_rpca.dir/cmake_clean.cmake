@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_rpca.dir/bench_table2_rpca.cpp.o"
+  "CMakeFiles/bench_table2_rpca.dir/bench_table2_rpca.cpp.o.d"
+  "bench_table2_rpca"
+  "bench_table2_rpca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_rpca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

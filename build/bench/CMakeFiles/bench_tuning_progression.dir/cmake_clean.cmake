@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tuning_progression.dir/bench_tuning_progression.cpp.o"
+  "CMakeFiles/bench_tuning_progression.dir/bench_tuning_progression.cpp.o.d"
+  "bench_tuning_progression"
+  "bench_tuning_progression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tuning_progression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

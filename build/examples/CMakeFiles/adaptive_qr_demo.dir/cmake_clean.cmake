@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_qr_demo.dir/adaptive_qr_demo.cpp.o"
+  "CMakeFiles/adaptive_qr_demo.dir/adaptive_qr_demo.cpp.o.d"
+  "adaptive_qr_demo"
+  "adaptive_qr_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_qr_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstep_krylov.dir/sstep_krylov.cpp.o"
+  "CMakeFiles/sstep_krylov.dir/sstep_krylov.cpp.o.d"
+  "sstep_krylov"
+  "sstep_krylov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstep_krylov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

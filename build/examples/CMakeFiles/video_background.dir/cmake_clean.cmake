@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_background.dir/video_background.cpp.o"
+  "CMakeFiles/video_background.dir/video_background.cpp.o.d"
+  "video_background"
+  "video_background.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_background.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/lapack_compat.cpp" "src/CMakeFiles/caqr.dir/api/lapack_compat.cpp.o" "gcc" "src/CMakeFiles/caqr.dir/api/lapack_compat.cpp.o.d"
+  "/root/repo/src/caqr/autotune.cpp" "src/CMakeFiles/caqr.dir/caqr/autotune.cpp.o" "gcc" "src/CMakeFiles/caqr.dir/caqr/autotune.cpp.o.d"
+  "/root/repo/src/common/cli.cpp" "src/CMakeFiles/caqr.dir/common/cli.cpp.o" "gcc" "src/CMakeFiles/caqr.dir/common/cli.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/caqr.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/caqr.dir/common/table.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/CMakeFiles/caqr.dir/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/caqr.dir/common/thread_pool.cpp.o.d"
+  "/root/repo/src/gpusim/machine_model.cpp" "src/CMakeFiles/caqr.dir/gpusim/machine_model.cpp.o" "gcc" "src/CMakeFiles/caqr.dir/gpusim/machine_model.cpp.o.d"
+  "/root/repo/src/video/pgm_io.cpp" "src/CMakeFiles/caqr.dir/video/pgm_io.cpp.o" "gcc" "src/CMakeFiles/caqr.dir/video/pgm_io.cpp.o.d"
+  "/root/repo/src/video/video.cpp" "src/CMakeFiles/caqr.dir/video/video.cpp.o" "gcc" "src/CMakeFiles/caqr.dir/video/video.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

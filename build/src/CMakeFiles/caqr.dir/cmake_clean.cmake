@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caqr.dir/api/lapack_compat.cpp.o"
+  "CMakeFiles/caqr.dir/api/lapack_compat.cpp.o.d"
+  "CMakeFiles/caqr.dir/caqr/autotune.cpp.o"
+  "CMakeFiles/caqr.dir/caqr/autotune.cpp.o.d"
+  "CMakeFiles/caqr.dir/common/cli.cpp.o"
+  "CMakeFiles/caqr.dir/common/cli.cpp.o.d"
+  "CMakeFiles/caqr.dir/common/table.cpp.o"
+  "CMakeFiles/caqr.dir/common/table.cpp.o.d"
+  "CMakeFiles/caqr.dir/common/thread_pool.cpp.o"
+  "CMakeFiles/caqr.dir/common/thread_pool.cpp.o.d"
+  "CMakeFiles/caqr.dir/gpusim/machine_model.cpp.o"
+  "CMakeFiles/caqr.dir/gpusim/machine_model.cpp.o.d"
+  "CMakeFiles/caqr.dir/video/pgm_io.cpp.o"
+  "CMakeFiles/caqr.dir/video/pgm_io.cpp.o.d"
+  "CMakeFiles/caqr.dir/video/video.cpp.o"
+  "CMakeFiles/caqr.dir/video/video.cpp.o.d"
+  "libcaqr.a"
+  "libcaqr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caqr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_caqr.dir/test_caqr.cpp.o"
+  "CMakeFiles/test_caqr.dir/test_caqr.cpp.o.d"
+  "test_caqr"
+  "test_caqr.pdb"
+  "test_caqr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_caqr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_caqr_configs.dir/test_caqr_configs.cpp.o"
+  "CMakeFiles/test_caqr_configs.dir/test_caqr_configs.cpp.o.d"
+  "test_caqr_configs"
+  "test_caqr_configs.pdb"
+  "test_caqr_configs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_caqr_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_givens.dir/test_givens.cpp.o"
+  "CMakeFiles/test_givens.dir/test_givens.cpp.o.d"
+  "test_givens"
+  "test_givens.pdb"
+  "test_givens[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_givens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

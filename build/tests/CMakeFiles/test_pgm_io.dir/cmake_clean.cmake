@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pgm_io.dir/test_pgm_io.cpp.o"
+  "CMakeFiles/test_pgm_io.dir/test_pgm_io.cpp.o.d"
+  "test_pgm_io"
+  "test_pgm_io.pdb"
+  "test_pgm_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pgm_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

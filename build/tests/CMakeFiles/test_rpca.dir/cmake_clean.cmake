@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rpca.dir/test_rpca.cpp.o"
+  "CMakeFiles/test_rpca.dir/test_rpca.cpp.o.d"
+  "test_rpca"
+  "test_rpca.pdb"
+  "test_rpca[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rpca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

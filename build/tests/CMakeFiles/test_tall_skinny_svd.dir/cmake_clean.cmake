@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tall_skinny_svd.dir/test_tall_skinny_svd.cpp.o"
+  "CMakeFiles/test_tall_skinny_svd.dir/test_tall_skinny_svd.cpp.o.d"
+  "test_tall_skinny_svd"
+  "test_tall_skinny_svd.pdb"
+  "test_tall_skinny_svd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tall_skinny_svd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

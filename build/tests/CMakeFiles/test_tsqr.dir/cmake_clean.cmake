@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tsqr.dir/test_tsqr.cpp.o"
+  "CMakeFiles/test_tsqr.dir/test_tsqr.cpp.o.d"
+  "test_tsqr"
+  "test_tsqr.pdb"
+  "test_tsqr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tsqr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_blas[1]_include.cmake")
+include("/root/repo/build/tests/test_qr_reference[1]_include.cmake")
+include("/root/repo/build/tests/test_svd[1]_include.cmake")
+include("/root/repo/build/tests/test_gpusim[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_tsqr[1]_include.cmake")
+include("/root/repo/build/tests/test_caqr[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_tall_skinny_svd[1]_include.cmake")
+include("/root/repo/build/tests/test_rpca[1]_include.cmake")
+include("/root/repo/build/tests/test_video[1]_include.cmake")
+include("/root/repo/build/tests/test_solver[1]_include.cmake")
+include("/root/repo/build/tests/test_flops[1]_include.cmake")
+include("/root/repo/build/tests/test_autotune[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_sparse[1]_include.cmake")
+include("/root/repo/build/tests/test_krylov[1]_include.cmake")
+include("/root/repo/build/tests/test_bidiag[1]_include.cmake")
+include("/root/repo/build/tests/test_incremental_tsqr[1]_include.cmake")
+include("/root/repo/build/tests/test_lapack_api[1]_include.cmake")
+include("/root/repo/build/tests/test_caqr_configs[1]_include.cmake")
+include("/root/repo/build/tests/test_pgm_io[1]_include.cmake")
+include("/root/repo/build/tests/test_givens[1]_include.cmake")
