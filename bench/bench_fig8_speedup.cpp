@@ -13,6 +13,7 @@
 #include "caqr/caqr.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "gpusim/report.hpp"
 
 namespace {
 
@@ -86,5 +87,21 @@ int main(int argc, char** argv) {
               "extreme tall-skinny)\n",
               max_speedup, static_cast<long long>(max_m),
               static_cast<long long>(max_n));
+
+  // Export the look-ahead stream timeline of the headline 1M x 192 run as
+  // chrome://tracing JSON (load in chrome://tracing or ui.perfetto.dev).
+  {
+    gpusim::Device dev(gpusim::GpuMachineModel::c2050(),
+                       gpusim::ExecMode::ModelOnly);
+    auto f = CaqrFactorization<float>::factor(
+        dev, Matrix<float>::shape_only(1048576, 192));
+    (void)f;
+    const char* trace_path = "BENCH_fig8_speedup_trace.json";
+    if (gpusim::write_trace_json(dev, trace_path)) {
+      std::printf("Wrote 1M x 192 look-ahead stream trace to %s\n", trace_path);
+    } else {
+      std::printf("Failed to write %s\n", trace_path);
+    }
+  }
   return 0;
 }

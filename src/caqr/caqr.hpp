@@ -12,6 +12,24 @@
 //     apply_qt_h        (horizontal update from level-0 reflectors)
 //     foreach tree level: apply_qt_tree
 //
+// Figure 4 launches every kernel back-to-back on one timeline, so the
+// factorization of panel k+1 can never overlap the (independent) trailing
+// update of panel k. The default LookAhead schedule removes that false
+// dependency with two device streams, the classic look-ahead of the CAQR
+// literature (Demmel et al., arXiv:0809.2407):
+//
+//   panel stream P : factor(k) ─ apply panel k to the column tile of
+//                    panel k+1 ─ factor(k+1) ─ ...
+//   update stream U: apply panel k to the REST of the trailing matrix
+//
+// U waits (wait_event) for factor(k); P waits for U's rest-update of panel
+// k-1 before touching panel k+1's tile. factor/factor_tree of panel k+1 —
+// launch-overhead-heavy and latency-floor-bound — thus overlap the
+// throughput-bound apply_qt_h/apply_qt_tree of panel k. The split update is
+// bitwise identical to the one-launch update because every apply kernel
+// processes trailing columns independently, so Serial and LookAhead produce
+// the same R, the same packed reflectors, and the same Q.
+//
 // After each panel the grid is redrawn `panel_width` rows lower, so R ends
 // up in the conventional upper triangle of the storage and the distributed
 // reflectors below it. CaqrFactorization keeps the per-panel replay metadata
@@ -19,6 +37,7 @@
 // can be formed — all through the same simulated kernels (the paper notes
 // SORGQR via CAQR is as efficient as the factorization itself).
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -29,8 +48,14 @@
 
 namespace caqr {
 
+enum class CaqrSchedule {
+  Serial,     // Figure 4 verbatim: one stream, every launch back-to-back
+  LookAhead,  // two-stream look-ahead: factor k+1 overlaps update of k
+};
+
 struct CaqrOptions {
   idx panel_width = 16;  // W: grid column width
+  CaqrSchedule schedule = CaqrSchedule::LookAhead;
   tsqr::TsqrOptions tsqr;
 
   // Tile width used by the trailing update defaults to the panel width.
@@ -44,29 +69,22 @@ struct CaqrOptions {
 template <typename T>
 class CaqrFactorization {
  public:
-  // Factors `a` (consumed; m >= 1, any aspect ratio) on `dev`.
+  // Factors `a` (consumed; any aspect ratio, empty dimensions allowed) on
+  // `dev`. A matrix with zero rows or columns yields an empty factorization
+  // (LAPACK xGEQRF semantics).
   static CaqrFactorization factor(gpusim::Device& dev, Matrix<T> a,
                                   const CaqrOptions& opt = {}) {
     CaqrFactorization f;
     f.a_ = std::move(a);
     f.opt_ = opt;
-    const idx m = f.a_.rows(), n = f.a_.cols();
-    CAQR_CHECK(m >= 1 && n >= 1);
+    CAQR_CHECK(f.a_.rows() >= 0 && f.a_.cols() >= 0);
     CAQR_CHECK(opt.panel_width >= 1);
     CAQR_CHECK(opt.tsqr.block_rows >= opt.panel_width);
-    const tsqr::TsqrOptions topt = opt.panel_tsqr();
-
-    const idx kmax = m < n ? m : n;
-    for (idx c0 = 0; c0 < kmax; c0 += opt.panel_width) {
-      const idx w = std::min(opt.panel_width, kmax - c0);
-      const idx len = m - c0;
-      auto panel = f.a_.block(c0, c0, len, w);
-      f.panels_.push_back(tsqr_factor(dev, panel, topt));
-      const idx trailing_cols = n - c0 - w;
-      if (trailing_cols > 0) {
-        tsqr_apply_qt(dev, panel.as_const(), f.panels_.back(),
-                      f.a_.block(c0, c0 + w, len, trailing_cols), topt);
-      }
+    if (std::min(f.a_.rows(), f.a_.cols()) == 0) return f;
+    if (opt.schedule == CaqrSchedule::LookAhead) {
+      factor_lookahead(dev, f);
+    } else {
+      factor_serial(dev, f);
     }
     return f;
   }
@@ -91,17 +109,100 @@ class CaqrFactorization {
     walk(dev, c, /*transpose_q=*/false);
   }
 
-  // Explicit m x qcols orthogonal factor (SORGQR equivalent).
+  // Explicit m x qcols orthogonal factor (SORGQR equivalent); qcols == 0
+  // yields an m x 0 matrix.
   Matrix<T> form_q(gpusim::Device& dev, idx qcols) const {
-    CAQR_CHECK(qcols >= 1 && qcols <= a_.rows());
+    CAQR_CHECK(qcols >= 0 && qcols <= a_.rows());
     Matrix<T> q = Matrix<T>::identity(a_.rows(), qcols);
     apply_q(dev, q.view());
     return q;
   }
 
  private:
+  // Figure 4's host pseudocode: every launch on the (synchronous) legacy
+  // stream.
+  static void factor_serial(gpusim::Device& dev, CaqrFactorization& f) {
+    const CaqrOptions& opt = f.opt_;
+    const tsqr::TsqrOptions topt = opt.panel_tsqr();
+    const idx m = f.a_.rows(), n = f.a_.cols();
+    const idx kmax = m < n ? m : n;
+    for (idx c0 = 0; c0 < kmax; c0 += opt.panel_width) {
+      const idx w = std::min(opt.panel_width, kmax - c0);
+      const idx len = m - c0;
+      auto panel = f.a_.block(c0, c0, len, w);
+      f.panels_.push_back(tsqr_factor(dev, panel, topt));
+      const idx trailing_cols = n - c0 - w;
+      if (trailing_cols > 0) {
+        tsqr_apply_qt(dev, panel.as_const(), f.panels_.back(),
+                      f.a_.block(c0, c0 + w, len, trailing_cols), topt);
+      }
+    }
+  }
+
+  // Two-stream look-ahead schedule. Dependency structure per panel p:
+  //
+  //   P: factor(p) ── record F_p ── [wait R_{p-1}] ── apply p → tile p+1
+  //      ── factor(p+1) ── ...
+  //   U: [wait F_p] ── apply p → rest ── record R_p
+  //
+  // The tile update (P) and the rest update (U) write disjoint columns and
+  // only read panel p, so they run concurrently; factor(p+1) needs only the
+  // tile. Functional execution happens at issue time, and the issue order
+  // below is itself dependency-correct, so numerics are independent of the
+  // stream timing.
+  static void factor_lookahead(gpusim::Device& dev, CaqrFactorization& f) {
+    const CaqrOptions& opt = f.opt_;
+    const tsqr::TsqrOptions topt = opt.panel_tsqr();
+    const idx m = f.a_.rows(), n = f.a_.cols();
+    const idx kmax = m < n ? m : n;
+    const gpusim::StreamId sp = dev.create_stream();  // panel / look-ahead
+    const gpusim::StreamId su = dev.create_stream();  // trailing update
+
+    std::vector<idx> starts;
+    for (idx c0 = 0; c0 < kmax; c0 += opt.panel_width) starts.push_back(c0);
+    const idx np = static_cast<idx>(starts.size());
+    auto width_of = [&](idx p) {
+      return std::min(opt.panel_width, kmax - starts[p]);
+    };
+    auto factor_panel = [&](idx p) {
+      const idx c0 = starts[p];
+      f.panels_.push_back(tsqr_factor(
+          dev, sp, f.a_.block(c0, c0, m - c0, width_of(p)), topt));
+    };
+
+    factor_panel(0);
+    gpusim::EventId prev_rest = -1;  // U's rest-update of the previous panel
+    for (idx p = 0; p < np; ++p) {
+      const idx c0 = starts[p];
+      const idx w = width_of(p);
+      const idx len = m - c0;
+      const auto panel = f.a_.view().block(c0, c0, len, w).as_const();
+      const auto& meta = f.panels_[static_cast<std::size_t>(p)];
+      const gpusim::EventId factored = dev.record_event(sp);
+
+      const idx trailing = n - c0 - w;
+      const idx next_w = p + 1 < np ? width_of(p + 1) : 0;
+      const idx rest = trailing - next_w;
+      if (next_w > 0) {
+        // Look-ahead: bring panel p+1's columns fully up to date on the
+        // panel stream. They last received panel p-1's update on U.
+        if (prev_rest >= 0) dev.wait_event(sp, prev_rest);
+        tsqr_apply_qt(dev, sp, panel, meta,
+                      f.a_.block(c0, c0 + w, len, next_w), topt);
+      }
+      if (rest > 0) {
+        dev.wait_event(su, factored);
+        tsqr_apply_qt(dev, su, panel, meta,
+                      f.a_.block(c0, c0 + w + next_w, len, rest), topt);
+        prev_rest = dev.record_event(su);
+      }
+      if (p + 1 < np) factor_panel(p + 1);
+    }
+  }
+
   void walk(gpusim::Device& dev, MatrixView<T> c, bool transpose_q) const {
     CAQR_CHECK(c.rows() == a_.rows());
+    if (c.cols() == 0) return;
     const tsqr::TsqrOptions topt = opt_.panel_tsqr();
     const idx np = static_cast<idx>(panels_.size());
     auto panel_view = [&](idx p, idx& c0) {

@@ -6,6 +6,8 @@
 
 namespace caqr {
 
+thread_local bool ThreadPool::in_parallel_region_ = false;
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
@@ -40,7 +42,18 @@ void ThreadPool::run_tickets(Job& job) {
         job.next.fetch_add(job.grain, std::memory_order_relaxed);
     if (begin >= job.count) break;
     const std::size_t end = std::min(begin + job.grain, job.count);
-    for (std::size_t i = begin; i < end; ++i) (*job.fn)(i);
+    try {
+      for (std::size_t i = begin; i < end; ++i) (*job.fn)(i);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (job.error == nullptr) job.error = std::current_exception();
+      }
+      job.failed.store(true, std::memory_order_release);
+      // Cancel the remaining tickets: unclaimed work is abandoned, so the
+      // join below completes on `failed` rather than the done count.
+      job.next.store(job.count, std::memory_order_relaxed);
+    }
     job.done.fetch_add(end - begin, std::memory_order_release);
   }
 }
@@ -50,7 +63,10 @@ void ThreadPool::parallel_for(std::size_t count,
                               std::size_t grain) {
   if (count == 0) return;
   CAQR_CHECK(grain >= 1);
-  if (workers_.empty() || count <= grain) {
+  // Nested invocation (this thread is already running pool items), no
+  // workers, or a trivially small loop: run inline on this thread.
+  // Exceptions propagate directly.
+  if (in_parallel_region_ || workers_.empty() || count <= grain) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
@@ -61,33 +77,45 @@ void ThreadPool::parallel_for(std::size_t count,
   job.grain = grain;
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    CAQR_CHECK_MSG(current_ == nullptr,
-                   "nested ThreadPool::parallel_for is not supported");
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (current_ != nullptr) {
+      // Another thread's job is in flight; the pool runs one job at a time,
+      // so execute this one inline instead of deadlocking or aborting.
+      lock.unlock();
+      for (std::size_t i = 0; i < count; ++i) fn(i);
+      return;
+    }
     current_ = &job;
     ++epoch_;
   }
   cv_work_.notify_all();
 
-  run_tickets(job);
+  in_parallel_region_ = true;
+  run_tickets(job);  // captures its own exceptions into the job
+  in_parallel_region_ = false;
 
-  // All tickets are claimed once we fall out of run_tickets, but workers may
-  // still be finishing their last batch; wait for the completion count.
-  // The Job lives on this stack frame: wait until every item is done AND no
-  // worker is still inside run_tickets before letting it go out of scope.
+  // All tickets are claimed (or cancelled) once we fall out of run_tickets,
+  // but workers may still be finishing their last batch; wait until every
+  // item is done — or the job failed and all claimed batches ended — AND no
+  // worker is still inside run_tickets before letting the stack-allocated
+  // Job go out of scope.
   {
     std::unique_lock<std::mutex> lock(mutex_);
     cv_done_.wait(lock, [&] {
-      return job.done.load(std::memory_order_acquire) >= job.count &&
+      return (job.done.load(std::memory_order_acquire) >= job.count ||
+              job.failed.load(std::memory_order_acquire)) &&
              job.active.load(std::memory_order_acquire) == 0;
     });
     current_ = nullptr;
     ++epoch_;
   }
   cv_work_.notify_all();
+
+  if (job.error != nullptr) std::rethrow_exception(job.error);
 }
 
 void ThreadPool::worker_loop() {
+  in_parallel_region_ = true;  // anything run here is inside the pool
   std::uint64_t seen_epoch = 0;
   for (;;) {
     Job* job = nullptr;
@@ -102,10 +130,10 @@ void ThreadPool::worker_loop() {
     if (job != nullptr) {
       run_tickets(*job);
       job->active.fetch_sub(1, std::memory_order_release);
-      // Wake the submitting thread; it re-checks done/active. Touch the mutex
-      // before notifying so the counter updates cannot slip between the
-      // submitter's predicate check and its block (lost-wakeup race), and so
-      // the Job stays alive until every worker has left it.
+      // Wake the submitting thread; it re-checks done/failed/active. Touch
+      // the mutex before notifying so the counter updates cannot slip
+      // between the submitter's predicate check and its block (lost-wakeup
+      // race), and so the Job stays alive until every worker has left it.
       { std::lock_guard<std::mutex> lock(mutex_); }
       cv_done_.notify_one();
     }

@@ -8,11 +8,19 @@
 // uneven cost near the matrix fringe). parallel_for is deterministic as long
 // as items write disjoint outputs, which every kernel in this library
 // guarantees by construction.
+//
+// Nested calls (a parallel_for issued from inside another parallel_for's
+// item, e.g. a Device::launch reached from user code already running on the
+// pool) degrade to inline serial execution of the nested loop instead of
+// aborting. An exception thrown by an item — on any thread — is captured
+// (first one wins), the remaining tickets are cancelled, and the exception
+// is rethrown on the calling thread after the join, like std::async.
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -33,9 +41,11 @@ class ThreadPool {
   std::size_t size() const { return workers_.size() + 1; }
 
   // Runs fn(i) for i in [0, count) across the pool and the calling thread,
-  // returning when all items have completed. Nested calls from inside fn are
-  // not supported. grain > 1 batches consecutive indices per ticket to
-  // amortize the atomic for cheap items.
+  // returning when all items have completed. Nested calls (from inside fn)
+  // and calls while another thread's job is in flight run the loop inline
+  // on the calling thread. If any item throws, the first exception is
+  // rethrown here after all workers have left the job. grain > 1 batches
+  // consecutive indices per ticket to amortize the atomic for cheap items.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
                     std::size_t grain = 1);
 
@@ -50,10 +60,12 @@ class ThreadPool {
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
     std::atomic<int> active{0};  // workers currently inside run_tickets
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;  // first exception; guarded by the pool mutex
   };
 
   void worker_loop();
-  static void run_tickets(Job& job);
+  void run_tickets(Job& job);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
@@ -62,6 +74,10 @@ class ThreadPool {
   Job* current_ = nullptr;
   std::uint64_t epoch_ = 0;  // bumped each time current_ changes
   bool stop_ = false;
+  // True while this thread is executing parallel_for items (worker threads
+  // always; the submitting thread while inside run_tickets) — the nesting
+  // detector for the inline fallback.
+  static thread_local bool in_parallel_region_;
 };
 
 }  // namespace caqr

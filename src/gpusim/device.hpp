@@ -1,6 +1,6 @@
 #pragma once
 
-// The simulated GPU device: kernel launch engine + simulated timeline.
+// The simulated GPU device: kernel launch engine + simulated stream timeline.
 //
 // A "kernel" is any type with:
 //
@@ -10,7 +10,8 @@
 //
 // launch() executes all blocks of a grid (in parallel on the host thread
 // pool when ExecMode::Functional; skipped entirely when ExecMode::ModelOnly)
-// and advances the simulated clock using the machine model:
+// and schedules the launch on a stream of the simulated device. A launch
+// running alone costs, exactly as in the serial model:
 //
 //   t_compute = max( sum(block cycles) / num_SMs, max(block cycles) ) / f
 //   t_mem     = sum(gmem bytes) / DRAM bandwidth
@@ -19,15 +20,43 @@
 //
 // The max(..., max block cycles) term is the latency floor that makes
 // shallow reduction trees win: a launch with 2 blocks cannot go faster than
-// its slowest block regardless of how many SMs are idle. ModelOnly and
-// Functional produce bit-identical timelines because block_stats() is the
-// only input to the clock.
+// its slowest block regardless of how many SMs are idle.
+//
+// Streams. launch(stream, kernel, blocks) enqueues work on a per-stream
+// timeline (CUDA-stream semantics: FIFO within a stream, concurrent across
+// streams). record_event / wait_event express cross-stream dependencies.
+// Pending work is resolved lazily — sync(), elapsed_seconds(), profiles()
+// and trace() all force resolution — by an event-driven fluid simulation:
+// kernels running concurrently share the SM pool and the DRAM bandwidth, so
+// the instantaneous slowdown of every running kernel is
+//
+//   S = max(1, sum of SM-pool utilizations, sum of DRAM utilizations)
+//
+// where a kernel's utilizations are measured against its solo roofline time
+// (a latency-floor-bound launch uses few SMs and leaves the rest for other
+// streams; two bandwidth-bound kernels just split the DRAM pipe). This is
+// work-conserving: overlap never makes the makespan worse than the serial
+// schedule, and launch overhead is only paid where it lands on the critical
+// path (each stream pays its own overheads, concurrently with other
+// streams' execution). The legacy stream (kDefaultStream, used by the
+// one-argument launch()) keeps the CUDA default-stream barrier semantics:
+// it joins all async work before and after, so single-stream code sees the
+// exact serial timeline of the original model.
+//
+// ModelOnly and Functional produce bit-identical timelines because
+// block_stats() is the only input to the clock; resolution is a pure
+// function of the issue sequence, so timelines are also independent of the
+// host thread pool. Every resolved launch leaves a TraceEvent (stream,
+// kernel, start, end, blocks, flops, bytes) for the chrome://tracing
+// exporter in gpusim/report.hpp.
 
 #include <algorithm>
 #include <concepts>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
@@ -42,6 +71,12 @@ enum class ExecMode {
   Functional,  // run the arithmetic AND account the cost
   ModelOnly,   // account the cost only (used for paper-scale benchmarks)
 };
+
+// Stream / event handles. Streams are cheap integer ids minted by
+// create_stream(); events are one-shot timestamps minted by record_event().
+using StreamId = int;
+using EventId = std::int64_t;
+inline constexpr StreamId kDefaultStream = 0;
 
 // Kernels whose blocks fall into a few equivalence classes (full blocks vs
 // the ragged tail, full tiles vs the last tile) can expose an aggregated
@@ -65,11 +100,26 @@ class Device {
   ExecMode mode() const { return mode_; }
   void set_mode(ExecMode mode) { mode_ = mode; }
 
+  // Mints a fresh asynchronous stream (ids >= 1; 0 is the legacy stream).
+  StreamId create_stream() { return next_stream_++; }
+
+  // Legacy entry point: launch on the default stream, which synchronizes
+  // with all other streams before and after (CUDA default-stream behavior),
+  // reproducing the original fully-serial timeline.
   template <typename Kernel>
   void launch(const Kernel& kernel, idx num_blocks) {
+    launch(kDefaultStream, kernel, num_blocks);
+  }
+
+  template <typename Kernel>
+  void launch(StreamId stream, const Kernel& kernel, idx num_blocks) {
     CAQR_CHECK(num_blocks >= 0);
     if (num_blocks == 0) return;
+    if (stream == kDefaultStream) sync();
 
+    // Functional execution happens at issue time, in host program order;
+    // callers must issue launches in an order consistent with their stream
+    // dependencies (natural for any single-threaded host program).
     if (mode_ == ExecMode::Functional) {
       pool_->parallel_for(
           static_cast<std::size_t>(num_blocks),
@@ -104,51 +154,86 @@ class Device {
     const double t_compute =
         std::max(sum_cycles / model_.num_sms, max_cycles) / model_.clock_hz();
     const double t_mem = sum_bytes / (model_.dram_bw_gbs * 1e9);
-    const double t =
-        model_.kernel_launch_us * 1e-6 + std::max(t_compute, t_mem);
+    const double solo = std::max(t_compute, t_mem);
 
-    seconds_ += t;
-    auto& prof = profiles_[kernel.name()];
-    if (prof.name.empty()) prof.name = kernel.name();
-    ++prof.launches;
-    prof.blocks += num_blocks;
-    prof.flops += sum_flops;
-    prof.gmem_bytes += sum_bytes;
-    prof.seconds += t;
+    PendingOp op;
+    op.kind = PendingOp::Kind::Launch;
+    op.name = kernel.name();
+    op.blocks = num_blocks;
+    op.flops = sum_flops;
+    op.bytes = sum_bytes;
+    op.solo_seconds = solo;
+    // Average resource utilizations over the launch's solo duration; both
+    // are <= 1 by the roofline definition. A zero-cost launch (e.g. a tree
+    // level of pass-through singletons) holds no resources.
+    op.u_compute = solo > 0 ? (t_compute_unfloored(sum_cycles) / solo) : 0.0;
+    op.u_mem = solo > 0 ? (t_mem / solo) : 0.0;
+    op.overhead = model_.kernel_launch_us * 1e-6;
+    enqueue(stream, std::move(op));
+
+    if (stream == kDefaultStream) sync();
+  }
+
+  // Records the completion point of all work currently enqueued on `stream`.
+  EventId record_event(StreamId stream) {
+    const EventId e = next_event_++;
+    PendingOp op;
+    op.kind = PendingOp::Kind::Record;
+    op.event = e;
+    enqueue(stream, std::move(op));
+    return e;
+  }
+
+  // Makes subsequent work on `stream` wait until `event` has completed.
+  void wait_event(StreamId stream, EventId event) {
+    CAQR_CHECK(event >= 0 && event < next_event_);
+    PendingOp op;
+    op.kind = PendingOp::Kind::Wait;
+    op.event = event;
+    enqueue(stream, std::move(op));
+  }
+
+  // Resolves all pending work and joins every stream at the resulting clock
+  // (device-wide barrier). Returns the simulated clock.
+  double sync() {
+    resolve_pending();
+    base_ = timeline_end();
+    stream_time_.clear();
+    return base_;
   }
 
   // Explicit PCIe transfer between host and device memory (simulated time
-  // only; data lives in host memory either way).
+  // only; data lives in host memory either way). Device-wide barrier.
   void transfer(double bytes, const PcieModel& link = PcieModel{}) {
     const double t = link.transfer_seconds(bytes);
-    seconds_ += t;
-    auto& prof = profiles_["pcie_transfer"];
-    if (prof.name.empty()) prof.name = "pcie_transfer";
-    ++prof.launches;
-    prof.gmem_bytes += bytes;
-    prof.seconds += t;
+    external_op("pcie_transfer", t, bytes);
   }
 
   // Advance the simulated clock for work done off-device (e.g. the small
-  // SVD of R on the CPU in the application pipeline).
+  // SVD of R on the CPU in the application pipeline). Device-wide barrier.
   void add_external_seconds(double t, const std::string& label) {
     CAQR_CHECK(t >= 0);
-    seconds_ += t;
-    auto& prof = profiles_[label];
-    if (prof.name.empty()) prof.name = label;
-    ++prof.launches;
-    prof.seconds += t;
+    external_op(label, t, 0.0);
   }
 
-  double elapsed_seconds() const { return seconds_; }
+  double elapsed_seconds() const {
+    resolve_pending();
+    return timeline_end();
+  }
 
   void reset_timeline() {
-    seconds_ = 0;
+    pending_.clear();
+    num_pending_ = 0;
+    stream_time_.clear();
+    event_time_.clear();
+    base_ = 0;
     profiles_.clear();
+    trace_.clear();
   }
 
   // Per-kernel aggregation, insertion-order-independent (sorted by name).
   std::vector<KernelProfile> profiles() const {
+    resolve_pending();
     std::vector<KernelProfile> out;
     out.reserve(profiles_.size());
     for (const auto& [_, p] : profiles_) out.push_back(p);
@@ -156,16 +241,238 @@ class Device {
   }
 
   const KernelProfile* profile(const std::string& name) const {
+    resolve_pending();
     const auto it = profiles_.find(name);
     return it != profiles_.end() ? &it->second : nullptr;
   }
 
+  // Resolved execution records in completion order (absolute simulated
+  // seconds), the input to the chrome-trace exporter.
+  const std::vector<TraceEvent>& trace() const {
+    resolve_pending();
+    return trace_;
+  }
+
  private:
+  struct PendingOp {
+    enum class Kind { Launch, Record, Wait };
+    Kind kind = Kind::Launch;
+    std::string name;
+    long long blocks = 0;
+    double flops = 0;
+    double bytes = 0;
+    double solo_seconds = 0;  // roofline duration running alone, no overhead
+    double u_compute = 0;     // average SM-pool utilization, in [0, 1]
+    double u_mem = 0;         // average DRAM-bandwidth utilization, in [0, 1]
+    double overhead = 0;      // host-side launch overhead, seconds
+    EventId event = -1;       // Record / Wait payload
+  };
+
+  double t_compute_unfloored(double sum_cycles) const {
+    return sum_cycles / model_.num_sms / model_.clock_hz();
+  }
+
+  void enqueue(StreamId stream, PendingOp op) {
+    pending_[stream].push_back(std::move(op));
+    ++num_pending_;
+  }
+
+  double timeline_end() const {
+    double t = base_;
+    for (const auto& [_, st] : stream_time_) t = std::max(t, st);
+    return t;
+  }
+
+  void external_op(const std::string& label, double t, double bytes) {
+    sync();
+    TraceEvent ev;
+    ev.stream = kDefaultStream;
+    ev.name = label;
+    ev.t_start = base_;
+    ev.t_end = base_ + t;
+    ev.gmem_bytes = bytes;
+    trace_.push_back(std::move(ev));
+    base_ += t;
+    auto& prof = profiles_[label];
+    if (prof.name.empty()) prof.name = label;
+    ++prof.launches;
+    prof.gmem_bytes += bytes;
+    prof.seconds += t;
+  }
+
+  double& stream_clock(StreamId s) const {
+    return stream_time_.try_emplace(s, base_).first->second;
+  }
+
+  // Event-driven resolution of all pending stream work into absolute
+  // timestamps, profiles and trace records. Deterministic: ties broken by
+  // stream id / admission order; no dependence on host time.
+  void resolve_pending() const {
+    if (num_pending_ == 0) return;
+
+    struct Running {
+      StreamId stream;
+      PendingOp op;
+      double start = 0;
+      double remaining = 0;  // solo-seconds of work left
+    };
+    std::vector<Running> running;
+    const std::size_t cap = static_cast<std::size_t>(
+        std::max(1, model_.max_concurrent_kernels));
+    auto stream_running = [&](StreamId s) {
+      for (const auto& r : running) {
+        if (r.stream == s) return true;
+      }
+      return false;
+    };
+
+    double now = base_;
+    for (;;) {
+      // Settle host-side ops (event records / waits) that are at the front
+      // of an idle stream; loop to a fixed point since one settled record
+      // can unblock waits on other streams.
+      bool settled = true;
+      while (settled) {
+        settled = false;
+        for (auto& [s, q] : pending_) {
+          while (!q.empty() && !stream_running(s)) {
+            PendingOp& front = q.front();
+            if (front.kind == PendingOp::Kind::Record) {
+              event_time_[front.event] = stream_clock(s);
+            } else if (front.kind == PendingOp::Kind::Wait) {
+              const auto it = event_time_.find(front.event);
+              if (it == event_time_.end()) break;  // blocked: not yet recorded
+              double& clk = stream_clock(s);
+              clk = std::max(clk, it->second);
+            } else {
+              break;  // launches are admitted by the arrival scan below
+            }
+            q.pop_front();
+            --num_pending_;
+            settled = true;
+          }
+        }
+      }
+
+      // Earliest launch arrival across idle streams (lowest stream id on
+      // ties), subject to the device's concurrent-kernel limit.
+      bool have_arrival = false;
+      StreamId arrival_stream = 0;
+      double arrival_t = 0;
+      if (running.size() < cap) {
+        for (auto& [s, q] : pending_) {
+          if (q.empty() || stream_running(s)) continue;
+          if (q.front().kind != PendingOp::Kind::Launch) continue;
+          const double a = stream_clock(s) + q.front().overhead;
+          if (!have_arrival || a < arrival_t) {
+            have_arrival = true;
+            arrival_stream = s;
+            arrival_t = a;
+          }
+        }
+      }
+
+      if (running.empty()) {
+        if (!have_arrival) {
+          // Either everything drained, or a wait references an event that
+          // is never recorded (a cyclic or dangling dependency).
+          CAQR_CHECK_MSG(num_pending_ == 0,
+                         "stream deadlock: wait_event on an event that is "
+                         "never recorded");
+          break;
+        }
+        now = std::max(now, arrival_t);
+        auto& q = pending_[arrival_stream];
+        Running r{arrival_stream, std::move(q.front()), now, 0};
+        r.remaining = r.op.solo_seconds;
+        running.push_back(std::move(r));
+        q.pop_front();
+        --num_pending_;
+        continue;
+      }
+
+      // Instantaneous sharing factor over the running set.
+      double uc = 0, um = 0;
+      for (const auto& r : running) {
+        uc += r.op.u_compute;
+        um += r.op.u_mem;
+      }
+      const double share = std::max({1.0, uc, um});
+
+      // Earliest completion under the current sharing factor.
+      std::size_t fin = 0;
+      double fin_t = running[0].start + running[0].remaining;  // placeholder
+      for (std::size_t i = 0; i < running.size(); ++i) {
+        const double c = now + running[i].remaining * share;
+        if (i == 0 || c < fin_t) {
+          fin = i;
+          fin_t = c;
+        }
+      }
+
+      if (have_arrival && arrival_t < fin_t) {
+        // A new kernel joins the running set before the next completion.
+        const double dt = std::max(0.0, arrival_t - now);
+        for (auto& r : running) r.remaining -= dt / share;
+        now = std::max(now, arrival_t);
+        auto& q = pending_[arrival_stream];
+        Running r{arrival_stream, std::move(q.front()), now, 0};
+        r.remaining = r.op.solo_seconds;
+        running.push_back(std::move(r));
+        q.pop_front();
+        --num_pending_;
+        continue;
+      }
+
+      // Advance to the completion.
+      const double dt = fin_t - now;
+      for (std::size_t i = 0; i < running.size(); ++i) {
+        running[i].remaining =
+            i == fin ? 0.0 : running[i].remaining - dt / share;
+      }
+      now = fin_t;
+      finish(running[fin], now);
+      running.erase(running.begin() + static_cast<std::ptrdiff_t>(fin));
+    }
+  }
+
+  template <typename RunningT>
+  void finish(RunningT& r, double end) const {
+    stream_clock(r.stream) = end;
+    TraceEvent ev;
+    ev.stream = r.stream;
+    ev.name = r.op.name;
+    ev.t_start = r.start;
+    ev.t_end = end;
+    ev.blocks = r.op.blocks;
+    ev.flops = r.op.flops;
+    ev.gmem_bytes = r.op.bytes;
+    trace_.push_back(std::move(ev));
+    auto& prof = profiles_[r.op.name];
+    if (prof.name.empty()) prof.name = r.op.name;
+    ++prof.launches;
+    prof.blocks += r.op.blocks;
+    prof.flops += r.op.flops;
+    prof.gmem_bytes += r.op.bytes;
+    // Launch overhead plus the (possibly contention-stretched) execution
+    // span; on a lone stream this is exactly overhead + solo_seconds.
+    prof.seconds += r.op.overhead + (end - r.start);
+  }
+
   GpuMachineModel model_;
   ExecMode mode_;
   ThreadPool* pool_;
-  double seconds_ = 0;
-  std::map<std::string, KernelProfile> profiles_;
+  StreamId next_stream_ = 1;
+  EventId next_event_ = 0;
+  // Timeline state is logically part of the observable simulated clock;
+  // resolution is forced from const accessors, hence mutable.
+  mutable std::map<StreamId, std::deque<PendingOp>> pending_;
+  mutable std::size_t num_pending_ = 0;
+  mutable std::map<StreamId, double> stream_time_;  // absolute, per stream
+  mutable std::map<EventId, double> event_time_;    // recorded events
+  mutable double base_ = 0;  // device-wide floor (last full join)
+  mutable std::map<std::string, KernelProfile> profiles_;
+  mutable std::vector<TraceEvent> trace_;
 };
 
 }  // namespace caqr::gpusim

@@ -11,6 +11,7 @@ GpuMachineModel GpuMachineModel::c2050() {
   m.fma = true;
   m.dram_bw_gbs = 144.0;  // ECC enabled (paper §IV.A)
   m.kernel_launch_us = 20.0;
+  m.max_concurrent_kernels = 16;  // Fermi concurrent-kernel limit
   m.smem_cycles_per_access = 1.0;
   m.sync_cycles = 12.0;
   m.issue_stall_factor = 1.40;

@@ -30,6 +30,9 @@ struct GpuMachineModel {
   // Per-launch cost including the host-side dependency sync between
   // consecutive kernels of the factorization loop.
   double kernel_launch_us = 20.0;
+  // Hardware limit on kernels resident at once (Fermi: 16). Launches beyond
+  // the limit queue until a running kernel completes.
+  int max_concurrent_kernels = 16;
   double smem_cycles_per_access = 1.0;  // per 32-wide shared-memory access
   double sync_cycles = 12.0;            // per block-wide barrier
   double issue_stall_factor = 1.40;     // pipeline latency / ILP inefficiency

@@ -1,7 +1,8 @@
 #pragma once
 
 // Timeline reporting helpers: render a Device's per-kernel profile as an
-// aligned table (what the examples and benches print) or CSV.
+// aligned table (what the examples and benches print) or CSV, and export
+// the resolved stream timeline as chrome://tracing JSON.
 
 #include <cstdio>
 #include <string>
@@ -36,5 +37,46 @@ inline std::string profile_csv(const Device& dev) {
 }
 
 inline void print_profile(const Device& dev) { profile_table(dev).print(); }
+
+// Chrome-trace ("chrome://tracing" / Perfetto) export of the device's
+// resolved stream timeline: one complete event ("ph":"X") per launch, with
+// tid = stream id and timestamps/durations in microseconds. Load the file
+// in chrome://tracing or ui.perfetto.dev to see the per-stream overlap.
+inline std::string trace_json(const Device& dev) {
+  auto escaped = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  };
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& e : dev.trace()) {
+    char buf[320];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"%s\",\"cat\":\"kernel\",\"ph\":\"X\","
+                  "\"pid\":0,\"tid\":%d,\"ts\":%.6f,\"dur\":%.6f,"
+                  "\"args\":{\"blocks\":%lld,\"flops\":%.17g,"
+                  "\"gmem_bytes\":%.17g}}",
+                  first ? "" : ",", escaped(e.name).c_str(), e.stream,
+                  e.t_start * 1e6, (e.t_end - e.t_start) * 1e6, e.blocks,
+                  e.flops, e.gmem_bytes);
+    out += buf;
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+inline bool write_trace_json(const Device& dev, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = trace_json(dev);
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
 
 }  // namespace caqr::gpusim

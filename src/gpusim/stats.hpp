@@ -47,6 +47,20 @@ struct StatsClass {
   long long count = 0;
 };
 
+// One resolved execution on the device timeline: which stream ran what,
+// when (absolute simulated seconds, launch overhead excluded from the
+// span), and how much work it carried. The chrome-trace exporter in
+// gpusim/report.hpp serializes these.
+struct TraceEvent {
+  int stream = 0;
+  std::string name;
+  double t_start = 0;
+  double t_end = 0;
+  long long blocks = 0;
+  double flops = 0;
+  double gmem_bytes = 0;
+};
+
 // Aggregated record of all launches of one kernel on a Device.
 struct KernelProfile {
   std::string name;

@@ -76,19 +76,25 @@ inline std::vector<idx> split_rows(idx rows, idx block_rows, idx width) {
   return offsets;
 }
 
-// In-place TSQR factorization of `panel` on `dev`. On return the panel holds
-// R (top width x width, from the tree root at row offset 0) and the
-// distributed reflectors of every stage.
+// In-place TSQR factorization of `panel` on `dev`, with every kernel
+// launched on `stream`. On return the panel holds R (top width x width,
+// from the tree root at row offset 0) and the distributed reflectors of
+// every stage. A zero-width panel is a well-defined no-op (LAPACK xGEQRF
+// semantics for n == 0).
 template <typename T>
-PanelFactor<T> tsqr_factor(gpusim::Device& dev, MatrixView<T> panel,
-                           const TsqrOptions& opt) {
+PanelFactor<T> tsqr_factor(gpusim::Device& dev, gpusim::StreamId stream,
+                           MatrixView<T> panel, const TsqrOptions& opt) {
   const idx rows = panel.rows();
   const idx width = panel.cols();
-  CAQR_CHECK(rows >= width && width >= 1);
+  CAQR_CHECK(rows >= width && width >= 0);
 
   PanelFactor<T> f;
   f.rows = rows;
   f.width = width;
+  if (width == 0) {
+    f.offsets = {0, rows};
+    return f;
+  }
   f.offsets = split_rows(rows, opt.block_rows, width);
   const idx nblocks = f.num_blocks();
   f.taus0.assign(static_cast<std::size_t>(nblocks * width), T(0));
@@ -99,13 +105,13 @@ PanelFactor<T> tsqr_factor(gpusim::Device& dev, MatrixView<T> panel,
       opt.variant == kernels::ReductionVariant::RegisterSerialTransposed;
   if (charge_transpose) {
     kernels::TransposeKernel<T> tk{rows, width, opt.block_rows};
-    dev.launch(tk, tk.num_blocks());
+    dev.launch(stream, tk, tk.num_blocks());
   }
 
   kernels::FactorKernel<T> fk{panel, &f.offsets, f.taus0.data(), cost,
                               dev.model().uncoalesced_penalty,
                               dev.model().tile_locality_penalty};
-  dev.launch(fk, fk.num_blocks());
+  dev.launch(stream, fk, fk.num_blocks());
 
   // Reduction tree over the surviving R triangles.
   std::vector<idx> survivors(f.offsets.begin(), f.offsets.end() - 1);
@@ -124,22 +130,30 @@ PanelFactor<T> tsqr_factor(gpusim::Device& dev, MatrixView<T> panel,
     kernels::FactorTreeKernel<T> tk{panel, &level.groups, level.taus.data(),
                                     cost, dev.model().uncoalesced_penalty,
                                     dev.model().tile_locality_penalty};
-    dev.launch(tk, tk.num_blocks());
+    dev.launch(stream, tk, tk.num_blocks());
     survivors = std::move(next);
     f.levels.push_back(std::move(level));
   }
   return f;
 }
 
-// Applies Q^T (transpose_q) or Q of a factored panel to `c`, which shares
-// the panel's row space (c.rows() == panel.rows()).
 template <typename T>
-void tsqr_apply(gpusim::Device& dev, In<ConstMatrixView<T>> panel,
-                const PanelFactor<T>& f, In<MatrixView<T>> c,
-                const TsqrOptions& opt, bool transpose_q) {
+PanelFactor<T> tsqr_factor(gpusim::Device& dev, MatrixView<T> panel,
+                           const TsqrOptions& opt) {
+  return tsqr_factor(dev, gpusim::kDefaultStream, panel, opt);
+}
+
+// Applies Q^T (transpose_q) or Q of a factored panel to `c`, which shares
+// the panel's row space (c.rows() == panel.rows()), launching on `stream`.
+// Zero-width panels and zero-column right-hand sides are no-ops.
+template <typename T>
+void tsqr_apply(gpusim::Device& dev, gpusim::StreamId stream,
+                In<ConstMatrixView<T>> panel, const PanelFactor<T>& f,
+                In<MatrixView<T>> c, const TsqrOptions& opt,
+                bool transpose_q) {
   CAQR_CHECK(panel.rows() == f.rows && panel.cols() == f.width);
   CAQR_CHECK(c.rows() == f.rows);
-  if (c.cols() == 0) return;
+  if (c.cols() == 0 || f.width == 0) return;
   const auto cost = kernels::cost_params(opt.variant);
   const double pen = dev.model().uncoalesced_penalty;
   const double tile_pen = dev.model().tile_locality_penalty;
@@ -148,13 +162,13 @@ void tsqr_apply(gpusim::Device& dev, In<ConstMatrixView<T>> panel,
     kernels::ApplyQtHKernel<T> k{panel,         &f.offsets, f.taus0.data(), c,
                                  opt.tile_cols, cost,       pen,
                                  tile_pen,      false,      transpose_q};
-    dev.launch(k, k.num_blocks());
+    dev.launch(stream, k, k.num_blocks());
   };
   auto launch_tree = [&](const typename PanelFactor<T>::Level& level) {
     kernels::ApplyQtTreeKernel<T> k{panel,         &level.groups, level.taus.data(), c,
                                     opt.tile_cols, cost,          pen,
                                     tile_pen,      false,         transpose_q};
-    dev.launch(k, k.num_blocks());
+    dev.launch(stream, k, k.num_blocks());
   };
 
   if (transpose_q) {
@@ -171,17 +185,40 @@ void tsqr_apply(gpusim::Device& dev, In<ConstMatrixView<T>> panel,
 }
 
 template <typename T>
+void tsqr_apply(gpusim::Device& dev, In<ConstMatrixView<T>> panel,
+                const PanelFactor<T>& f, In<MatrixView<T>> c,
+                const TsqrOptions& opt, bool transpose_q) {
+  tsqr_apply(dev, gpusim::kDefaultStream, panel, f, c, opt, transpose_q);
+}
+
+template <typename T>
+void tsqr_apply_qt(gpusim::Device& dev, gpusim::StreamId stream,
+                   In<ConstMatrixView<T>> panel, const PanelFactor<T>& f,
+                   In<MatrixView<T>> c, const TsqrOptions& opt) {
+  tsqr_apply(dev, stream, panel, f, c, opt, /*transpose_q=*/true);
+}
+
+template <typename T>
 void tsqr_apply_qt(gpusim::Device& dev, In<ConstMatrixView<T>> panel,
                    const PanelFactor<T>& f, In<MatrixView<T>> c,
                    const TsqrOptions& opt) {
-  tsqr_apply(dev, panel, f, c, opt, /*transpose_q=*/true);
+  tsqr_apply(dev, gpusim::kDefaultStream, panel, f, c, opt,
+             /*transpose_q=*/true);
+}
+
+template <typename T>
+void tsqr_apply_q(gpusim::Device& dev, gpusim::StreamId stream,
+                  In<ConstMatrixView<T>> panel, const PanelFactor<T>& f,
+                  In<MatrixView<T>> c, const TsqrOptions& opt) {
+  tsqr_apply(dev, stream, panel, f, c, opt, /*transpose_q=*/false);
 }
 
 template <typename T>
 void tsqr_apply_q(gpusim::Device& dev, In<ConstMatrixView<T>> panel,
                   const PanelFactor<T>& f, In<MatrixView<T>> c,
                   const TsqrOptions& opt) {
-  tsqr_apply(dev, panel, f, c, opt, /*transpose_q=*/false);
+  tsqr_apply(dev, gpusim::kDefaultStream, panel, f, c, opt,
+             /*transpose_q=*/false);
 }
 
 // Convenience single-panel TSQR: factors a copy of `a` and returns
