@@ -14,10 +14,43 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "gpusim/report.hpp"
+#include "linalg/random_matrix.hpp"
+#include "numerics/verifier.hpp"
 
 namespace {
 
 using namespace caqr;
+
+// Small functional twins of the timed (ModelOnly) pipeline, one per
+// schedule; their Verifier reports ride along in the trace artifact.
+std::string verification_other_data() {
+  const idx vm = 1024, vn = 48;
+  const auto a = matrix_with_condition<float>(vm, vn, 1e4, 11);
+  std::string rows = "{\"verification\":[";
+  bool first = true;
+  bool all_pass = true;
+  for (const CaqrSchedule sched :
+       {CaqrSchedule::Serial, CaqrSchedule::LookAhead}) {
+    gpusim::Device dev;  // functional
+    CaqrOptions opt;
+    opt.schedule = sched;
+    auto f = CaqrFactorization<float>::factor(
+        dev, Matrix<float>::from(a.view()), opt);
+    const auto q = f.form_q(dev, vn);
+    const auto r = f.r();
+    const auto rep = numerics::verify_qr(a.view(), q.view(), r.view());
+    all_pass = all_pass && rep.pass;
+    rows += first ? "" : ",";
+    rows += numerics::verify_json_object(
+        rep, sched == CaqrSchedule::Serial ? "caqr_serial_1024x48_f32"
+                                           : "caqr_lookahead_1024x48_f32");
+    first = false;
+  }
+  rows += "]}";
+  std::printf("Functional verification (1024 x 48, f32, both schedules): %s\n",
+              all_pass ? "pass" : "FAIL");
+  return rows;
+}
 
 double caqr_seconds(idx m, idx n) {
   gpusim::Device dev(gpusim::GpuMachineModel::c2050(),
@@ -97,7 +130,7 @@ int main(int argc, char** argv) {
         dev, Matrix<float>::shape_only(1048576, 192));
     (void)f;
     const char* trace_path = "BENCH_fig8_speedup_trace.json";
-    if (gpusim::write_trace_json(dev, trace_path)) {
+    if (gpusim::write_trace_json(dev, trace_path, verification_other_data())) {
       std::printf("Wrote 1M x 192 look-ahead stream trace to %s\n", trace_path);
     } else {
       std::printf("Failed to write %s\n", trace_path);

@@ -44,6 +44,7 @@
 #include "gpusim/device.hpp"
 #include "linalg/flops.hpp"
 #include "linalg/qr.hpp"
+#include "numerics/finite_check.hpp"
 #include "tsqr/tsqr.hpp"
 
 namespace caqr {
@@ -81,10 +82,16 @@ class CaqrFactorization {
     CAQR_CHECK(opt.panel_width >= 1);
     CAQR_CHECK(opt.tsqr.block_rows >= opt.panel_width);
     if (std::min(f.a_.rows(), f.a_.cols()) == 0) return f;
+    if (dev.mode() == gpusim::ExecMode::Functional) {
+      CAQR_GUARD_FINITE(f.a_.view(), "caqr_factor:input");
+    }
     if (opt.schedule == CaqrSchedule::LookAhead) {
       factor_lookahead(dev, f);
     } else {
       factor_serial(dev, f);
+    }
+    if (dev.mode() == gpusim::ExecMode::Functional) {
+      CAQR_GUARD_FINITE(f.a_.view(), "caqr_factor:output");
     }
     return f;
   }

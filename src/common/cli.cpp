@@ -1,6 +1,9 @@
 #include "common/cli.hpp"
 
+#include <cerrno>
 #include <cstdlib>
+
+#include "common/check.hpp"
 
 namespace caqr {
 
@@ -34,15 +37,45 @@ std::string CliArgs::get(const std::string& name,
   return it != flags_.end() ? it->second : def;
 }
 
+namespace {
+
+// strtoll/strtod return 0 on malformed input without any error indication
+// unless endptr/errno are checked, so a typo like --n=1o0 used to silently
+// become 0. Any unconsumed suffix or out-of-range value aborts with the
+// offending flag.
+[[noreturn]] void bad_flag(const std::string& name, const std::string& value,
+                           const char* expected) {
+  const std::string msg =
+      "--" + name + "=" + value + " is not a valid " + expected;
+  check_failed("CliArgs parse", __FILE__, __LINE__, msg.c_str());
+}
+
+}  // namespace
+
 std::int64_t CliArgs::get_int(const std::string& name, std::int64_t def) const {
   const auto it = flags_.find(name);
-  return it != flags_.end() ? std::strtoll(it->second.c_str(), nullptr, 10)
-                            : def;
+  if (it == flags_.end()) return def;
+  const char* s = it->second.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) {
+    bad_flag(name, it->second, "integer");
+  }
+  return v;
 }
 
 double CliArgs::get_double(const std::string& name, double def) const {
   const auto it = flags_.find(name);
-  return it != flags_.end() ? std::strtod(it->second.c_str(), nullptr) : def;
+  if (it == flags_.end()) return def;
+  const char* s = it->second.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || errno == ERANGE) {
+    bad_flag(name, it->second, "number");
+  }
+  return v;
 }
 
 bool CliArgs::get_bool(const std::string& name, bool def) const {

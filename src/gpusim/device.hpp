@@ -61,6 +61,7 @@
 
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
+#include "gpusim/fault.hpp"
 #include "gpusim/machine_model.hpp"
 #include "gpusim/stats.hpp"
 #include "linalg/matrix.hpp"
@@ -87,6 +88,14 @@ concept HasStatsSummary = requires(const K& k) {
   { k.stats_summary() } -> std::convertible_to<std::vector<StatsClass>>;
 };
 
+// Kernels that expose their writable output surface (a MatrixView) are
+// eligible for bit-flip fault injection; kernels without one (cost-only,
+// transpose) can only have blocks dropped.
+template <typename K>
+concept HasFaultSurface = requires(const K& k) {
+  k.fault_surface();
+};
+
 class Device {
  public:
   explicit Device(GpuMachineModel model = GpuMachineModel::c2050(),
@@ -102,6 +111,14 @@ class Device {
 
   // Mints a fresh asynchronous stream (ids >= 1; 0 is the legacy stream).
   StreamId create_stream() { return next_stream_++; }
+
+  // Fault injection (gpusim/fault.hpp): seeded, deterministic corruption of
+  // the functional path. Off by default; ModelOnly launches are unaffected
+  // (there is no data to corrupt).
+  void set_fault_injection(const FaultOptions& faults) { faults_ = faults; }
+  const FaultOptions& fault_injection() const { return faults_; }
+  const std::vector<FaultEvent>& fault_log() const { return fault_log_; }
+  void clear_fault_log() { fault_log_.clear(); }
 
   // Legacy entry point: launch on the default stream, which synchronizes
   // with all other streams before and after (CUDA default-stream behavior),
@@ -120,10 +137,31 @@ class Device {
     // Functional execution happens at issue time, in host program order;
     // callers must issue launches in an order consistent with their stream
     // dependencies (natural for any single-threaded host program).
+    const long long ordinal = launch_ordinal_++;
     if (mode_ == ExecMode::Functional) {
-      pool_->parallel_for(
-          static_cast<std::size_t>(num_blocks),
-          [&](std::size_t b) { kernel.run_block(static_cast<idx>(b)); });
+      if (!faults_.enabled()) {
+        pool_->parallel_for(
+            static_cast<std::size_t>(num_blocks),
+            [&](std::size_t b) { kernel.run_block(static_cast<idx>(b)); });
+      } else {
+        // Drop decisions are drawn before the parallel loop and flips are
+        // applied after it, so the corruption is a pure function of
+        // (seed, launch ordinal) — independent of thread scheduling.
+        FaultPlan plan(faults_, ordinal, num_blocks);
+        pool_->parallel_for(static_cast<std::size_t>(num_blocks),
+                            [&](std::size_t b) {
+                              if (!plan.drops(static_cast<idx>(b))) {
+                                kernel.run_block(static_cast<idx>(b));
+                              }
+                            });
+        plan.log_drops(num_blocks, kernel.name(), ordinal, fault_log_);
+        if constexpr (HasFaultSurface<Kernel>) {
+          if (plan.wants_bitflip()) {
+            plan.apply_bitflip(kernel.fault_surface(), kernel.name(), ordinal,
+                               fault_log_);
+          }
+        }
+      }
     }
 
     double sum_cycles = 0, max_cycles = 0, sum_bytes = 0, sum_flops = 0;
@@ -464,6 +502,9 @@ class Device {
   ThreadPool* pool_;
   StreamId next_stream_ = 1;
   EventId next_event_ = 0;
+  FaultOptions faults_;
+  std::vector<FaultEvent> fault_log_;
+  long long launch_ordinal_ = 0;
   // Timeline state is logically part of the observable simulated clock;
   // resolution is forced from const accessors, hence mutable.
   mutable std::map<StreamId, std::deque<PendingOp>> pending_;

@@ -1,0 +1,108 @@
+#pragma once
+
+// Fault injection for the simulated device.
+//
+// Real GPUs fail in ways a host-side success code never sees: a block that
+// silently never ran (driver timeout, preempted grid) or a bit flipped in
+// DRAM/register file (no ECC on consumer parts). The injector reproduces
+// both on Device::launch's functional path:
+//
+//   * block drop — a block's run_block() is skipped, leaving its output
+//     region stale;
+//   * bit flip  — after the launch completes, one bit of one scalar in the
+//     kernel's writable surface is inverted.
+//
+// Injection is seeded and fully deterministic: decisions come from an Rng
+// keyed by (seed, launch ordinal), drops are decided before the parallel
+// loop runs and flips are applied serially after it, so results are
+// independent of thread-pool scheduling. Every injected fault is recorded in
+// the device's fault log. The point, demonstrated by the fault-injection
+// tests, is that launch() still "succeeds" — only the numerics Verifier
+// catches the corruption.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "linalg/matrix.hpp"
+
+namespace caqr::gpusim {
+
+struct FaultOptions {
+  double p_block_drop = 0.0;  // per-block probability of skipping run_block
+  double p_bitflip = 0.0;     // per-launch probability of one flipped bit
+  std::uint64_t seed = 0;
+
+  bool enabled() const { return p_block_drop > 0.0 || p_bitflip > 0.0; }
+};
+
+struct FaultEvent {
+  enum class Kind { BlockDrop, BitFlip };
+  Kind kind = Kind::BlockDrop;
+  std::string kernel;
+  long long launch_ordinal = 0;
+  idx block = -1;  // dropped block (BlockDrop)
+  idx row = -1;    // flipped element (BitFlip)
+  idx col = -1;
+  int bit = -1;    // flipped bit index within the scalar (BitFlip)
+};
+
+// Per-launch fault decisions, drawn deterministically before any block runs.
+class FaultPlan {
+ public:
+  FaultPlan(const FaultOptions& opt, long long launch_ordinal, idx num_blocks)
+      : rng_(opt.seed, static_cast<std::uint64_t>(launch_ordinal)) {
+    if (opt.p_block_drop > 0.0) {
+      dropped_.assign(static_cast<std::size_t>(num_blocks), 0);
+      for (idx b = 0; b < num_blocks; ++b) {
+        dropped_[static_cast<std::size_t>(b)] =
+            rng_.next_double() < opt.p_block_drop ? 1 : 0;
+      }
+    }
+    flip_ = opt.p_bitflip > 0.0 && rng_.next_double() < opt.p_bitflip;
+  }
+
+  bool drops(idx b) const {
+    return !dropped_.empty() && dropped_[static_cast<std::size_t>(b)] != 0;
+  }
+  bool wants_bitflip() const { return flip_; }
+
+  // Flips one bit of one element of `surface`, appending the event to `log`.
+  template <typename T>
+  void apply_bitflip(MatrixView<T> surface, const char* kernel_name,
+                     long long launch_ordinal, std::vector<FaultEvent>& log) {
+    if (surface.empty()) return;
+    const idx i = static_cast<idx>(
+        rng_.next_below(static_cast<std::uint64_t>(surface.rows())));
+    const idx j = static_cast<idx>(
+        rng_.next_below(static_cast<std::uint64_t>(surface.cols())));
+    const int bit =
+        static_cast<int>(rng_.next_below(8 * sizeof(T)));
+    T& x = surface(i, j);
+    unsigned char bytes[sizeof(T)];
+    std::memcpy(bytes, &x, sizeof(T));
+    bytes[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+    std::memcpy(&x, bytes, sizeof(T));
+    log.push_back({FaultEvent::Kind::BitFlip, kernel_name, launch_ordinal,
+                   -1, i, j, bit});
+  }
+
+  void log_drops(idx num_blocks, const char* kernel_name,
+                 long long launch_ordinal, std::vector<FaultEvent>& log) const {
+    for (idx b = 0; b < num_blocks; ++b) {
+      if (drops(b)) {
+        log.push_back({FaultEvent::Kind::BlockDrop, kernel_name,
+                       launch_ordinal, b, -1, -1, -1});
+      }
+    }
+  }
+
+ private:
+  Rng rng_;
+  std::vector<char> dropped_;
+  bool flip_ = false;
+};
+
+}  // namespace caqr::gpusim

@@ -42,7 +42,13 @@ inline void print_profile(const Device& dev) { profile_table(dev).print(); }
 // resolved stream timeline: one complete event ("ph":"X") per launch, with
 // tid = stream id and timestamps/durations in microseconds. Load the file
 // in chrome://tracing or ui.perfetto.dev to see the per-stream overlap.
-inline std::string trace_json(const Device& dev) {
+//
+// `other_data`, when non-empty, must be a JSON value; it is embedded under
+// the trace-format "otherData" key (tooling ignores unknown top-level keys),
+// which is where the benches attach their Verifier reports so every
+// BENCH_*.json artifact carries the residuals of the run it timed.
+inline std::string trace_json(const Device& dev,
+                              const std::string& other_data = "") {
   auto escaped = [](const std::string& s) {
     std::string out;
     out.reserve(s.size());
@@ -67,14 +73,20 @@ inline std::string trace_json(const Device& dev) {
     out += buf;
     first = false;
   }
-  out += "]}";
+  out += "]";
+  if (!other_data.empty()) {
+    out += ",\"otherData\":";
+    out += other_data;
+  }
+  out += "}";
   return out;
 }
 
-inline bool write_trace_json(const Device& dev, const std::string& path) {
+inline bool write_trace_json(const Device& dev, const std::string& path,
+                             const std::string& other_data = "") {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
-  const std::string json = trace_json(dev);
+  const std::string json = trace_json(dev, other_data);
   const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
   return std::fclose(f) == 0 && ok;
 }

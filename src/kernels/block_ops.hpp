@@ -23,7 +23,10 @@
 //                        the matching distributed rows of the trailing matrix.
 
 #include <cmath>
+#include <limits>
+#include <type_traits>
 
+#include "linalg/householder.hpp"
 #include "linalg/matrix.hpp"
 
 namespace caqr::kernels {
@@ -35,11 +38,32 @@ namespace caqr::kernels {
 // Householder generation without the scaled-norm guard: 3n + 4 flops for a
 // length-n vector (n >= 2) with a nonzero tail; 0 flops when n <= 1.
 // A zero tail yields tau == 0 via the ss == 0 test without extra flops.
+//
+// Ill-scaled columns — squares that overflow, or tails that underflow to a
+// subnormal (or zero) sum — fall back to the scaled-norm, xLARFG-rescaling
+// make_householder. The flop model deliberately excludes that rescue path:
+// it never triggers for the well-scaled data the cost model (and the
+// counting-scalar flop tests) cover, and the simulated clock only reads
+// block_stats(), so timelines are unaffected either way.
 template <typename T>
 T fast_make_householder(idx n, T& alpha, T* x_rest) {
   if (n <= 1) return T(0);
   T ss = T(0);
   for (idx i = 0; i < n - 1; ++i) ss += x_rest[i] * x_rest[i];  // 2(n-1)
+  if constexpr (std::is_floating_point_v<T>) {
+    const T safmin = std::numeric_limits<T>::min();
+    const T overflow_guard = std::numeric_limits<T>::max() / T(4);
+    if (ss < safmin) {
+      bool tail_nonzero = false;
+      for (idx i = 0; i < n - 1 && !tail_nonzero; ++i) {
+        tail_nonzero = x_rest[i] != T(0);
+      }
+      if (tail_nonzero) return make_householder(n, alpha, x_rest);
+    }
+    if (!(ss < overflow_guard) || !(alpha * alpha < overflow_guard)) {
+      return make_householder(n, alpha, x_rest);
+    }
+  }
   if (ss == T(0)) return T(0);
   using std::sqrt;
   const T norm = sqrt(alpha * alpha + ss);                       // 3

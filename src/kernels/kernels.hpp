@@ -77,6 +77,7 @@ struct FactorKernel {
 
   const char* name() const { return "factor"; }
   idx num_blocks() const { return static_cast<idx>(offsets->size()) - 1; }
+  MatrixView<T> fault_surface() const { return panel; }
 
   void run_block(idx b) const {
     const idx r0 = (*offsets)[static_cast<std::size_t>(b)];
@@ -118,6 +119,7 @@ struct FactorTreeKernel {
 
   const char* name() const { return "factor_tree"; }
   idx num_blocks() const { return static_cast<idx>(groups->size()); }
+  MatrixView<T> fault_surface() const { return panel; }
 
   void run_block(idx g) const {
     const auto& rows = (*groups)[static_cast<std::size_t>(g)];
@@ -174,6 +176,7 @@ struct ApplyQtHKernel {
   bool transpose_q = true;  // apply Q^T (factorization) or Q (form/apply Q)
 
   const char* name() const { return transpose_q ? "apply_qt_h" : "apply_q_h"; }
+  MatrixView<T> fault_surface() const { return trailing; }
   idx num_row_blocks() const { return static_cast<idx>(offsets->size()) - 1; }
   idx num_col_tiles() const {
     return (trailing.cols() + tile_cols - 1) / tile_cols;
@@ -269,6 +272,7 @@ struct ApplyQtTreeKernel {
   const char* name() const {
     return transpose_q ? "apply_qt_tree" : "apply_q_tree";
   }
+  MatrixView<T> fault_surface() const { return trailing; }
   idx num_col_tiles() const {
     return (trailing.cols() + tile_cols - 1) / tile_cols;
   }

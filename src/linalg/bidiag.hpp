@@ -132,7 +132,7 @@ Matrix<T> form_v(const Bidiagonalization<T>& b) {
 
 // Two-phase thin SVD: bidiagonalize, diagonalize B, compose factors.
 template <typename VA>
-SvdResult<view_scalar_t<VA>> two_phase_svd(const VA& a_in) {
+SvdResult<view_scalar_t<VA>> two_phase_svd(const VA& a_in, int max_sweeps = 60) {
   using T = view_scalar_t<VA>;
   const ConstMatrixView<T> a = cview(a_in);
   const idx m = a.rows(), n = a.cols();
@@ -145,7 +145,7 @@ SvdResult<view_scalar_t<VA>> two_phase_svd(const VA& a_in) {
     bmat(i, i) = bi.d[static_cast<std::size_t>(i)];
     if (i + 1 < n) bmat(i, i + 1) = bi.e[static_cast<std::size_t>(i)];
   }
-  auto small = jacobi_svd(bmat.view());
+  auto small = jacobi_svd(bmat.view(), max_sweeps);
 
   SvdResult<T> out{Matrix<T>::zeros(m, n), std::move(small.sigma),
                    Matrix<T>::zeros(n, n), small.sweeps, small.converged};

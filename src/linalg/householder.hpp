@@ -9,6 +9,8 @@
 // R-comparison tests exact up to column signs.
 
 #include <cmath>
+#include <limits>
+#include <type_traits>
 
 #include "linalg/blas1.hpp"
 #include "linalg/matrix.hpp"
@@ -22,15 +24,40 @@ namespace caqr {
 template <typename T>
 T make_householder(idx n, T& alpha, T* x_rest) {
   if (n <= 1) return T(0);
-  const T xnorm = nrm2(n - 1, x_rest);
+  T xnorm = nrm2(n - 1, x_rest);
   if (xnorm == T(0)) return T(0);
 
   // beta = -sign(alpha) * ||[alpha; x]||  (LAPACK sign choice: avoids
   // cancellation in alpha - beta).
   T beta = -std::copysign(std::hypot(alpha, xnorm), alpha);
+  int rescales = 0;
+  if constexpr (std::is_floating_point_v<T>) {
+    // LAPACK xLARFG rescaling: when |beta| lands below safmin (the smallest
+    // value whose reciprocal is exact), 1/(alpha - beta) would overflow and
+    // subnormal columns would yield Inf tau/v. Scale the column up into safe
+    // range, regenerate, and scale beta back down at the end.
+    const T safmin =
+        std::numeric_limits<T>::min() / std::numeric_limits<T>::epsilon();
+    if (std::abs(beta) < safmin) {
+      const T rsafmn = T(1) / safmin;
+      do {
+        ++rescales;
+        scal(n - 1, rsafmn, x_rest);
+        beta *= rsafmn;
+        alpha *= rsafmn;
+      } while (std::abs(beta) < safmin && rescales < 20);
+      xnorm = nrm2(n - 1, x_rest);
+      beta = -std::copysign(std::hypot(alpha, xnorm), alpha);
+    }
+  }
   const T tau = (beta - alpha) / beta;
   const T inv = T(1) / (alpha - beta);
   scal(n - 1, inv, x_rest);
+  if constexpr (std::is_floating_point_v<T>) {
+    const T safmin =
+        std::numeric_limits<T>::min() / std::numeric_limits<T>::epsilon();
+    for (int k = 0; k < rescales; ++k) beta *= safmin;
+  }
   alpha = beta;
   return tau;
 }

@@ -13,6 +13,7 @@
 #include "linalg/blas3.hpp"
 #include "linalg/householder.hpp"
 #include "linalg/matrix.hpp"
+#include "numerics/finite_check.hpp"
 
 namespace caqr {
 
@@ -106,6 +107,7 @@ void larfb_left(In<ConstMatrixView<T>> a, In<ConstMatrixView<T>> t, Trans trans,
 // Blocked Householder QR (GEQRF) with panel width nb.
 template <typename T>
 void geqrf(MatrixView<T> a, T* tau, idx nb = 32) {
+  CAQR_GUARD_FINITE(a, "geqrf:input");
   const idx m = a.rows(), n = a.cols();
   const idx kmax = m < n ? m : n;
   std::vector<T> work(static_cast<std::size_t>(n > 0 ? n : 1));
@@ -120,6 +122,7 @@ void geqrf(MatrixView<T> a, T* tau, idx nb = 32) {
                  Trans::Yes, a.block(k, k + kb, m - k, n - k - kb));
     }
   }
+  CAQR_GUARD_FINITE(a, "geqrf:output");
 }
 
 // Applies Q (or Q^T) of a GEQRF factorization to C from the left (UNMQR).

@@ -58,6 +58,25 @@ Matrix<T> matrix_with_condition(idx rows, idx cols, double cond,
   return a;
 }
 
+// Stress-test generator: prescribed condition number with a uniform column
+// scaling applied afterwards, so the whole spectrum can be pushed into the
+// subnormal (col_scale ~ 1e-300) or near-overflow (col_scale ~ 1e300)
+// regime. With alternate_columns, only odd columns are scaled, mixing O(1)
+// and extreme columns in one matrix — the hardest case for unguarded
+// Householder generation. The double-precision scale is cast to T, so T ==
+// float callers must keep |col_scale| inside float range.
+template <typename T>
+Matrix<T> stress_matrix(idx rows, idx cols, double cond, double col_scale,
+                        std::uint64_t seed, bool alternate_columns = false) {
+  Matrix<T> a = matrix_with_condition<T>(rows, cols, cond, seed);
+  const T s = static_cast<T>(col_scale);
+  for (idx j = 0; j < cols; ++j) {
+    if (alternate_columns && j % 2 == 0) continue;
+    scal(rows, s, a.view().col(j));
+  }
+  return a;
+}
+
 struct LowRankPlusSparse {
   idx rank = 0;
   double sparse_fraction = 0.0;   // fraction of entries that are corrupted

@@ -15,6 +15,7 @@
 
 #include "linalg/blas1.hpp"
 #include "linalg/matrix.hpp"
+#include "numerics/finite_check.hpp"
 
 namespace caqr {
 
@@ -35,10 +36,34 @@ SvdResult<view_scalar_t<VA>> jacobi_svd(const VA& a_in, int max_sweeps = 60) {
   const idx m = a.rows(), n = a.cols();
   CAQR_CHECK(m >= n);
 
+  CAQR_GUARD_FINITE(a, "jacobi_svd:input");
   SvdResult<T> out{Matrix<T>::from(a), std::vector<T>(static_cast<std::size_t>(n)),
                    Matrix<T>::identity(n, n), 0, false};
   MatrixView<T> w = out.u.view();
   MatrixView<T> v = out.v.view();
+
+  // Equilibrate extreme inputs to a safe range: the rotations work on
+  // squared column norms, which overflow/underflow for max|A| outside
+  // roughly [2^-256, 2^256] even when A itself is representable. Scaling by
+  // an exact power of two keeps every rotation bit-identical and scales the
+  // singular values exactly; well-scaled inputs are untouched.
+  T inv_scale = T(1);
+  {
+    double s = 0.0;
+    for (idx j = 0; j < n; ++j) {
+      const T* col = w.col(j);
+      for (idx i = 0; i < m; ++i) {
+        const double ax = std::abs(static_cast<double>(col[i]));
+        if (ax > s) s = ax;
+      }
+    }
+    const int e = s > 0.0 ? std::ilogb(s) : 0;
+    if (e > 256 || e < -256) {
+      const T f = static_cast<T>(std::exp2(static_cast<double>(-e)));
+      for (idx j = 0; j < n; ++j) scal(m, f, w.col(j));
+      inv_scale = T(1) / f;
+    }
+  }
 
   const T eps = std::numeric_limits<T>::epsilon();
   // Convergence: all column pairs orthogonal to machine precision relative
@@ -52,7 +77,11 @@ SvdResult<view_scalar_t<VA>> jacobi_svd(const VA& a_in, int max_sweeps = 60) {
         const T apq = dot(m, wp, wq);
         const T app = nrm2_squared(m, wp);
         const T aqq = nrm2_squared(m, wq);
-        if (std::abs(apq) <= eps * std::sqrt(app * aqq) || apq == T(0)) {
+        // Threshold as a product of square roots: app * aqq overflows (or
+        // underflows to 0, disabling convergence) for extreme column norms
+        // even when the threshold itself is representable.
+        if (std::abs(apq) <= eps * std::sqrt(app) * std::sqrt(aqq) ||
+            apq == T(0)) {
           continue;
         }
         rotated = true;
@@ -83,11 +112,12 @@ SvdResult<view_scalar_t<VA>> jacobi_svd(const VA& a_in, int max_sweeps = 60) {
     }
   }
 
-  // Column norms -> singular values; normalize U columns (zero-safe).
+  // Column norms -> singular values (undoing the equilibration); normalize
+  // U columns (zero-safe).
   for (idx j = 0; j < n; ++j) {
     T* wj = w.col(j);
     const T sj = nrm2(m, wj);
-    out.sigma[static_cast<std::size_t>(j)] = sj;
+    out.sigma[static_cast<std::size_t>(j)] = sj * inv_scale;
     if (sj > T(0)) scal(m, T(1) / sj, wj);
   }
 
@@ -107,6 +137,8 @@ SvdResult<view_scalar_t<VA>> jacobi_svd(const VA& a_in, int max_sweeps = 60) {
       for (idx r = 0; r < n; ++r) std::swap(v(r, i), v(r, best));
     }
   }
+  CAQR_GUARD_FINITE(out.u.view(), "jacobi_svd:u");
+  CAQR_GUARD_FINITE(out.v.view(), "jacobi_svd:v");
   return out;
 }
 

@@ -1,0 +1,111 @@
+#pragma once
+
+// NaN/Inf guard hooks at kernel boundaries.
+//
+// finite_check() is the cheap primitive: one pass over a view answering "is
+// every entry finite?". guard_finite() is the boundary hook built on it —
+// under GuardPolicy::Abort a violation prints the boundary label and aborts
+// (like CAQR_CHECK); under GuardPolicy::Count it increments a process-wide
+// counter so tests and the stress harness can observe violations without
+// dying. The hooks are compiled in only when the build defines
+// CAQR_NUMERICS_CHECKS (CMake option of the same name, OFF by default), so
+// release builds pay nothing; the functions themselves are always available
+// for direct use by the Verifier and tests.
+//
+// Non-floating-point scalar types (e.g. the flop-counting scalar used by the
+// kernel tests) trivially pass: finiteness is a property of IEEE types only.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <type_traits>
+
+#include "linalg/matrix.hpp"
+
+namespace caqr::numerics {
+
+// True iff every entry of the view is finite (no NaN, no +-Inf).
+template <typename V>
+bool finite_check(const V& a_in) {
+  const auto a = cview(a_in);
+  using T = view_scalar_t<V>;
+  if constexpr (std::is_floating_point_v<T>) {
+    for (idx j = 0; j < a.cols(); ++j) {
+      const T* col = a.col(j);
+      for (idx i = 0; i < a.rows(); ++i) {
+        if (!std::isfinite(col[i])) return false;
+      }
+    }
+  }
+  return true;
+}
+
+// Counts the non-finite entries (diagnostic companion to finite_check).
+template <typename V>
+idx count_nonfinite(const V& a_in) {
+  const auto a = cview(a_in);
+  using T = view_scalar_t<V>;
+  idx bad = 0;
+  if constexpr (std::is_floating_point_v<T>) {
+    for (idx j = 0; j < a.cols(); ++j) {
+      const T* col = a.col(j);
+      for (idx i = 0; i < a.rows(); ++i) {
+        if (!std::isfinite(col[i])) ++bad;
+      }
+    }
+  }
+  return bad;
+}
+
+enum class GuardPolicy {
+  Abort,  // print the boundary label and abort (default)
+  Count,  // increment the violation counter and continue
+};
+
+inline GuardPolicy& guard_policy_ref() {
+  static GuardPolicy policy = GuardPolicy::Abort;
+  return policy;
+}
+
+inline void set_guard_policy(GuardPolicy p) { guard_policy_ref() = p; }
+inline GuardPolicy guard_policy() { return guard_policy_ref(); }
+
+inline long long& guard_violation_counter() {
+  static long long count = 0;
+  return count;
+}
+
+inline long long guard_violations() { return guard_violation_counter(); }
+inline void reset_guard_violations() { guard_violation_counter() = 0; }
+
+// Boundary hook: checks finiteness and reacts per the active policy.
+// `where` names the boundary, e.g. "tsqr_factor:panel".
+template <typename V>
+void guard_finite(const V& a_in, const char* where) {
+  if (finite_check(a_in)) return;
+  if (guard_policy() == GuardPolicy::Count) {
+    ++guard_violation_counter();
+    return;
+  }
+  const auto a = cview(a_in);
+  std::fprintf(stderr,
+               "CAQR numerics guard: non-finite values at %s "
+               "(%lld bad of %lld x %lld)\n",
+               where, static_cast<long long>(count_nonfinite(a)),
+               static_cast<long long>(a.rows()),
+               static_cast<long long>(a.cols()));
+  std::abort();
+}
+
+}  // namespace caqr::numerics
+
+// The kernel-boundary hook macro: a no-op unless the build opts into the
+// checks, so hot paths carry no cost in release builds.
+#if defined(CAQR_NUMERICS_CHECKS)
+#define CAQR_GUARD_FINITE(view, where) \
+  ::caqr::numerics::guard_finite((view), (where))
+#else
+#define CAQR_GUARD_FINITE(view, where) \
+  do {                                 \
+  } while (0)
+#endif

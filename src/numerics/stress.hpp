@@ -1,0 +1,208 @@
+#pragma once
+
+// Condition-number / column-scaling stress harness.
+//
+// Sweeps every QR path in the library — reference blocked Householder,
+// TSQR under several reduction-tree shapes (binary, quad, flat, the paper's
+// derived arity), incremental (streaming) TSQR, and CAQR under both
+// schedules — over matrices with prescribed condition number (log-spaced
+// 1e0..1e14) and uniform column scalings that push the data into the
+// subnormal (1e-300) and near-overflow (1e300) regimes. Every run is checked
+// with the Verifier; the harness returns the full table of reports so tests
+// can assert `summary.pass()` and the bench driver can print / serialize it.
+//
+// Double precision only: the extreme scalings are unrepresentable in float.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "caqr/caqr.hpp"
+#include "gpusim/device.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/random_matrix.hpp"
+#include "numerics/verifier.hpp"
+#include "tsqr/incremental.hpp"
+#include "tsqr/tsqr.hpp"
+
+namespace caqr::numerics {
+
+// Log-spaced condition numbers 10^0 .. 10^{max_exp}.
+inline std::vector<double> log_spaced_conds(double max_exp = 14.0,
+                                            int points = 8) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double t = points > 1 ? static_cast<double>(i) / (points - 1) : 0.0;
+    out.push_back(std::pow(10.0, max_exp * t));
+  }
+  return out;
+}
+
+struct StressSpec {
+  idx rows = 256;
+  idx cols = 24;
+  std::vector<double> conds = log_spaced_conds();
+  // Uniform column scalings; 1e-300 lands the spectrum near the subnormal
+  // range, 1e300 near overflow.
+  std::vector<double> col_scales = {1e-300, 1.0, 1e300};
+  // Additionally run each non-unit scale with only odd columns scaled
+  // (mixed O(1) / extreme columns — the hardest case for Householder
+  // generation).
+  bool mixed_columns = false;
+  std::uint64_t seed = 20260807;
+  VerifyOptions verify;
+};
+
+struct StressRow {
+  std::string path;        // which QR implementation
+  double cond = 1.0;       // prescribed condition number
+  double col_scale = 1.0;  // uniform column scaling applied to the input
+  bool mixed = false;      // only odd columns scaled
+  VerifyReport report;
+};
+
+struct StressSummary {
+  std::vector<StressRow> rows;
+
+  idx failures() const {
+    idx n = 0;
+    for (const auto& r : rows) n += r.report.pass ? 0 : 1;
+    return n;
+  }
+  bool pass() const { return !rows.empty() && failures() == 0; }
+};
+
+namespace detail {
+
+// One (matrix, path) cell of the sweep. Each path runs on a fresh
+// functional device so fault/timeline state never leaks between cells.
+template <typename Fn>
+void stress_cell(StressSummary& out, const char* path, double cond,
+                 double scale, bool mixed, Fn&& run) {
+  StressRow row;
+  row.path = path;
+  row.cond = cond;
+  row.col_scale = scale;
+  row.mixed = mixed;
+  row.report = run();
+  out.rows.push_back(std::move(row));
+}
+
+}  // namespace detail
+
+// Runs the full sweep. Every path sees the same generated matrices.
+inline StressSummary run_stress(const StressSpec& spec) {
+  using gpusim::Device;
+  const idx m = spec.rows, n = spec.cols;
+  CAQR_CHECK(m >= n && n >= 1);
+  // Deep-ish trees even at stress sizes: ~8 level-0 blocks.
+  const idx block_rows = std::max<idx>(n, m / 8 > 0 ? m / 8 : m);
+
+  struct ScaleCase {
+    double scale;
+    bool mixed;
+  };
+  std::vector<ScaleCase> scale_cases;
+  for (double s : spec.col_scales) {
+    scale_cases.push_back({s, false});
+    if (spec.mixed_columns && s != 1.0) scale_cases.push_back({s, true});
+  }
+
+  StressSummary out;
+  for (double cond : spec.conds) {
+    for (const ScaleCase& sc : scale_cases) {
+      const Matrix<double> a =
+          stress_matrix<double>(m, n, cond, sc.scale, spec.seed, sc.mixed);
+      auto cell = [&](const char* path, auto&& run) {
+        detail::stress_cell(out, path, cond, sc.scale, sc.mixed, run);
+      };
+
+      cell("reference_qr", [&] {
+        Matrix<double> fac = Matrix<double>::from(a.view());
+        std::vector<double> tau(static_cast<std::size_t>(n));
+        geqrf(fac.view(), tau.data());
+        const Matrix<double> q = form_q(fac.view(), tau.data(), n);
+        const Matrix<double> r = extract_r(fac.view());
+        return verify_qr(a.view(), q.view(), r.view(), spec.verify);
+      });
+
+      auto tsqr_cell = [&](idx arity) {
+        tsqr::TsqrOptions topt;
+        topt.block_rows = block_rows;
+        topt.arity = arity;
+        Device dev;
+        auto res = tsqr::tsqr(dev, a.view(), topt);
+        const Matrix<double> q = res.form_q(dev, topt);
+        const Matrix<double> r = res.r();
+        return verify_qr(a.view(), q.view(), r.view(), spec.verify);
+      };
+      cell("tsqr_binary", [&] { return tsqr_cell(2); });
+      cell("tsqr_quad", [&] { return tsqr_cell(4); });
+      // One combine over all blocks (flat tree), and the paper's derived
+      // arity block_rows / width.
+      cell("tsqr_flat", [&] { return tsqr_cell(m); });
+      cell("tsqr_paper", [&] { return tsqr_cell(0); });
+
+      cell("tsqr_incremental", [&] {
+        Device dev;
+        tsqr::IncrementalTsqr<double> inc(dev, n);
+        for (idx r0 = 0; r0 < m; r0 += block_rows) {
+          const idx h = std::min(block_rows, m - r0);
+          inc.push(a.view().block(r0, 0, h, n));
+        }
+        return verify_r(a.view(), inc.r().view(), spec.verify);
+      });
+
+      auto caqr_cell = [&](CaqrSchedule sched) {
+        CaqrOptions copt;
+        copt.schedule = sched;
+        copt.tsqr.block_rows = std::max(copt.panel_width, block_rows);
+        Device dev;
+        auto f = CaqrFactorization<double>::factor(
+            dev, Matrix<double>::from(a.view()), copt);
+        const Matrix<double> q = f.form_q(dev, n);
+        const Matrix<double> r = f.r();
+        return verify_qr(a.view(), q.view(), r.view(), spec.verify);
+      };
+      cell("caqr_serial", [&] { return caqr_cell(CaqrSchedule::Serial); });
+      cell("caqr_lookahead",
+           [&] { return caqr_cell(CaqrSchedule::LookAhead); });
+    }
+  }
+  return out;
+}
+
+inline void print_stress(const StressSummary& s, std::FILE* f = stdout) {
+  std::fprintf(f, "%-18s %-9s %-9s %-5s %-12s %-12s %-12s %s\n", "path",
+               "cond", "scale", "mixed", "residual", "orthog", "gram", "pass");
+  for (const auto& r : s.rows) {
+    std::fprintf(f, "%-18s %-9.1e %-9.1e %-5s %-12.3e %-12.3e %-12.3e %s\n",
+                 r.path.c_str(), r.cond, r.col_scale, r.mixed ? "yes" : "no",
+                 r.report.residual, r.report.orthogonality,
+                 r.report.gram_residual, r.report.pass ? "ok" : "FAIL");
+  }
+  std::fprintf(f, "%zu runs, %lld failures\n", s.rows.size(),
+               static_cast<long long>(s.failures()));
+}
+
+// JSON array of per-run rows (one object per StressRow).
+inline std::string stress_json(const StressSummary& s) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < s.rows.size(); ++i) {
+    const auto& r = s.rows[i];
+    char head[160];
+    std::snprintf(head, sizeof(head),
+                  "{\"path\":\"%s\",\"cond\":%.3e,\"col_scale\":%.3e,"
+                  "\"mixed\":%s,\"report\":",
+                  r.path.c_str(), r.cond, r.col_scale,
+                  r.mixed ? "true" : "false");
+    out += head;
+    out += verify_json_object(r.report);
+    out += i + 1 < s.rows.size() ? "}," : "}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace caqr::numerics

@@ -43,6 +43,10 @@ struct RpcaResult {
   idx final_rank = 0;         // rank of L after the last threshold
   double simulated_seconds = 0.0;
   double seconds_per_iteration = 0.0;  // simulated
+  // False if ANY inner singular-value threshold used a small SVD that
+  // exhausted its sweep budget; such runs silently degraded before this flag
+  // existed.
+  bool svd_converged = true;
 };
 
 // Elementwise soft-threshold (shrinkage) operator.
@@ -73,7 +77,7 @@ RpcaResult<view_scalar_t<VM>> robust_pca(gpusim::Device& dev, const VM& m_in,
   const double norm_m = frobenius_norm(m);
 
   RpcaResult<T> out{Matrix<T>::zeros(rows, cols), Matrix<T>::zeros(rows, cols),
-                    0, false, 0.0, 0, 0.0, 0.0};
+                    0, false, 0.0, 0, 0.0, 0.0, true};
   Matrix<T> y = Matrix<T>::zeros(rows, cols);
   Matrix<T> work(rows, cols);
 
@@ -82,6 +86,7 @@ RpcaResult<view_scalar_t<VM>> robust_pca(gpusim::Device& dev, const VM& m_in,
   double mu = opt.mu;
   if (mu <= 0) {
     auto f = svd::tall_skinny_svd(dev, m, opt.svd);
+    out.svd_converged = out.svd_converged && f.small_svd_converged;
     const double s1 = static_cast<double>(f.sigma.front());
     mu = s1 > 0 ? 1.25 / s1 : 1.0;
   }
@@ -101,6 +106,7 @@ RpcaResult<view_scalar_t<VM>> robust_pca(gpusim::Device& dev, const VM& m_in,
                                              static_cast<T>(1.0 / mu), opt.svd);
     out.low_rank = std::move(svt.value);
     out.final_rank = svt.rank;
+    out.svd_converged = out.svd_converged && svt.svd_converged;
 
     // S-step: shrink(M - L + Y/mu).
     for (idx j = 0; j < cols; ++j) {

@@ -32,6 +32,11 @@ struct TallSkinnySvd {
   Matrix<T> u;           // m x n left singular vectors
   std::vector<T> sigma;  // n singular values, descending
   Matrix<T> v;           // n x n right singular vectors
+  // False when the small Jacobi SVD of R exhausted its sweep budget without
+  // reaching pairwise orthogonality — the factors are then approximate and
+  // callers must not treat them as converged. Always true in ModelOnly runs
+  // (no numerics executed).
+  bool small_svd_converged = true;
 };
 
 enum class QrBackend {
@@ -53,6 +58,9 @@ struct TallSkinnySvdOptions {
   // Effective rate of the small n x n Jacobi SVD on the host CPU
   // (bandwidth-irrelevant; tiny working set), used for simulated time.
   double cpu_svd_gflops = 4.0;
+  // Sweep budget for the small Jacobi SVD; exhaustion is surfaced via
+  // TallSkinnySvd::small_svd_converged instead of being silently dropped.
+  int svd_max_sweeps = 60;
 };
 
 // Simulated-time charge for the small CPU SVD of R (one-sided Jacobi,
@@ -112,8 +120,10 @@ TallSkinnySvd<view_scalar_t<VA>> tall_skinny_svd(
   charge_small_svd(dev, n, opt.cpu_svd_gflops);
   SvdResult<T> rs;
   if (dev.mode() == gpusim::ExecMode::Functional) {
-    rs = opt.small_svd == SmallSvd::Jacobi ? jacobi_svd(r.view())
-                                           : two_phase_svd(r.view());
+    rs = opt.small_svd == SmallSvd::Jacobi
+             ? jacobi_svd(r.view(), opt.svd_max_sweeps)
+             : two_phase_svd(r.view(), opt.svd_max_sweeps);
+    out.small_svd_converged = rs.converged;
     out.sigma = rs.sigma;
     out.v = std::move(rs.v);
   }
@@ -134,6 +144,7 @@ template <typename T>
 struct SvtResult {
   Matrix<T> value;
   idx rank = 0;
+  bool svd_converged = true;  // see TallSkinnySvd::small_svd_converged
 };
 
 template <typename VA>
@@ -144,7 +155,7 @@ SvtResult<view_scalar_t<VA>> singular_value_threshold(
   const ConstMatrixView<T> a = cview(a_in);
   const idx m = a.rows(), n = a.cols();
   auto f = tall_skinny_svd(dev, a, opt);
-  SvtResult<T> out{Matrix<T>::zeros(m, n), 0};
+  SvtResult<T> out{Matrix<T>::zeros(m, n), 0, f.small_svd_converged};
 
   if (dev.mode() != gpusim::ExecMode::Functional) {
     // Charge the U * diag(shrunk sigma) * V^T reconstruction.

@@ -19,6 +19,7 @@
 #include "gpusim/device.hpp"
 #include "kernels/kernels.hpp"
 #include "linalg/matrix.hpp"
+#include "numerics/finite_check.hpp"
 
 namespace caqr::tsqr {
 
@@ -99,6 +100,11 @@ PanelFactor<T> tsqr_factor(gpusim::Device& dev, gpusim::StreamId stream,
   const idx nblocks = f.num_blocks();
   f.taus0.assign(static_cast<std::size_t>(nblocks * width), T(0));
 
+  // Boundary guards only see data in Functional mode: ModelOnly panels are
+  // storage-free placeholders.
+  const bool functional = dev.mode() == gpusim::ExecMode::Functional;
+  if (functional) CAQR_GUARD_FINITE(panel, "tsqr_factor:input");
+
   const auto cost = kernels::cost_params(opt.variant);
   const bool charge_transpose =
       opt.transposed_panels &&
@@ -134,6 +140,7 @@ PanelFactor<T> tsqr_factor(gpusim::Device& dev, gpusim::StreamId stream,
     survivors = std::move(next);
     f.levels.push_back(std::move(level));
   }
+  if (functional) CAQR_GUARD_FINITE(panel, "tsqr_factor:output");
   return f;
 }
 

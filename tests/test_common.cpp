@@ -188,5 +188,30 @@ TEST(Cli, ParsesFlagsAndPositionals) {
   EXPECT_EQ(args.positional()[0], "pos1");
 }
 
+TEST(Cli, MalformedIntegerAbortsWithFlagName) {
+  // strtoll without endptr checking used to turn "--n=1o0" into 1 silently.
+  const char* argv[] = {"prog", "--n=1o0"};
+  CliArgs args(2, const_cast<char**>(argv));
+  EXPECT_DEATH((void)args.get_int("n", 0), "--n=1o0");
+}
+
+TEST(Cli, MalformedAndOutOfRangeDoublesAbort) {
+  const char* argv[] = {"prog", "--ratio=fast", "--huge=1e999"};
+  CliArgs args(3, const_cast<char**>(argv));
+  EXPECT_DEATH((void)args.get_double("ratio", 0.0), "--ratio=fast");
+  EXPECT_DEATH((void)args.get_double("huge", 0.0), "--huge=1e999");
+}
+
+TEST(Cli, IntegerRangeAndSuffixChecks) {
+  const char* argv[] = {"prog", "--big=99999999999999999999", "--m=12x"};
+  CliArgs args(3, const_cast<char**>(argv));
+  EXPECT_DEATH((void)args.get_int("big", 0), "--big=");
+  EXPECT_DEATH((void)args.get_int("m", 0), "--m=12x");
+  // Well-formed values still parse (including negatives).
+  const char* ok[] = {"prog", "--k=-42"};
+  CliArgs args_ok(2, const_cast<char**>(ok));
+  EXPECT_EQ(args_ok.get_int("k", 0), -42);
+}
+
 }  // namespace
 }  // namespace caqr
