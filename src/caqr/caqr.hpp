@@ -37,10 +37,27 @@
 // can be formed — all through the same simulated kernels (the paper notes
 // SORGQR via CAQR is as efficient as the factorization itself).
 
+// Fault tolerance and checkpoint/restart. factor() aggregates the
+// ft::Severity of every launch (plus TSQR's panel-level recovery) into a
+// ft::RunStatus available from status(). When the device policy enables
+// recovery and schedule_fallback, a LookAhead run whose corruption survives
+// the lower recovery levels is redone on the Serial schedule from the kept
+// original input — graceful degradation instead of an abort. When
+// CaqrOptions::checkpoint_path is set, the factorization writes a
+// panel-granularity snapshot (ft/checkpoint.hpp) at each schedule's common
+// consistency point — "panels 0..p factored and fully applied" — so a killed
+// run restarted with the same options resumes from the last completed panel
+// and produces bit-identical results; an invalid or truncated checkpoint is
+// detected by its checksum and ignored (clean start).
+
 #include <algorithm>
+#include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "ft/checkpoint.hpp"
+#include "ft/ft.hpp"
 #include "gpusim/device.hpp"
 #include "linalg/flops.hpp"
 #include "linalg/qr.hpp"
@@ -58,6 +75,17 @@ struct CaqrOptions {
   idx panel_width = 16;  // W: grid column width
   CaqrSchedule schedule = CaqrSchedule::LookAhead;
   tsqr::TsqrOptions tsqr;
+
+  // Checkpoint/restart. Non-empty: write a snapshot of the factorization
+  // state every `checkpoint_every` completed panels (atomic tmp+rename),
+  // and resume from a valid checkpoint at the same path if one exists.
+  // Functional mode only — ModelOnly has no data to snapshot.
+  std::string checkpoint_path;
+  idx checkpoint_every = 1;
+  // Test hook simulating a mid-factorization kill: stop after this many
+  // panels complete (0 = run to the end). The returned factorization is
+  // partial; only its checkpoint file is meaningful.
+  idx halt_after_panels = 0;
 
   // Tile width used by the trailing update defaults to the panel width.
   tsqr::TsqrOptions panel_tsqr() const {
@@ -82,19 +110,66 @@ class CaqrFactorization {
     CAQR_CHECK(opt.panel_width >= 1);
     CAQR_CHECK(opt.tsqr.block_rows >= opt.panel_width);
     if (std::min(f.a_.rows(), f.a_.cols()) == 0) return f;
-    if (dev.mode() == gpusim::ExecMode::Functional) {
+    const bool functional = dev.mode() == gpusim::ExecMode::Functional;
+    if (functional) {
       CAQR_GUARD_FINITE(f.a_.view(), "caqr_factor:input");
     }
-    if (opt.schedule == CaqrSchedule::LookAhead) {
-      factor_lookahead(dev, f);
-    } else {
-      factor_serial(dev, f);
+
+    idx first = 0;
+    if (functional && !opt.checkpoint_path.empty()) first = f.try_resume();
+
+    const ft::FtOptions& ftopt = dev.fault_tolerance();
+    const ft::Summary before = dev.ft_summary();
+    const bool keep_original = functional && ftopt.abft && ftopt.recovery() &&
+                               ftopt.schedule_fallback &&
+                               opt.schedule == CaqrSchedule::LookAhead;
+    Matrix<T> original;
+    std::vector<tsqr::PanelFactor<T>> original_panels;
+    if (keep_original) {
+      original = Matrix<T>::from(f.a_.as_const());
+      original_panels = f.panels_;
     }
-    if (dev.mode() == gpusim::ExecMode::Functional) {
+
+    if (opt.schedule == CaqrSchedule::LookAhead) {
+      factor_lookahead(dev, f, first);
+    } else {
+      factor_serial(dev, f, first);
+    }
+    if (keep_original && !f.halted_ &&
+        f.status_.severity == ft::Severity::Unrecovered) {
+      // Schedule-level degradation: the two-stream run stayed corrupted
+      // after launch retries and panel recomputes — redo everything on the
+      // serial schedule from the kept input.
+      f.a_ = std::move(original);
+      f.panels_ = std::move(original_panels);
+      f.status_.severity = ft::Severity::Ok;
+      f.status_.schedule_fallback = true;
+      factor_serial(dev, f, first);
+      if (f.status_.severity == ft::Severity::Ok) {
+        f.status_.severity = ft::Severity::Corrected;
+      }
+    }
+
+    const ft::Summary after = dev.ft_summary();
+    f.status_.corrected_launches =
+        after.corrected_launches - before.corrected_launches;
+    f.status_.unrecovered_launches =
+        after.unrecovered_launches - before.unrecovered_launches;
+
+    if (functional && !f.halted_ &&
+        f.status_.severity != ft::Severity::Unrecovered) {
       CAQR_GUARD_FINITE(f.a_.view(), "caqr_factor:output");
     }
     return f;
   }
+
+  // Fault-tolerance outcome of factor() (ft::RunStatus semantics);
+  // status().ok() is false only when corruption survived every recovery
+  // level that was enabled.
+  const ft::RunStatus& status() const { return status_; }
+
+  // True when the halt_after_panels test hook stopped the run early.
+  bool halted() const { return halted_; }
 
   idx rows() const { return a_.rows(); }
   idx cols() const { return a_.cols(); }
@@ -127,23 +202,33 @@ class CaqrFactorization {
 
  private:
   // Figure 4's host pseudocode: every launch on the (synchronous) legacy
-  // stream.
-  static void factor_serial(gpusim::Device& dev, CaqrFactorization& f) {
+  // stream. `first_panel` > 0 resumes mid-factorization (checkpoint).
+  static void factor_serial(gpusim::Device& dev, CaqrFactorization& f,
+                            idx first_panel) {
     const CaqrOptions& opt = f.opt_;
     const tsqr::TsqrOptions topt = opt.panel_tsqr();
     const idx m = f.a_.rows(), n = f.a_.cols();
     const idx kmax = m < n ? m : n;
-    for (idx c0 = 0; c0 < kmax; c0 += opt.panel_width) {
+    ft::Severity sev = ft::Severity::Ok;
+    idx done = first_panel;
+    for (idx c0 = first_panel * opt.panel_width; c0 < kmax;
+         c0 += opt.panel_width) {
       const idx w = std::min(opt.panel_width, kmax - c0);
       const idx len = m - c0;
       auto panel = f.a_.block(c0, c0, len, w);
-      f.panels_.push_back(tsqr_factor(dev, panel, topt));
+      f.panels_.push_back(tsqr_factor(dev, gpusim::kDefaultStream, panel,
+                                      topt, &sev, &f.status_.panel_retries));
       const idx trailing_cols = n - c0 - w;
       if (trailing_cols > 0) {
-        tsqr_apply_qt(dev, panel.as_const(), f.panels_.back(),
-                      f.a_.block(c0, c0 + w, len, trailing_cols), topt);
+        tsqr_apply_qt(dev, gpusim::kDefaultStream, panel.as_const(),
+                      f.panels_.back(),
+                      f.a_.block(c0, c0 + w, len, trailing_cols), topt, &sev);
       }
+      ++done;
+      f.after_panel(dev, done);
+      if (f.halted_) break;
     }
+    f.status_.severity = ft::worse(f.status_.severity, sev);
   }
 
   // Two-stream look-ahead schedule. Dependency structure per panel p:
@@ -157,7 +242,8 @@ class CaqrFactorization {
   // tile. Functional execution happens at issue time, and the issue order
   // below is itself dependency-correct, so numerics are independent of the
   // stream timing.
-  static void factor_lookahead(gpusim::Device& dev, CaqrFactorization& f) {
+  static void factor_lookahead(gpusim::Device& dev, CaqrFactorization& f,
+                               idx first_panel) {
     const CaqrOptions& opt = f.opt_;
     const tsqr::TsqrOptions topt = opt.panel_tsqr();
     const idx m = f.a_.rows(), n = f.a_.cols();
@@ -168,18 +254,20 @@ class CaqrFactorization {
     std::vector<idx> starts;
     for (idx c0 = 0; c0 < kmax; c0 += opt.panel_width) starts.push_back(c0);
     const idx np = static_cast<idx>(starts.size());
+    ft::Severity sev = ft::Severity::Ok;
     auto width_of = [&](idx p) {
       return std::min(opt.panel_width, kmax - starts[p]);
     };
     auto factor_panel = [&](idx p) {
       const idx c0 = starts[p];
-      f.panels_.push_back(tsqr_factor(
-          dev, sp, f.a_.block(c0, c0, m - c0, width_of(p)), topt));
+      f.panels_.push_back(tsqr_factor(dev, sp,
+                                      f.a_.block(c0, c0, m - c0, width_of(p)),
+                                      topt, &sev, &f.status_.panel_retries));
     };
 
-    factor_panel(0);
+    factor_panel(first_panel);
     gpusim::EventId prev_rest = -1;  // U's rest-update of the previous panel
-    for (idx p = 0; p < np; ++p) {
+    for (idx p = first_panel; p < np; ++p) {
       const idx c0 = starts[p];
       const idx w = width_of(p);
       const idx len = m - c0;
@@ -195,16 +283,22 @@ class CaqrFactorization {
         // panel stream. They last received panel p-1's update on U.
         if (prev_rest >= 0) dev.wait_event(sp, prev_rest);
         tsqr_apply_qt(dev, sp, panel, meta,
-                      f.a_.block(c0, c0 + w, len, next_w), topt);
+                      f.a_.block(c0, c0 + w, len, next_w), topt, &sev);
       }
       if (rest > 0) {
         dev.wait_event(su, factored);
         tsqr_apply_qt(dev, su, panel, meta,
-                      f.a_.block(c0, c0 + w + next_w, len, rest), topt);
+                      f.a_.block(c0, c0 + w + next_w, len, rest), topt, &sev);
         prev_rest = dev.record_event(su);
       }
+      // Consistency point shared with the serial schedule: panels 0..p are
+      // factored and fully applied (functional execution happens at issue
+      // time). The checkpoint must precede factor_panel(p + 1).
+      f.after_panel(dev, p + 1);
+      if (f.halted_) break;
       if (p + 1 < np) factor_panel(p + 1);
     }
+    f.status_.severity = ft::worse(f.status_.severity, sev);
   }
 
   void walk(gpusim::Device& dev, MatrixView<T> c, bool transpose_q) const {
@@ -234,9 +328,126 @@ class CaqrFactorization {
     }
   }
 
+  idx num_panels() const {
+    const idx kmax = std::min(a_.rows(), a_.cols());
+    return (kmax + opt_.panel_width - 1) / opt_.panel_width;
+  }
+
+  // Called after `done` panels are factored and fully applied — the common
+  // consistency point of both schedules.
+  void after_panel(gpusim::Device& dev, idx done) {
+    const idx total = num_panels();
+    if (!opt_.checkpoint_path.empty() && opt_.checkpoint_every > 0 &&
+        dev.mode() == gpusim::ExecMode::Functional &&
+        (done % opt_.checkpoint_every == 0 || done == total)) {
+      write_checkpoint(done);
+    }
+    if (opt_.halt_after_panels > 0 && done >= opt_.halt_after_panels &&
+        done < total) {
+      halted_ = true;
+    }
+  }
+
+  void write_checkpoint(idx done) const {
+    ft::CheckpointWriter w;
+    w.scalar("rows", static_cast<std::int64_t>(a_.rows()));
+    w.scalar("cols", static_cast<std::int64_t>(a_.cols()));
+    w.scalar("panel_width", static_cast<std::int64_t>(opt_.panel_width));
+    w.scalar("scalar_size", static_cast<std::int64_t>(sizeof(T)));
+    w.scalar("done", static_cast<std::int64_t>(done));
+    w.matrix("a", a_.view());
+    for (idx p = 0; p < done; ++p) {
+      const auto& pf = panels_[static_cast<std::size_t>(p)];
+      const std::string pre = "p" + std::to_string(p) + ".";
+      w.scalar(pre + "rows", static_cast<std::int64_t>(pf.rows));
+      w.scalar(pre + "width", static_cast<std::int64_t>(pf.width));
+      w.vec(pre + "offsets", pf.offsets);
+      w.vec(pre + "taus0", pf.taus0);
+      w.scalar(pre + "nlevels", static_cast<std::int64_t>(pf.levels.size()));
+      for (std::size_t l = 0; l < pf.levels.size(); ++l) {
+        const auto& level = pf.levels[l];
+        const std::string lpre = pre + "l" + std::to_string(l) + ".";
+        std::vector<idx> gsizes, gdata;
+        for (const auto& g : level.groups) {
+          gsizes.push_back(static_cast<idx>(g.size()));
+          gdata.insert(gdata.end(), g.begin(), g.end());
+        }
+        w.vec(lpre + "gsizes", gsizes);
+        w.vec(lpre + "gdata", gdata);
+        w.vec(lpre + "taus", level.taus);
+      }
+    }
+    w.write(opt_.checkpoint_path);
+  }
+
+  // Loads and validates a checkpoint at opt_.checkpoint_path; returns the
+  // panel to resume from (0 = none / invalid / mismatched, i.e. clean start).
+  idx try_resume() {
+    const auto r = ft::CheckpointReader::load(opt_.checkpoint_path);
+    if (!r) return 0;
+    std::int64_t rows = 0, cols = 0, pw = 0, ssize = 0, done = 0;
+    if (!r->scalar("rows", rows) || !r->scalar("cols", cols) ||
+        !r->scalar("panel_width", pw) || !r->scalar("scalar_size", ssize) ||
+        !r->scalar("done", done)) {
+      return 0;
+    }
+    if (rows != a_.rows() || cols != a_.cols() || pw != opt_.panel_width ||
+        ssize != static_cast<std::int64_t>(sizeof(T)) || done < 1 ||
+        done > num_panels()) {
+      return 0;
+    }
+    Matrix<T> a;
+    if (!r->matrix("a", a)) return 0;
+    std::vector<tsqr::PanelFactor<T>> panels;
+    for (std::int64_t p = 0; p < done; ++p) {
+      tsqr::PanelFactor<T> pf;
+      const std::string pre = "p" + std::to_string(p) + ".";
+      std::int64_t prows = 0, pwidth = 0, nlev = 0;
+      if (!r->scalar(pre + "rows", prows) ||
+          !r->scalar(pre + "width", pwidth) ||
+          !r->scalar(pre + "nlevels", nlev) || nlev < 0 ||
+          !r->vec(pre + "offsets", pf.offsets) ||
+          !r->vec(pre + "taus0", pf.taus0)) {
+        return 0;
+      }
+      pf.rows = static_cast<idx>(prows);
+      pf.width = static_cast<idx>(pwidth);
+      for (std::int64_t l = 0; l < nlev; ++l) {
+        typename tsqr::PanelFactor<T>::Level level;
+        const std::string lpre = pre + "l" + std::to_string(l) + ".";
+        std::vector<idx> gsizes, gdata;
+        if (!r->vec(lpre + "gsizes", gsizes) ||
+            !r->vec(lpre + "gdata", gdata) ||
+            !r->vec(lpre + "taus", level.taus)) {
+          return 0;
+        }
+        std::size_t pos = 0;
+        for (idx gs : gsizes) {
+          if (gs < 0 || pos + static_cast<std::size_t>(gs) > gdata.size()) {
+            return 0;
+          }
+          level.groups.emplace_back(
+              gdata.begin() + static_cast<std::ptrdiff_t>(pos),
+              gdata.begin() + static_cast<std::ptrdiff_t>(pos) + gs);
+          pos += static_cast<std::size_t>(gs);
+        }
+        if (pos != gdata.size()) return 0;
+        pf.levels.push_back(std::move(level));
+      }
+      panels.push_back(std::move(pf));
+    }
+    a_ = std::move(a);
+    panels_ = std::move(panels);
+    status_.resumed_from_checkpoint = true;
+    status_.resumed_at_panel = static_cast<idx>(done);
+    return static_cast<idx>(done);
+  }
+
   Matrix<T> a_;
   std::vector<tsqr::PanelFactor<T>> panels_;
   CaqrOptions opt_;
+  ft::RunStatus status_;
+  bool halted_ = false;
 };
 
 // One-call convenience: factor a copy of `a` and return the factorization.

@@ -45,14 +45,19 @@ void ThreadPool::run_tickets(Job& job) {
     try {
       for (std::size_t i = begin; i < end; ++i) (*job.fn)(i);
     } catch (...) {
-      {
+      // Cancel BEFORE recording: these stores cannot throw, so the join
+      // predicate completes on `failed` even if recording the exception
+      // below fails — a repeatedly-throwing kernel must never wedge the
+      // pool (it is the retry path of a fault-injected launch).
+      job.failed.store(true, std::memory_order_release);
+      job.next.store(job.count, std::memory_order_relaxed);
+      try {
         std::lock_guard<std::mutex> lock(mutex_);
         if (job.error == nullptr) job.error = std::current_exception();
+      } catch (...) {
+        // Mutex failure: the caller sees a cancelled loop; the payload
+        // exception is dropped rather than the pool deadlocked.
       }
-      job.failed.store(true, std::memory_order_release);
-      // Cancel the remaining tickets: unclaimed work is abandoned, so the
-      // join below completes on `failed` rather than the done count.
-      job.next.store(job.count, std::memory_order_relaxed);
     }
     job.done.fetch_add(end - begin, std::memory_order_release);
   }
@@ -90,26 +95,42 @@ void ThreadPool::parallel_for(std::size_t count,
   }
   cv_work_.notify_all();
 
-  in_parallel_region_ = true;
-  run_tickets(job);  // captures its own exceptions into the job
-  in_parallel_region_ = false;
-
-  // All tickets are claimed (or cancelled) once we fall out of run_tickets,
-  // but workers may still be finishing their last batch; wait until every
-  // item is done — or the job failed and all claimed batches ended — AND no
-  // worker is still inside run_tickets before letting the stack-allocated
-  // Job go out of scope.
+  // Everything between publishing `current_` and the join below must be
+  // exception-safe: the Job lives on this stack frame, so leaving early
+  // without joining would hand the workers a dangling pointer, and leaving
+  // `in_parallel_region_` latched would silently degrade every later
+  // parallel_for on this thread to inline execution.
+  struct RegionGuard {
+    bool prev;
+    RegionGuard() : prev(in_parallel_region_) { in_parallel_region_ = true; }
+    ~RegionGuard() { in_parallel_region_ = prev; }
+  };
+  struct JoinGuard {
+    ThreadPool* pool;
+    Job* job;
+    ~JoinGuard() {
+      // All tickets are claimed (or cancelled) once the caller falls out of
+      // run_tickets, but workers may still be finishing their last batch;
+      // wait until every item is done — or the job failed and all claimed
+      // batches ended — AND no worker is still inside run_tickets before
+      // letting the stack-allocated Job go out of scope.
+      std::unique_lock<std::mutex> lock(pool->mutex_);
+      pool->cv_done_.wait(lock, [&] {
+        return (job->done.load(std::memory_order_acquire) >= job->count ||
+                job->failed.load(std::memory_order_acquire)) &&
+               job->active.load(std::memory_order_acquire) == 0;
+      });
+      pool->current_ = nullptr;
+      ++pool->epoch_;
+      lock.unlock();
+      pool->cv_work_.notify_all();
+    }
+  };
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_done_.wait(lock, [&] {
-      return (job.done.load(std::memory_order_acquire) >= job.count ||
-              job.failed.load(std::memory_order_acquire)) &&
-             job.active.load(std::memory_order_acquire) == 0;
-    });
-    current_ = nullptr;
-    ++epoch_;
+    JoinGuard join{this, &job};
+    RegionGuard region;
+    run_tickets(job);  // captures its own exceptions into the job
   }
-  cv_work_.notify_all();
 
   if (job.error != nullptr) std::rethrow_exception(job.error);
 }
@@ -128,14 +149,24 @@ void ThreadPool::worker_loop() {
       if (job != nullptr) job->active.fetch_add(1, std::memory_order_relaxed);
     }
     if (job != nullptr) {
+      // The active count must drop and the submitter must be woken even if
+      // run_tickets leaks an exception (it should not — but a worker that
+      // skips the decrement wedges the submitter's join forever).
+      struct ActiveGuard {
+        ThreadPool* pool;
+        Job* j;
+        ~ActiveGuard() {
+          j->active.fetch_sub(1, std::memory_order_release);
+          // Wake the submitting thread; it re-checks done/failed/active.
+          // Touch the mutex before notifying so the counter updates cannot
+          // slip between the submitter's predicate check and its block
+          // (lost-wakeup race), and so the Job stays alive until every
+          // worker has left it.
+          { std::lock_guard<std::mutex> lock(pool->mutex_); }
+          pool->cv_done_.notify_one();
+        }
+      } active_guard{this, job};
       run_tickets(*job);
-      job->active.fetch_sub(1, std::memory_order_release);
-      // Wake the submitting thread; it re-checks done/failed/active. Touch
-      // the mutex before notifying so the counter updates cannot slip
-      // between the submitter's predicate check and its block (lost-wakeup
-      // race), and so the Job stays alive until every worker has left it.
-      { std::lock_guard<std::mutex> lock(mutex_); }
-      cv_done_.notify_one();
     }
   }
 }

@@ -14,7 +14,10 @@
 // pool) degrade to inline serial execution of the nested loop instead of
 // aborting. An exception thrown by an item — on any thread — is captured
 // (first one wins), the remaining tickets are cancelled, and the exception
-// is rethrown on the calling thread after the join, like std::async.
+// is rethrown on the calling thread after the join, like std::async. The
+// error path leaves the pool fully reusable: submitting the same throwing
+// job repeatedly (e.g. a fault-injected kernel re-launched by a retry
+// policy) neither wedges the workers nor degrades later parallel_fors.
 
 #include <atomic>
 #include <condition_variable>

@@ -49,6 +49,19 @@
 // host thread pool. Every resolved launch leaves a TraceEvent (stream,
 // kernel, start, end, blocks, flops, bytes) for the chrome://tracing
 // exporter in gpusim/report.hpp.
+//
+// Fault tolerance (ft/). set_fault_tolerance({.abft = true, ...}) arms ABFT
+// guarding: every functional launch of a kernel that opts in
+// (ft::HasAbft) is wrapped encode -> run -> verify, failed blocks are
+// restored from a pre-launch snapshot and re-executed up to
+// max_launch_retries times (each retry consumes a fresh launch ordinal, so
+// recovery stays a pure function of the fault seed), and launch() returns a
+// structured ft::Severity instead of silent success. The checksum work is
+// charged to the performance model as one "<kernel>_abft" op per guarded
+// launch — identical in ModelOnly, where no data exists but the overhead
+// must still be visible. With fault tolerance off (the default) the launch
+// path is unchanged: no extra ops, no extra arithmetic, bit-identical
+// timelines to builds before the subsystem existed.
 
 #include <algorithm>
 #include <concepts>
@@ -61,6 +74,8 @@
 
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
+#include "ft/abft.hpp"
+#include "ft/ft.hpp"
 #include "gpusim/fault.hpp"
 #include "gpusim/machine_model.hpp"
 #include "gpusim/stats.hpp"
@@ -120,96 +135,62 @@ class Device {
   const std::vector<FaultEvent>& fault_log() const { return fault_log_; }
   void clear_fault_log() { fault_log_.clear(); }
 
+  // Fault tolerance (ft/ft.hpp): ABFT guarding + bounded launch retry.
+  // Orthogonal to set_fault_injection — the injector creates faults, the
+  // fault-tolerance layer detects and repairs them.
+  void set_fault_tolerance(const ft::FtOptions& opt) { ft_ = opt; }
+  const ft::FtOptions& fault_tolerance() const { return ft_; }
+  const ft::Summary& ft_summary() const { return ft_summary_; }
+  const std::vector<ft::LaunchReport>& ft_reports() const { return ft_log_; }
+  void clear_ft_reports() {
+    ft_log_.clear();
+    ft_summary_ = ft::Summary{};
+  }
+
   // Legacy entry point: launch on the default stream, which synchronizes
   // with all other streams before and after (CUDA default-stream behavior),
   // reproducing the original fully-serial timeline.
   template <typename Kernel>
-  void launch(const Kernel& kernel, idx num_blocks) {
-    launch(kDefaultStream, kernel, num_blocks);
+  ft::Severity launch(const Kernel& kernel, idx num_blocks) {
+    return launch(kDefaultStream, kernel, num_blocks);
   }
 
   template <typename Kernel>
-  void launch(StreamId stream, const Kernel& kernel, idx num_blocks) {
+  ft::Severity launch(StreamId stream, const Kernel& kernel, idx num_blocks) {
     CAQR_CHECK(num_blocks >= 0);
-    if (num_blocks == 0) return;
+    if (num_blocks == 0) return ft::Severity::Ok;
     if (stream == kDefaultStream) sync();
 
     // Functional execution happens at issue time, in host program order;
     // callers must issue launches in an order consistent with their stream
     // dependencies (natural for any single-threaded host program).
     const long long ordinal = launch_ordinal_++;
+    ft::Severity severity = ft::Severity::Ok;
     if (mode_ == ExecMode::Functional) {
-      if (!faults_.enabled()) {
-        pool_->parallel_for(
-            static_cast<std::size_t>(num_blocks),
-            [&](std::size_t b) { kernel.run_block(static_cast<idx>(b)); });
-      } else {
-        // Drop decisions are drawn before the parallel loop and flips are
-        // applied after it, so the corruption is a pure function of
-        // (seed, launch ordinal) — independent of thread scheduling.
-        FaultPlan plan(faults_, ordinal, num_blocks);
-        pool_->parallel_for(static_cast<std::size_t>(num_blocks),
-                            [&](std::size_t b) {
-                              if (!plan.drops(static_cast<idx>(b))) {
-                                kernel.run_block(static_cast<idx>(b));
-                              }
-                            });
-        plan.log_drops(num_blocks, kernel.name(), ordinal, fault_log_);
-        if constexpr (HasFaultSurface<Kernel>) {
-          if (plan.wants_bitflip()) {
-            plan.apply_bitflip(kernel.fault_surface(), kernel.name(), ordinal,
-                               fault_log_);
-          }
+      bool plain = true;
+      if constexpr (ft::HasAbft<Kernel>) {
+        if (ft_.abft) {
+          severity = guarded_run(stream, kernel, num_blocks, ordinal);
+          plain = false;
         }
       }
+      if (plain) run_blocks(kernel, num_blocks, ordinal, nullptr);
     }
 
-    double sum_cycles = 0, max_cycles = 0, sum_bytes = 0, sum_flops = 0;
-    auto accumulate = [&](const BlockStats& s, double count) {
-      const double cycles =
-          s.issue_cycles * model_.issue_stall_factor +
-          s.smem_accesses * model_.smem_cycles_per_access +
-          s.syncs * model_.sync_cycles;
-      sum_cycles += cycles * count;
-      if (cycles > max_cycles) max_cycles = cycles;
-      sum_bytes += s.gmem_bytes * count;
-      sum_flops += s.flops * count;
-    };
-    if constexpr (HasStatsSummary<Kernel>) {
-      idx covered = 0;
-      for (const StatsClass& c : kernel.stats_summary()) {
-        accumulate(c.stats, static_cast<double>(c.count));
-        covered += c.count;
-      }
-      CAQR_CHECK_MSG(covered == num_blocks,
-                     "stats_summary must cover every block exactly once");
-    } else {
-      for (idx b = 0; b < num_blocks; ++b) {
-        accumulate(kernel.block_stats(b), 1.0);
+    enqueue_launch_cost(stream, kernel, num_blocks);
+    if constexpr (ft::HasAbft<Kernel>) {
+      // The checksum encode/verify (and the recovery snapshot traffic) is
+      // real work: charge it in both exec modes so ModelOnly timelines show
+      // the ABFT overhead.
+      if (ft_.abft && ft_.charge_model) {
+        CostAccum a;
+        accum_stats(a, ft::abft_stats(kernel, ft_.recovery()), 1.0);
+        enqueue_cost_op(stream, std::string(kernel.name()) + "_abft", 1, a,
+                        0.0);
       }
     }
-
-    const double t_compute =
-        std::max(sum_cycles / model_.num_sms, max_cycles) / model_.clock_hz();
-    const double t_mem = sum_bytes / (model_.dram_bw_gbs * 1e9);
-    const double solo = std::max(t_compute, t_mem);
-
-    PendingOp op;
-    op.kind = PendingOp::Kind::Launch;
-    op.name = kernel.name();
-    op.blocks = num_blocks;
-    op.flops = sum_flops;
-    op.bytes = sum_bytes;
-    op.solo_seconds = solo;
-    // Average resource utilizations over the launch's solo duration; both
-    // are <= 1 by the roofline definition. A zero-cost launch (e.g. a tree
-    // level of pass-through singletons) holds no resources.
-    op.u_compute = solo > 0 ? (t_compute_unfloored(sum_cycles) / solo) : 0.0;
-    op.u_mem = solo > 0 ? (t_mem / solo) : 0.0;
-    op.overhead = model_.kernel_launch_us * 1e-6;
-    enqueue(stream, std::move(op));
-
     if (stream == kDefaultStream) sync();
+    return severity;
   }
 
   // Records the completion point of all work currently enqueued on `stream`.
@@ -308,6 +289,177 @@ class Device {
 
   double t_compute_unfloored(double sum_cycles) const {
     return sum_cycles / model_.num_sms / model_.clock_hz();
+  }
+
+  struct CostAccum {
+    double sum_cycles = 0;
+    double max_cycles = 0;
+    double bytes = 0;
+    double flops = 0;
+  };
+
+  void accum_stats(CostAccum& a, const BlockStats& s, double count) const {
+    const double cycles = s.issue_cycles * model_.issue_stall_factor +
+                          s.smem_accesses * model_.smem_cycles_per_access +
+                          s.syncs * model_.sync_cycles;
+    a.sum_cycles += cycles * count;
+    if (cycles > a.max_cycles) a.max_cycles = cycles;
+    a.bytes += s.gmem_bytes * count;
+    a.flops += s.flops * count;
+  }
+
+  void enqueue_cost_op(StreamId stream, std::string name, long long blocks,
+                       const CostAccum& a, double overhead_seconds) {
+    const double t_compute =
+        std::max(a.sum_cycles / model_.num_sms, a.max_cycles) /
+        model_.clock_hz();
+    const double t_mem = a.bytes / (model_.dram_bw_gbs * 1e9);
+    const double solo = std::max(t_compute, t_mem);
+    PendingOp op;
+    op.kind = PendingOp::Kind::Launch;
+    op.name = std::move(name);
+    op.blocks = blocks;
+    op.flops = a.flops;
+    op.bytes = a.bytes;
+    op.solo_seconds = solo;
+    // Average resource utilizations over the launch's solo duration; both
+    // are <= 1 by the roofline definition. A zero-cost launch (e.g. a tree
+    // level of pass-through singletons) holds no resources.
+    op.u_compute = solo > 0 ? (t_compute_unfloored(a.sum_cycles) / solo) : 0.0;
+    op.u_mem = solo > 0 ? (t_mem / solo) : 0.0;
+    op.overhead = overhead_seconds;
+    enqueue(stream, std::move(op));
+  }
+
+  template <typename Kernel>
+  void enqueue_launch_cost(StreamId stream, const Kernel& kernel,
+                           idx num_blocks) {
+    CostAccum a;
+    if constexpr (HasStatsSummary<Kernel>) {
+      idx covered = 0;
+      for (const StatsClass& c : kernel.stats_summary()) {
+        accum_stats(a, c.stats, static_cast<double>(c.count));
+        covered += c.count;
+      }
+      CAQR_CHECK_MSG(covered == num_blocks,
+                     "stats_summary must cover every block exactly once");
+    } else {
+      for (idx b = 0; b < num_blocks; ++b) {
+        accum_stats(a, kernel.block_stats(b), 1.0);
+      }
+    }
+    enqueue_cost_op(stream, kernel.name(), num_blocks, a,
+                    model_.kernel_launch_us * 1e-6);
+  }
+
+  // One functional execution attempt, with fault injection applied per the
+  // injector options (subject to the kernel-name filter and the device-wide
+  // fault budget). `subset`, when non-null, restricts the attempt to the
+  // listed block ids — the ABFT retry path re-runs only failed blocks.
+  template <typename Kernel>
+  void run_blocks(const Kernel& kernel, idx num_blocks, long long ordinal,
+                  const std::vector<idx>* subset) {
+    const idx n =
+        subset != nullptr ? static_cast<idx>(subset->size()) : num_blocks;
+    if (n == 0) return;
+    auto block_id = [&](idx i) {
+      return subset != nullptr ? (*subset)[static_cast<std::size_t>(i)] : i;
+    };
+    const bool inject = faults_.enabled() && faults_.targets(kernel.name()) &&
+                        faults_.budget_left(fault_log_.size()) != 0;
+    if (!inject) {
+      pool_->parallel_for(static_cast<std::size_t>(n), [&](std::size_t i) {
+        kernel.run_block(block_id(static_cast<idx>(i)));
+      });
+      return;
+    }
+    // Drop decisions are drawn before the parallel loop and flips are
+    // applied after it, so the corruption is a pure function of
+    // (seed, launch ordinal) — independent of thread scheduling.
+    FaultPlan plan(faults_, ordinal, n,
+                   faults_.budget_left(fault_log_.size()));
+    pool_->parallel_for(static_cast<std::size_t>(n), [&](std::size_t i) {
+      if (!plan.drops(static_cast<idx>(i))) {
+        kernel.run_block(block_id(static_cast<idx>(i)));
+      }
+    });
+    for (idx i = 0; i < n; ++i) {
+      if (plan.drops(i)) {
+        fault_log_.push_back({FaultEvent::Kind::BlockDrop, kernel.name(),
+                              ordinal, block_id(i), -1, -1, -1});
+      }
+    }
+    if constexpr (HasFaultSurface<Kernel>) {
+      if (plan.wants_bitflip()) {
+        plan.apply_bitflip(kernel.fault_surface(), kernel.name(), ordinal,
+                           fault_log_);
+      }
+    }
+  }
+
+  // ABFT-guarded execution: encode -> run -> verify -> (restore the failed
+  // blocks from the pre-launch snapshot, re-run only them, verify again)
+  // until clean or out of retries. Every retry consumes a fresh launch
+  // ordinal, so the whole recovery trajectory is a pure function of the
+  // injector seed. Detection-only mode (max_launch_retries == 0) skips the
+  // snapshot and reports the first verification verdict.
+  template <typename Kernel>
+    requires ft::HasAbft<Kernel>
+  ft::Severity guarded_run(StreamId stream, const Kernel& kernel,
+                           idx num_blocks, long long first_ordinal) {
+    const auto cert = ft::abft_encode(kernel);
+    auto surface = kernel.fault_surface();
+    using T = view_scalar_t<decltype(surface)>;
+    Matrix<T> snap;
+    if (ft_.recovery()) snap = Matrix<T>::from(surface.as_const());
+
+    ++ft_summary_.guarded_launches;
+    run_blocks(kernel, num_blocks, first_ordinal, nullptr);
+
+    std::vector<idx> bad;
+    bool bystander = false;
+    ft::abft_verify(kernel, cert, ft_.tol_multiplier, bad, bystander);
+    if (bad.empty() && !bystander) return ft::Severity::Ok;
+
+    ft::LaunchReport rep;
+    rep.kernel = kernel.name();
+    rep.launch_ordinal = first_ordinal;
+    int retries = 0;
+    while ((!bad.empty() || bystander) && retries < ft_.max_launch_retries) {
+      rep.faulty_blocks += static_cast<idx>(bad.size());
+      rep.bystander_corruption = rep.bystander_corruption || bystander;
+      ft::abft_restore(kernel, snap.as_const(), bad, bystander);
+      if (!bad.empty()) {
+        ft_summary_.retried_blocks += static_cast<long long>(bad.size());
+        if (ft_.charge_model) {
+          CostAccum a;
+          for (idx b : bad) accum_stats(a, kernel.block_stats(b), 1.0);
+          enqueue_cost_op(stream, std::string(kernel.name()) + "_retry",
+                          static_cast<long long>(bad.size()), a,
+                          model_.kernel_launch_us * 1e-6);
+        }
+        run_blocks(kernel, num_blocks, launch_ordinal_++, &bad);
+      }
+      ++retries;
+      ++rep.attempts;
+      bad.clear();
+      bystander = false;
+      ft::abft_verify(kernel, cert, ft_.tol_multiplier, bad, bystander);
+    }
+
+    if (bad.empty() && !bystander) {
+      rep.severity = ft::Severity::Corrected;
+      ++ft_summary_.corrected_launches;
+      ft_log_.push_back(std::move(rep));
+      return ft::Severity::Corrected;
+    }
+    rep.severity = ft::Severity::Unrecovered;
+    rep.faulty_blocks += static_cast<idx>(bad.size());
+    rep.unrecovered_blocks = static_cast<idx>(bad.size());
+    rep.bystander_corruption = rep.bystander_corruption || bystander;
+    ++ft_summary_.unrecovered_launches;
+    ft_log_.push_back(std::move(rep));
+    return ft::Severity::Unrecovered;
   }
 
   void enqueue(StreamId stream, PendingOp op) {
@@ -504,6 +656,9 @@ class Device {
   EventId next_event_ = 0;
   FaultOptions faults_;
   std::vector<FaultEvent> fault_log_;
+  ft::FtOptions ft_;
+  ft::Summary ft_summary_;
+  std::vector<ft::LaunchReport> ft_log_;
   long long launch_ordinal_ = 0;
   // Timeline state is logically part of the observable simulated clock;
   // resolution is forced from const accessors, hence mutable.

@@ -17,8 +17,24 @@
 // loop runs and flips are applied serially after it, so results are
 // independent of thread-pool scheduling. Every injected fault is recorded in
 // the device's fault log. The point, demonstrated by the fault-injection
-// tests, is that launch() still "succeeds" — only the numerics Verifier
-// catches the corruption.
+// tests, is that launch() still "succeeds" — only the numerics Verifier (or,
+// since the ft/ subsystem, the inline ABFT check in Device::launch) catches
+// the corruption.
+//
+// Targeting knobs (for tests that need one specific, reproducible fault):
+//
+//   * max_faults   — hard cap on the total number of injected fault events
+//                    per device. Once the fault log reaches the cap, later
+//                    launches draw no faults at all, so e.g. max_faults = 1
+//                    with p = 1 injects exactly one fault in the first
+//                    eligible launch and leaves the rest of the run clean.
+//   * only_kernel  — restrict injection to launches whose kernel name
+//                    matches exactly (e.g. "factor_tree"); empty matches
+//                    every kernel. Combined with max_faults this pins the
+//                    fault to a single deterministic launch.
+//
+// Both knobs preserve determinism: the budget is consumed in launch-ordinal
+// order and the per-launch draws stay keyed on (seed, launch ordinal).
 
 #include <cstdint>
 #include <cstring>
@@ -34,8 +50,20 @@ struct FaultOptions {
   double p_block_drop = 0.0;  // per-block probability of skipping run_block
   double p_bitflip = 0.0;     // per-launch probability of one flipped bit
   std::uint64_t seed = 0;
+  // Cap on total injected fault events per device; < 0 means unlimited.
+  long long max_faults = -1;
+  // Restrict injection to launches of this kernel name; empty = all kernels.
+  std::string only_kernel;
 
   bool enabled() const { return p_block_drop > 0.0 || p_bitflip > 0.0; }
+  bool targets(const char* kernel_name) const {
+    return only_kernel.empty() || only_kernel == kernel_name;
+  }
+  long long budget_left(std::size_t injected_so_far) const {
+    if (max_faults < 0) return -1;  // unlimited
+    const long long used = static_cast<long long>(injected_so_far);
+    return used >= max_faults ? 0 : max_faults - used;
+  }
 };
 
 struct FaultEvent {
@@ -52,16 +80,27 @@ struct FaultEvent {
 // Per-launch fault decisions, drawn deterministically before any block runs.
 class FaultPlan {
  public:
-  FaultPlan(const FaultOptions& opt, long long launch_ordinal, idx num_blocks)
+  // `budget` caps how many fault events this plan may draw (-1 = unlimited);
+  // it is consumed drops-first in block order, then the flip, so the cap is
+  // deterministic for a fixed (seed, launch ordinal).
+  FaultPlan(const FaultOptions& opt, long long launch_ordinal, idx num_blocks,
+            long long budget = -1)
       : rng_(opt.seed, static_cast<std::uint64_t>(launch_ordinal)) {
+    long long left = budget;
+    auto take = [&left] {
+      if (left < 0) return true;
+      if (left == 0) return false;
+      --left;
+      return true;
+    };
     if (opt.p_block_drop > 0.0) {
       dropped_.assign(static_cast<std::size_t>(num_blocks), 0);
       for (idx b = 0; b < num_blocks; ++b) {
-        dropped_[static_cast<std::size_t>(b)] =
-            rng_.next_double() < opt.p_block_drop ? 1 : 0;
+        const bool drawn = rng_.next_double() < opt.p_block_drop;
+        dropped_[static_cast<std::size_t>(b)] = drawn && take() ? 1 : 0;
       }
     }
-    flip_ = opt.p_bitflip > 0.0 && rng_.next_double() < opt.p_bitflip;
+    flip_ = opt.p_bitflip > 0.0 && rng_.next_double() < opt.p_bitflip && take();
   }
 
   bool drops(idx b) const {

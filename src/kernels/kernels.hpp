@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <map>
+#include <type_traits>
 #include <vector>
 
 #include "gpusim/stats.hpp"
@@ -75,6 +76,10 @@ struct FactorKernel {
   double tile_penalty = 1.0;  // DRAM page-locality factor for tall tiles
   bool resident = false;      // cache-hot microbenchmark: no gmem traffic
 
+  // Opts into ABFT guarding (ft/abft.hpp) for real scalar types; the
+  // flop-counting scalar has no meaningful norms to checksum.
+  static constexpr bool kAbftSupported = std::is_floating_point_v<T>;
+
   const char* name() const { return "factor"; }
   idx num_blocks() const { return static_cast<idx>(offsets->size()) - 1; }
   MatrixView<T> fault_surface() const { return panel; }
@@ -116,6 +121,8 @@ struct FactorTreeKernel {
   double uncoalesced_penalty = 8.0;
   double tile_penalty = 1.0;
   bool resident = false;
+
+  static constexpr bool kAbftSupported = std::is_floating_point_v<T>;
 
   const char* name() const { return "factor_tree"; }
   idx num_blocks() const { return static_cast<idx>(groups->size()); }
@@ -174,6 +181,8 @@ struct ApplyQtHKernel {
   double tile_penalty = 1.0;
   bool resident = false;
   bool transpose_q = true;  // apply Q^T (factorization) or Q (form/apply Q)
+
+  static constexpr bool kAbftSupported = std::is_floating_point_v<T>;
 
   const char* name() const { return transpose_q ? "apply_qt_h" : "apply_q_h"; }
   MatrixView<T> fault_surface() const { return trailing; }
@@ -268,6 +277,8 @@ struct ApplyQtTreeKernel {
   double tile_penalty = 1.0;
   bool resident = false;
   bool transpose_q = true;
+
+  static constexpr bool kAbftSupported = std::is_floating_point_v<T>;
 
   const char* name() const {
     return transpose_q ? "apply_qt_tree" : "apply_q_tree";

@@ -14,10 +14,18 @@
 // tall-skinny SVD pipeline, so the Robust PCA iteration rate directly
 // reflects the QR backend — exactly the comparison of Table II.
 
+// Checkpoint/restart: when RpcaOptions::checkpoint_path is set, the
+// iteration state {S, Y, mu, iteration, svd_converged} is snapshotted every
+// checkpoint_every iterations (L is recomputed from M, S, Y each iteration,
+// so it need not be stored), and a valid checkpoint at the same path is
+// resumed from — a resumed run is bit-identical to an uninterrupted one.
+
 #include <cmath>
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "ft/checkpoint.hpp"
 #include "linalg/norms.hpp"
 #include "svd/tall_skinny_svd.hpp"
 
@@ -31,6 +39,15 @@ struct RpcaOptions {
   int max_iterations = 100;
   double tolerance = 1e-6;  // ||M - L - S||_F / ||M||_F stopping criterion
   svd::TallSkinnySvdOptions svd;
+
+  // Checkpoint/restart (ft/checkpoint.hpp). Non-empty: snapshot the
+  // iteration state every `checkpoint_every` iterations and resume from a
+  // valid checkpoint at the same path.
+  std::string checkpoint_path;
+  int checkpoint_every = 1;
+  // Test hook simulating a mid-run kill: stop after this many iterations
+  // (0 = run to convergence).
+  int halt_after_iterations = 0;
 };
 
 template <typename T>
@@ -47,6 +64,8 @@ struct RpcaResult {
   // exhausted its sweep budget; such runs silently degraded before this flag
   // existed.
   bool svd_converged = true;
+  bool resumed_from_checkpoint = false;
+  int resumed_at_iteration = 0;
 };
 
 // Elementwise soft-threshold (shrinkage) operator.
@@ -81,9 +100,35 @@ RpcaResult<view_scalar_t<VM>> robust_pca(gpusim::Device& dev, const VM& m_in,
   Matrix<T> y = Matrix<T>::zeros(rows, cols);
   Matrix<T> work(rows, cols);
 
-  // mu initialization: 1.25 / sigma_1(M), sigma_1 estimated from a thin SVD
-  // of the (cheap) R factor of M.
   double mu = opt.mu;
+  int first_it = 0;
+  if (!opt.checkpoint_path.empty()) {
+    if (const auto r = ft::CheckpointReader::load(opt.checkpoint_path)) {
+      std::int64_t crows = 0, ccols = 0, ssize = 0, cit = 0;
+      double cmu = 0.0;
+      std::uint8_t sconv = 1;
+      Matrix<T> s, yy;
+      if (r->scalar("rows", crows) && r->scalar("cols", ccols) &&
+          r->scalar("scalar_size", ssize) && r->scalar("iteration", cit) &&
+          r->scalar("mu", cmu) && r->scalar("svd_converged", sconv) &&
+          crows == rows && ccols == cols &&
+          ssize == static_cast<std::int64_t>(sizeof(T)) && cit >= 1 &&
+          cit < opt.max_iterations && cmu > 0.0 &&
+          r->matrix("sparse", s) && r->matrix("y", yy) && s.rows() == rows &&
+          s.cols() == cols && yy.rows() == rows && yy.cols() == cols) {
+        out.sparse = std::move(s);
+        y = std::move(yy);
+        mu = cmu;
+        first_it = static_cast<int>(cit);
+        out.svd_converged = sconv != 0;
+        out.resumed_from_checkpoint = true;
+        out.resumed_at_iteration = first_it;
+      }
+    }
+  }
+
+  // mu initialization: 1.25 / sigma_1(M), sigma_1 estimated from a thin SVD
+  // of the (cheap) R factor of M. A resumed run restored mu instead.
   if (mu <= 0) {
     auto f = svd::tall_skinny_svd(dev, m, opt.svd);
     out.svd_converged = out.svd_converged && f.small_svd_converged;
@@ -92,7 +137,7 @@ RpcaResult<view_scalar_t<VM>> robust_pca(gpusim::Device& dev, const VM& m_in,
   }
 
   const double t0 = dev.elapsed_seconds();
-  for (int it = 0; it < opt.max_iterations; ++it) {
+  for (int it = first_it; it < opt.max_iterations; ++it) {
     // L-step: SVT on (M - S + Y/mu).
     for (idx j = 0; j < cols; ++j) {
       const T* mc = m.col(j);
@@ -138,6 +183,24 @@ RpcaResult<view_scalar_t<VM>> robust_pca(gpusim::Device& dev, const VM& m_in,
     mu *= opt.rho;
     if (out.residual < opt.tolerance) {
       out.converged = true;
+      break;
+    }
+    if (!opt.checkpoint_path.empty() && opt.checkpoint_every > 0 &&
+        (it + 1) % opt.checkpoint_every == 0) {
+      ft::CheckpointWriter w;
+      w.scalar("rows", static_cast<std::int64_t>(rows));
+      w.scalar("cols", static_cast<std::int64_t>(cols));
+      w.scalar("scalar_size", static_cast<std::int64_t>(sizeof(T)));
+      w.scalar("iteration", static_cast<std::int64_t>(it + 1));
+      w.scalar("mu", mu);
+      w.scalar("svd_converged",
+               static_cast<std::uint8_t>(out.svd_converged ? 1 : 0));
+      w.matrix("sparse", out.sparse.view());
+      w.matrix("y", y.view());
+      w.write(opt.checkpoint_path);
+    }
+    if (opt.halt_after_iterations > 0 &&
+        it + 1 >= opt.halt_after_iterations) {
       break;
     }
   }

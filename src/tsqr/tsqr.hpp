@@ -12,10 +12,18 @@
 //
 // PanelFactor is the replay script: CAQR's trailing-matrix update and the
 // later apply-Q/form-Q entry points re-walk the same offsets/groups.
+//
+// Fault tolerance: every launch's ft::Severity folds into the optional
+// `severity_out` argument, and when the device's policy enables recovery, an
+// Unrecovered factorization (a launch whose corruption survived the ABFT
+// retries) triggers a whole-panel recompute from the input saved before the
+// first attempt — the poisoned subtree's reflectors are abandoned, not
+// patched — up to FtOptions::max_panel_retries times.
 
 #include <algorithm>
 #include <vector>
 
+#include "ft/ft.hpp"
 #include "gpusim/device.hpp"
 #include "kernels/kernels.hpp"
 #include "linalg/matrix.hpp"
@@ -77,14 +85,13 @@ inline std::vector<idx> split_rows(idx rows, idx block_rows, idx width) {
   return offsets;
 }
 
-// In-place TSQR factorization of `panel` on `dev`, with every kernel
-// launched on `stream`. On return the panel holds R (top width x width,
-// from the tree root at row offset 0) and the distributed reflectors of
-// every stage. A zero-width panel is a well-defined no-op (LAPACK xGEQRF
-// semantics for n == 0).
+namespace detail {
+
+// One factorization attempt; folds every launch's severity into `sev`.
 template <typename T>
-PanelFactor<T> tsqr_factor(gpusim::Device& dev, gpusim::StreamId stream,
-                           MatrixView<T> panel, const TsqrOptions& opt) {
+PanelFactor<T> tsqr_factor_attempt(gpusim::Device& dev, gpusim::StreamId stream,
+                                   MatrixView<T> panel, const TsqrOptions& opt,
+                                   ft::Severity& sev) {
   const idx rows = panel.rows();
   const idx width = panel.cols();
   CAQR_CHECK(rows >= width && width >= 0);
@@ -117,7 +124,7 @@ PanelFactor<T> tsqr_factor(gpusim::Device& dev, gpusim::StreamId stream,
   kernels::FactorKernel<T> fk{panel, &f.offsets, f.taus0.data(), cost,
                               dev.model().uncoalesced_penalty,
                               dev.model().tile_locality_penalty};
-  dev.launch(stream, fk, fk.num_blocks());
+  sev = ft::worse(sev, dev.launch(stream, fk, fk.num_blocks()));
 
   // Reduction tree over the surviving R triangles.
   std::vector<idx> survivors(f.offsets.begin(), f.offsets.end() - 1);
@@ -136,11 +143,51 @@ PanelFactor<T> tsqr_factor(gpusim::Device& dev, gpusim::StreamId stream,
     kernels::FactorTreeKernel<T> tk{panel, &level.groups, level.taus.data(),
                                     cost, dev.model().uncoalesced_penalty,
                                     dev.model().tile_locality_penalty};
-    dev.launch(stream, tk, tk.num_blocks());
+    sev = ft::worse(sev, dev.launch(stream, tk, tk.num_blocks()));
     survivors = std::move(next);
     f.levels.push_back(std::move(level));
   }
   if (functional) CAQR_GUARD_FINITE(panel, "tsqr_factor:output");
+  return f;
+}
+
+}  // namespace detail
+
+// In-place TSQR factorization of `panel` on `dev`, with every kernel
+// launched on `stream`. On return the panel holds R (top width x width,
+// from the tree root at row offset 0) and the distributed reflectors of
+// every stage. A zero-width panel is a well-defined no-op (LAPACK xGEQRF
+// semantics for n == 0).
+//
+// `severity_out` (optional) is merged with the worst outcome of the whole
+// factorization including panel-level recovery; `panel_retries_out`
+// (optional) accumulates how many whole-panel recomputes ran.
+template <typename T>
+PanelFactor<T> tsqr_factor(gpusim::Device& dev, gpusim::StreamId stream,
+                           MatrixView<T> panel, const TsqrOptions& opt,
+                           ft::Severity* severity_out = nullptr,
+                           int* panel_retries_out = nullptr) {
+  const ft::FtOptions& ftopt = dev.fault_tolerance();
+  ft::Severity sev = ft::Severity::Ok;
+  const bool panel_redo = dev.mode() == gpusim::ExecMode::Functional &&
+                          ftopt.abft && ftopt.recovery() &&
+                          ftopt.max_panel_retries > 0 && panel.cols() > 0;
+  Matrix<T> saved;
+  if (panel_redo) saved = Matrix<T>::from(panel.as_const());
+  PanelFactor<T> f = detail::tsqr_factor_attempt(dev, stream, panel, opt, sev);
+  if (panel_redo) {
+    int redo = 0;
+    while (sev == ft::Severity::Unrecovered &&
+           redo < ftopt.max_panel_retries) {
+      panel.copy_from(saved.as_const());
+      sev = ft::Severity::Ok;
+      f = detail::tsqr_factor_attempt(dev, stream, panel, opt, sev);
+      if (sev == ft::Severity::Ok) sev = ft::Severity::Corrected;
+      ++redo;
+    }
+    if (panel_retries_out != nullptr) *panel_retries_out += redo;
+  }
+  if (severity_out != nullptr) *severity_out = ft::worse(*severity_out, sev);
   return f;
 }
 
@@ -156,8 +203,8 @@ PanelFactor<T> tsqr_factor(gpusim::Device& dev, MatrixView<T> panel,
 template <typename T>
 void tsqr_apply(gpusim::Device& dev, gpusim::StreamId stream,
                 In<ConstMatrixView<T>> panel, const PanelFactor<T>& f,
-                In<MatrixView<T>> c, const TsqrOptions& opt,
-                bool transpose_q) {
+                In<MatrixView<T>> c, const TsqrOptions& opt, bool transpose_q,
+                ft::Severity* severity_out = nullptr) {
   CAQR_CHECK(panel.rows() == f.rows && panel.cols() == f.width);
   CAQR_CHECK(c.rows() == f.rows);
   if (c.cols() == 0 || f.width == 0) return;
@@ -165,17 +212,20 @@ void tsqr_apply(gpusim::Device& dev, gpusim::StreamId stream,
   const double pen = dev.model().uncoalesced_penalty;
   const double tile_pen = dev.model().tile_locality_penalty;
 
+  auto note = [&](ft::Severity s) {
+    if (severity_out != nullptr) *severity_out = ft::worse(*severity_out, s);
+  };
   auto launch_h = [&] {
     kernels::ApplyQtHKernel<T> k{panel,         &f.offsets, f.taus0.data(), c,
                                  opt.tile_cols, cost,       pen,
                                  tile_pen,      false,      transpose_q};
-    dev.launch(stream, k, k.num_blocks());
+    note(dev.launch(stream, k, k.num_blocks()));
   };
   auto launch_tree = [&](const typename PanelFactor<T>::Level& level) {
     kernels::ApplyQtTreeKernel<T> k{panel,         &level.groups, level.taus.data(), c,
                                     opt.tile_cols, cost,          pen,
                                     tile_pen,      false,         transpose_q};
-    dev.launch(stream, k, k.num_blocks());
+    note(dev.launch(stream, k, k.num_blocks()));
   };
 
   if (transpose_q) {
@@ -201,8 +251,10 @@ void tsqr_apply(gpusim::Device& dev, In<ConstMatrixView<T>> panel,
 template <typename T>
 void tsqr_apply_qt(gpusim::Device& dev, gpusim::StreamId stream,
                    In<ConstMatrixView<T>> panel, const PanelFactor<T>& f,
-                   In<MatrixView<T>> c, const TsqrOptions& opt) {
-  tsqr_apply(dev, stream, panel, f, c, opt, /*transpose_q=*/true);
+                   In<MatrixView<T>> c, const TsqrOptions& opt,
+                   ft::Severity* severity_out = nullptr) {
+  tsqr_apply(dev, stream, panel, f, c, opt, /*transpose_q=*/true,
+             severity_out);
 }
 
 template <typename T>

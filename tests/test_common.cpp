@@ -5,7 +5,10 @@
 #include <atomic>
 #include <cmath>
 #include <numeric>
+#include <mutex>
 #include <set>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/aligned_buffer.hpp"
@@ -78,6 +81,67 @@ TEST(ThreadPool, ManyConsecutiveJobsDoNotDeadlock) {
     });
   }
   EXPECT_EQ(total.load(), 200u * 17u);
+}
+
+TEST(ThreadPool, ThrowingJobRethrowsFirstException) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 257;
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.parallel_for(kCount,
+                        [&](std::size_t i) {
+                          ran.fetch_add(1, std::memory_order_relaxed);
+                          if (i % 3 == 0) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // Cancellation: at least one item threw, and not every ticket needs to
+  // have run (remaining batches are cancelled once a failure is recorded).
+  EXPECT_GE(ran.load(), 1);
+  EXPECT_LE(ran.load(), static_cast<int>(kCount));
+}
+
+TEST(ThreadPool, PoolStaysUsableAfterRepeatedThrowingJobs) {
+  // Regression: the retry path of a fault-injected launch re-submits the
+  // same throwing kernel back to back. The error path must leave the pool
+  // fully reusable — workers not wedged on a stale job, and later
+  // parallel_fors still running on the pool (not silently degraded to
+  // inline execution by a latched nesting flag).
+  ThreadPool pool(4);
+  for (int round = 0; round < 2; ++round) {
+    EXPECT_THROW(pool.parallel_for(
+                     128, [&](std::size_t) { throw std::runtime_error("inj"); }),
+                 std::runtime_error);
+  }
+
+  // A clean job afterwards must execute every index...
+  constexpr std::size_t kCount = 2048;
+  std::vector<std::atomic<int>> hits(kCount);
+  std::set<std::thread::id> tids;
+  std::mutex tid_mutex;
+  pool.parallel_for(kCount, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(tid_mutex);
+      tids.insert(std::this_thread::get_id());
+    }
+    // Give the other workers a chance to claim a ticket so the
+    // multiple-threads assertion below is meaningful.
+    std::this_thread::yield();
+  });
+  for (std::size_t i = 0; i < kCount; ++i) ASSERT_EQ(hits[i].load(), 1);
+  // ...and the workers must still participate (> 1 distinct thread would be
+  // flaky to demand on a loaded machine only if the pool were healthy —
+  // but a wedged pool would hang above, and an inline-degraded one would
+  // finish the job entirely on the submitting thread while the workers'
+  // claim of the stale failed job kept tids at exactly 1 forever after.
+  // Run a few rounds so scheduling noise cannot mask a degraded pool.)
+  for (int round = 0; round < 20 && tids.size() < 2; ++round) {
+    pool.parallel_for(kCount, [&](std::size_t) {
+      std::lock_guard<std::mutex> lock(tid_mutex);
+      tids.insert(std::this_thread::get_id());
+    });
+  }
+  EXPECT_GT(tids.size(), 1u);
 }
 
 TEST(AlignedBuffer, AlignmentAndMove) {

@@ -1,0 +1,554 @@
+// Fault-tolerance subsystem tests (src/ft/): ABFT detection inside
+// Device::launch, bounded retry / panel redo / schedule fallback recovery,
+// performance-model charging of the checks, checkpoint/restart for CAQR and
+// Robust PCA, and the injector's targeting knobs.
+//
+// Suite names deliberately avoid the numerics-checks CI filter
+// (Verifier|FiniteCheck|...|FaultInjection): these tests exercise the
+// recovery machinery, not the assertion-heavy numerics build.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "caqr/caqr.hpp"
+#include "ft/checkpoint.hpp"
+#include "ft/ft.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/fault.hpp"
+#include "linalg/random_matrix.hpp"
+#include "numerics/verifier.hpp"
+#include "rpca/rpca.hpp"
+
+namespace caqr {
+namespace {
+
+using gpusim::Device;
+using gpusim::ExecMode;
+using gpusim::FaultOptions;
+
+ft::FtOptions abft_on(int launch_retries = 8, int panel_retries = 2) {
+  ft::FtOptions f;
+  f.abft = true;
+  f.max_launch_retries = launch_retries;
+  f.max_panel_retries = panel_retries;
+  return f;
+}
+
+FaultOptions inject(double p_drop, double p_flip, std::uint64_t seed) {
+  FaultOptions f;
+  f.p_block_drop = p_drop;
+  f.p_bitflip = p_flip;
+  f.seed = seed;
+  return f;
+}
+
+CaqrOptions small_caqr(CaqrSchedule sched) {
+  CaqrOptions copt;
+  copt.schedule = sched;
+  copt.panel_width = 8;
+  copt.tsqr.block_rows = 16;
+  return copt;
+}
+
+struct CaqrRun {
+  Matrix<double> q{0, 0};
+  Matrix<double> r{0, 0};
+  ft::RunStatus status;
+  ft::Summary device_summary;
+  std::size_t faults = 0;
+};
+
+CaqrRun run_caqr(const Matrix<double>& a, const CaqrOptions& copt,
+                 const ft::FtOptions& ftopt, const FaultOptions& faults) {
+  Device dev;
+  dev.set_fault_injection(faults);
+  dev.set_fault_tolerance(ftopt);
+  auto f =
+      CaqrFactorization<double>::factor(dev, Matrix<double>::from(a.view()), copt);
+  CaqrRun out;
+  out.status = f.status();
+  out.q = f.form_q(dev, a.cols());
+  out.r = f.r();
+  out.device_summary = dev.ft_summary();
+  out.faults = dev.fault_log().size();
+  return out;
+}
+
+void expect_bit_identical(const Matrix<double>& x, const Matrix<double>& y) {
+  ASSERT_EQ(x.rows(), y.rows());
+  ASSERT_EQ(x.cols(), y.cols());
+  for (idx j = 0; j < x.cols(); ++j) {
+    ASSERT_EQ(std::memcmp(x.view().col(j), y.view().col(j),
+                          sizeof(double) * static_cast<std::size_t>(x.rows())),
+              0)
+        << "column " << j << " differs bitwise";
+  }
+}
+
+// ---- ABFT: no false positives, bit-transparent when clean ------------------
+
+TEST(FtAbft, CleanSweepNoFalsePositives) {
+  for (CaqrSchedule sched : {CaqrSchedule::Serial, CaqrSchedule::LookAhead}) {
+    for (double scale : {1e-300, 1.0, 1e300}) {
+      Matrix<double> a = stress_matrix<double>(128, 16, 1e10, scale, 91, false);
+      const CaqrRun run =
+          run_caqr(a, small_caqr(sched), abft_on(), FaultOptions{});
+      EXPECT_EQ(run.status.severity, ft::Severity::Ok)
+          << "schedule " << static_cast<int>(sched) << " scale " << scale;
+      EXPECT_EQ(run.device_summary.corrected_launches, 0);
+      EXPECT_EQ(run.device_summary.unrecovered_launches, 0);
+      EXPECT_GT(run.device_summary.guarded_launches, 0);
+      EXPECT_TRUE(
+          numerics::verify_qr(a.view(), run.q.view(), run.r.view()).pass);
+    }
+  }
+}
+
+TEST(FtAbft, CleanResultBitIdenticalToUnguardedRun) {
+  const auto a = matrix_with_condition<double>(160, 24, 1e6, 92);
+  const CaqrOptions copt = small_caqr(CaqrSchedule::Serial);
+  const CaqrRun plain = run_caqr(a, copt, ft::FtOptions{}, FaultOptions{});
+  const CaqrRun guarded = run_caqr(a, copt, abft_on(), FaultOptions{});
+  expect_bit_identical(plain.r, guarded.r);
+  expect_bit_identical(plain.q, guarded.q);
+}
+
+// ---- Detection and recovery ------------------------------------------------
+
+TEST(FtRecovery, DetectionOnlyReportsSameSeedRecoversWithRetries) {
+  const auto a = matrix_with_condition<double>(128, 16, 1e4, 93);
+  const FaultOptions faults = inject(0.05, 0.5, 4243);
+
+  // Retries disabled: the run completes (never aborts) but the corruption is
+  // detected and reported as unrecovered.
+  const CaqrRun detect =
+      run_caqr(a, small_caqr(CaqrSchedule::Serial), abft_on(0, 0), faults);
+  EXPECT_GT(detect.faults, 0u);
+  EXPECT_EQ(detect.status.severity, ft::Severity::Unrecovered);
+  EXPECT_FALSE(detect.status.ok());
+  EXPECT_GT(detect.device_summary.unrecovered_launches, 0);
+
+  // Same injector seed, retries on: fully recovered and numerically clean.
+  const CaqrRun recover =
+      run_caqr(a, small_caqr(CaqrSchedule::Serial), abft_on(), faults);
+  EXPECT_GT(recover.faults, 0u);
+  EXPECT_TRUE(recover.status.ok());
+  EXPECT_EQ(recover.device_summary.unrecovered_launches, 0);
+  EXPECT_TRUE(
+      numerics::verify_qr(a.view(), recover.q.view(), recover.r.view()).pass);
+}
+
+TEST(FtRecovery, DetectionReportsCarryLaunchDiagnostics) {
+  const auto a = matrix_with_condition<double>(128, 16, 1e4, 94);
+  Device dev;
+  dev.set_fault_injection(inject(0.0, 1.0, 11));  // flip every launch
+  dev.set_fault_tolerance(abft_on(0, 0));         // detect only
+  auto f = CaqrFactorization<double>::factor(dev,
+                                             Matrix<double>::from(a.view()),
+                                             small_caqr(CaqrSchedule::Serial));
+  (void)f;
+  ASSERT_FALSE(dev.ft_reports().empty());
+  for (const auto& rep : dev.ft_reports()) {
+    EXPECT_FALSE(rep.kernel.empty());
+    EXPECT_GE(rep.launch_ordinal, 0);
+    EXPECT_EQ(rep.severity, ft::Severity::Unrecovered);
+  }
+  dev.clear_ft_reports();
+  EXPECT_TRUE(dev.ft_reports().empty());
+}
+
+TEST(FtRecovery, BlockDropsRecoverOnBothSchedules) {
+  const auto a = matrix_with_condition<double>(192, 24, 1e8, 95);
+  for (CaqrSchedule sched : {CaqrSchedule::Serial, CaqrSchedule::LookAhead}) {
+    const CaqrRun run =
+        run_caqr(a, small_caqr(sched), abft_on(), inject(0.05, 0.0, 777));
+    EXPECT_GT(run.faults, 0u);
+    EXPECT_TRUE(run.status.ok());
+    EXPECT_EQ(run.device_summary.unrecovered_launches, 0);
+    EXPECT_TRUE(
+        numerics::verify_qr(a.view(), run.q.view(), run.r.view()).pass);
+  }
+}
+
+TEST(FtRecovery, BitflipsRecoverOnBothSchedules) {
+  const auto a = matrix_with_condition<double>(192, 24, 1e8, 96);
+  for (CaqrSchedule sched : {CaqrSchedule::Serial, CaqrSchedule::LookAhead}) {
+    const CaqrRun run =
+        run_caqr(a, small_caqr(sched), abft_on(), inject(0.0, 0.5, 778));
+    EXPECT_GT(run.faults, 0u);
+    EXPECT_TRUE(run.status.ok());
+    EXPECT_EQ(run.device_summary.unrecovered_launches, 0);
+    EXPECT_TRUE(
+        numerics::verify_qr(a.view(), run.q.view(), run.r.view()).pass);
+  }
+}
+
+TEST(FtRecovery, RecoveryIsDeterministicUnderFixedSeed) {
+  const auto a = matrix_with_condition<double>(160, 16, 1e4, 97);
+  const FaultOptions faults = inject(0.05, 0.5, 5150);
+  const CaqrOptions copt = small_caqr(CaqrSchedule::LookAhead);
+  const CaqrRun r1 = run_caqr(a, copt, abft_on(), faults);
+  const CaqrRun r2 = run_caqr(a, copt, abft_on(), faults);
+  EXPECT_EQ(r1.faults, r2.faults);
+  EXPECT_EQ(r1.device_summary.corrected_launches,
+            r2.device_summary.corrected_launches);
+  expect_bit_identical(r1.r, r2.r);
+  expect_bit_identical(r1.q, r2.q);
+  // (The recovered result is NOT asserted bit-identical to a fault-free run:
+  // a flip in a low-order mantissa bit can sit below the ABFT detection
+  // threshold, in which case it is deliberately left in place — the
+  // verifier bounds, checked above in the recovery tests, are the
+  // contract.)
+}
+
+TEST(FtRecovery, PanelRedoRecoversExhaustedLaunchRetries) {
+  const auto a = matrix_with_condition<double>(128, 16, 1e4, 98);
+  // Drop every block of every "factor" launch until the fault budget runs
+  // out: the first panel's factor launch fails, its single in-place retry
+  // fails again, then the panel-level redo replays the whole panel against
+  // an exhausted injector and succeeds.
+  FaultOptions faults = inject(1.0, 0.0, 12);
+  faults.only_kernel = "factor";
+  faults.max_faults = 16;  // first launch (8 blocks) + one full retry
+  const CaqrRun run =
+      run_caqr(a, small_caqr(CaqrSchedule::Serial), abft_on(1, 1), faults);
+  EXPECT_EQ(run.faults, 16u);
+  EXPECT_GT(run.status.panel_retries, 0);
+  EXPECT_EQ(run.status.severity, ft::Severity::Corrected);
+  EXPECT_TRUE(
+      numerics::verify_qr(a.view(), run.q.view(), run.r.view()).pass);
+}
+
+TEST(FtRecovery, LookAheadFallsBackToSerialWhenPanelStaysPoisoned) {
+  const auto a = matrix_with_condition<double>(128, 16, 1e4, 99);
+  // No panel redo budget: once launch retries are exhausted the look-ahead
+  // run is poisoned, and the factorization restarts under the Serial
+  // schedule from the saved input (injector exhausted by then).
+  FaultOptions faults = inject(1.0, 0.0, 13);
+  faults.only_kernel = "factor";
+  faults.max_faults = 16;
+  const CaqrRun run =
+      run_caqr(a, small_caqr(CaqrSchedule::LookAhead), abft_on(1, 0), faults);
+  EXPECT_TRUE(run.status.schedule_fallback);
+  EXPECT_EQ(run.status.severity, ft::Severity::Corrected);
+  EXPECT_TRUE(run.status.ok());
+  EXPECT_TRUE(
+      numerics::verify_qr(a.view(), run.q.view(), run.r.view()).pass);
+
+  // Same faults and schedule, fallback disabled: the run ends unrecovered
+  // (but still returns).
+  ft::FtOptions no_fallback = abft_on(1, 0);
+  no_fallback.schedule_fallback = false;
+  const CaqrRun stuck =
+      run_caqr(a, small_caqr(CaqrSchedule::LookAhead), no_fallback, faults);
+  EXPECT_FALSE(stuck.status.schedule_fallback);
+  EXPECT_EQ(stuck.status.severity, ft::Severity::Unrecovered);
+}
+
+TEST(FtRecovery, RobustPcaCompletesUnderFaults) {
+  LowRankPlusSparse spec;
+  spec.rank = 4;
+  spec.sparse_fraction = 0.05;
+  spec.sparse_magnitude = 1.0;
+  auto planted = planted_low_rank_plus_sparse<double>(200, 30, spec, 101);
+
+  rpca::RpcaOptions opt;
+  opt.max_iterations = 60;
+
+  Device clean_dev;
+  const auto clean = rpca::robust_pca(clean_dev, planted.observed.view(), opt);
+  ASSERT_TRUE(clean.converged);
+
+  Device dev;
+  dev.set_fault_injection(inject(0.02, 0.3, 4321));
+  dev.set_fault_tolerance(abft_on());
+  const auto res = rpca::robust_pca(dev, planted.observed.view(), opt);
+  EXPECT_GT(dev.fault_log().size(), 0u);
+  EXPECT_EQ(dev.ft_summary().unrecovered_launches, 0);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LE(res.residual, opt.tolerance);
+  // Sub-threshold (undetectable) flips may survive recovery, so the result
+  // is compared to the fault-free decomposition numerically, not bitwise.
+  double diff2 = 0.0, ref2 = 0.0;
+  for (idx j = 0; j < clean.low_rank.cols(); ++j) {
+    for (idx i = 0; i < clean.low_rank.rows(); ++i) {
+      const double d = res.low_rank(i, j) - clean.low_rank(i, j);
+      diff2 += d * d;
+      ref2 += clean.low_rank(i, j) * clean.low_rank(i, j);
+    }
+  }
+  EXPECT_LE(std::sqrt(diff2), 1e-6 * std::sqrt(ref2));
+}
+
+// ---- Performance-model charging --------------------------------------------
+
+TEST(FtModel, AbftCostChargedInModelOnly) {
+  CaqrOptions copt = small_caqr(CaqrSchedule::Serial);
+
+  Device base(gpusim::GpuMachineModel::c2050(), ExecMode::ModelOnly);
+  auto f0 = CaqrFactorization<double>::factor(
+      base, Matrix<double>::shape_only(4096, 64), copt);
+  (void)f0;
+  const double t_off = base.elapsed_seconds();
+  EXPECT_EQ(base.profile("factor_abft"), nullptr);
+
+  Device dev(gpusim::GpuMachineModel::c2050(), ExecMode::ModelOnly);
+  dev.set_fault_tolerance(abft_on());
+  auto f1 = CaqrFactorization<double>::factor(
+      dev, Matrix<double>::shape_only(4096, 64), copt);
+  (void)f1;
+  const double t_on = dev.elapsed_seconds();
+
+  // Every guarded kernel shows its checksum traffic as a distinct op.
+  for (const char* op : {"factor_abft", "factor_tree_abft", "apply_qt_h_abft",
+                         "apply_qt_tree_abft"}) {
+    const auto* p = dev.profile(op);
+    ASSERT_NE(p, nullptr) << op;
+    EXPECT_GT(p->seconds, 0.0) << op;
+  }
+  EXPECT_GT(t_on, t_off);
+}
+
+TEST(FtModel, TimelineUnchangedWithFtOff) {
+  CaqrOptions copt = small_caqr(CaqrSchedule::LookAhead);
+  Device base(gpusim::GpuMachineModel::c2050(), ExecMode::ModelOnly);
+  auto f0 = CaqrFactorization<double>::factor(
+      base, Matrix<double>::shape_only(4096, 64), copt);
+  (void)f0;
+
+  Device dev(gpusim::GpuMachineModel::c2050(), ExecMode::ModelOnly);
+  dev.set_fault_tolerance(ft::FtOptions{});  // explicit default: FT off
+  auto f1 = CaqrFactorization<double>::factor(
+      dev, Matrix<double>::shape_only(4096, 64), copt);
+  (void)f1;
+  EXPECT_EQ(base.elapsed_seconds(), dev.elapsed_seconds());  // bitwise
+}
+
+// ---- Checkpoint / restart --------------------------------------------------
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + name;
+}
+
+TEST(FtCheckpoint, CaqrHaltAndResumeBitIdentical) {
+  const auto a = matrix_with_condition<double>(192, 32, 1e6, 102);
+  for (CaqrSchedule sched : {CaqrSchedule::Serial, CaqrSchedule::LookAhead}) {
+    const std::string path = temp_path(sched == CaqrSchedule::Serial
+                                           ? "ft_ckpt_serial.bin"
+                                           : "ft_ckpt_lookahead.bin");
+    std::remove(path.c_str());
+
+    CaqrOptions copt = small_caqr(sched);
+    const CaqrRun full = run_caqr(a, copt, ft::FtOptions{}, FaultOptions{});
+
+    // Run 1: checkpoint every panel, simulate a kill after panel 2 of 4.
+    copt.checkpoint_path = path;
+    copt.halt_after_panels = 2;
+    Device d1;
+    auto f1 = CaqrFactorization<double>::factor(
+        d1, Matrix<double>::from(a.view()), copt);
+    EXPECT_TRUE(f1.halted());
+    EXPECT_FALSE(f1.status().resumed_from_checkpoint);
+
+    // Run 2: fresh device and input, same checkpoint path, no halt.
+    copt.halt_after_panels = 0;
+    Device d2;
+    auto f2 = CaqrFactorization<double>::factor(
+        d2, Matrix<double>::from(a.view()), copt);
+    EXPECT_FALSE(f2.halted());
+    EXPECT_TRUE(f2.status().resumed_from_checkpoint);
+    EXPECT_EQ(f2.status().resumed_at_panel, 2);
+
+    const Matrix<double> q = f2.form_q(d2, a.cols());
+    expect_bit_identical(full.r, f2.r());
+    expect_bit_identical(full.q, q);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(FtCheckpoint, CorruptOrTruncatedCheckpointFallsBackToCleanStart) {
+  const auto a = matrix_with_condition<double>(128, 16, 1e4, 103);
+  const std::string path = temp_path("ft_ckpt_corrupt.bin");
+  std::remove(path.c_str());
+
+  CaqrOptions copt = small_caqr(CaqrSchedule::Serial);
+  copt.checkpoint_path = path;
+  copt.halt_after_panels = 1;
+  {
+    Device dev;
+    auto f = CaqrFactorization<double>::factor(
+        dev, Matrix<double>::from(a.view()), copt);
+    ASSERT_TRUE(f.halted());
+  }
+  copt.halt_after_panels = 0;
+
+  // Flip one payload byte: the checksum mismatch must reject the file.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 64, SEEK_SET), 0);
+    int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, 64, SEEK_SET), 0);
+    std::fputc(c ^ 0x5a, f);
+    std::fclose(f);
+  }
+  {
+    Device dev;
+    auto f = CaqrFactorization<double>::factor(
+        dev, Matrix<double>::from(a.view()), copt);
+    EXPECT_FALSE(f.status().resumed_from_checkpoint);
+    const Matrix<double> q = f.form_q(dev, a.cols());
+    EXPECT_TRUE(numerics::verify_qr(a.view(), q.view(), f.r().view()).pass);
+  }
+
+  // Truncate the file mid-payload: the size check must reject it too.
+  {
+    std::FILE* src = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(src, nullptr);
+    std::fseek(src, 0, SEEK_END);
+    const long size = std::ftell(src);
+    std::fseek(src, 0, SEEK_SET);
+    std::vector<unsigned char> bytes(static_cast<std::size_t>(size));
+    ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), src), bytes.size());
+    std::fclose(src);
+    std::FILE* dst = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(dst, nullptr);
+    std::fwrite(bytes.data(), 1, bytes.size() / 2, dst);
+    std::fclose(dst);
+  }
+  {
+    Device dev;
+    auto f = CaqrFactorization<double>::factor(
+        dev, Matrix<double>::from(a.view()), copt);
+    EXPECT_FALSE(f.status().resumed_from_checkpoint);
+    const Matrix<double> q = f.form_q(dev, a.cols());
+    EXPECT_TRUE(numerics::verify_qr(a.view(), q.view(), f.r().view()).pass);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FtCheckpoint, CheckpointRoundTripPreservesSections) {
+  const std::string path = temp_path("ft_ckpt_roundtrip.bin");
+  std::remove(path.c_str());
+
+  Matrix<double> m(3, 2);
+  for (idx j = 0; j < 2; ++j)
+    for (idx i = 0; i < 3; ++i) m(i, j) = 10.0 * static_cast<double>(j) + i;
+
+  ft::CheckpointWriter w;
+  w.scalar("answer", static_cast<std::int64_t>(42));
+  w.scalar("pi", 3.25);
+  w.vec("taus", std::vector<double>{1.0, -2.5, 0.125});
+  w.matrix("m", m.view());
+  ASSERT_TRUE(w.write(path));
+
+  const auto r = ft::CheckpointReader::load(path);
+  ASSERT_TRUE(r.has_value());
+  std::int64_t answer = 0;
+  double pi = 0;
+  std::vector<double> taus;
+  Matrix<double> m2;
+  ASSERT_TRUE(r->scalar("answer", answer));
+  ASSERT_TRUE(r->scalar("pi", pi));
+  ASSERT_TRUE(r->vec("taus", taus));
+  ASSERT_TRUE(r->matrix("m", m2));
+  EXPECT_EQ(answer, 42);
+  EXPECT_EQ(pi, 3.25);
+  EXPECT_EQ(taus, (std::vector<double>{1.0, -2.5, 0.125}));
+  expect_bit_identical(m, m2);
+  EXPECT_FALSE(r->has("missing"));
+  std::remove(path.c_str());
+}
+
+TEST(FtCheckpoint, RpcaHaltAndResumeBitIdentical) {
+  LowRankPlusSparse spec;
+  spec.rank = 3;
+  spec.sparse_fraction = 0.05;
+  auto planted = planted_low_rank_plus_sparse<double>(160, 24, spec, 104);
+  const std::string path = temp_path("ft_ckpt_rpca.bin");
+  std::remove(path.c_str());
+
+  rpca::RpcaOptions opt;
+  opt.max_iterations = 40;
+
+  Device clean_dev;
+  const auto full = rpca::robust_pca(clean_dev, planted.observed.view(), opt);
+  ASSERT_TRUE(full.converged);
+  ASSERT_GT(full.iterations, 4);
+
+  opt.checkpoint_path = path;
+  opt.halt_after_iterations = 3;
+  {
+    Device dev;
+    const auto part = rpca::robust_pca(dev, planted.observed.view(), opt);
+    EXPECT_FALSE(part.converged);
+    EXPECT_EQ(part.iterations, 3);
+    EXPECT_FALSE(part.resumed_from_checkpoint);
+  }
+  opt.halt_after_iterations = 0;
+  {
+    Device dev;
+    const auto res = rpca::robust_pca(dev, planted.observed.view(), opt);
+    EXPECT_TRUE(res.resumed_from_checkpoint);
+    EXPECT_EQ(res.resumed_at_iteration, 3);
+    EXPECT_TRUE(res.converged);
+    EXPECT_EQ(res.iterations, full.iterations);
+    expect_bit_identical(full.sparse, res.sparse);
+    expect_bit_identical(full.low_rank, res.low_rank);
+  }
+  std::remove(path.c_str());
+}
+
+// ---- Injector targeting knobs ----------------------------------------------
+
+TEST(FtTargeting, MaxFaultsCapsTotalInjectedEvents) {
+  const auto a = matrix_with_condition<double>(128, 16, 1e4, 105);
+  FaultOptions faults = inject(1.0, 1.0, 14);
+  faults.max_faults = 1;
+  Device dev;
+  dev.set_fault_injection(faults);
+  auto f = CaqrFactorization<double>::factor(dev,
+                                             Matrix<double>::from(a.view()),
+                                             small_caqr(CaqrSchedule::Serial));
+  (void)f;
+  EXPECT_EQ(dev.fault_log().size(), 1u);
+}
+
+TEST(FtTargeting, OnlyKernelRestrictsInjection) {
+  const auto a = matrix_with_condition<double>(128, 16, 1e4, 106);
+  FaultOptions faults = inject(0.0, 1.0, 15);
+  faults.only_kernel = "factor_tree";
+  Device dev;
+  dev.set_fault_injection(faults);
+  auto f = CaqrFactorization<double>::factor(dev,
+                                             Matrix<double>::from(a.view()),
+                                             small_caqr(CaqrSchedule::Serial));
+  (void)f;
+  ASSERT_GT(dev.fault_log().size(), 0u);
+  for (const auto& ev : dev.fault_log()) {
+    EXPECT_EQ(ev.kernel, "factor_tree");
+  }
+}
+
+TEST(FtTargeting, SingleDeterministicFaultIsRecovered) {
+  const auto a = matrix_with_condition<double>(128, 16, 1e4, 107);
+  FaultOptions faults = inject(0.0, 1.0, 16);
+  faults.only_kernel = "factor";
+  faults.max_faults = 1;
+  const CaqrRun run =
+      run_caqr(a, small_caqr(CaqrSchedule::Serial), abft_on(), faults);
+  EXPECT_EQ(run.faults, 1u);
+  EXPECT_TRUE(run.status.ok());
+  EXPECT_TRUE(
+      numerics::verify_qr(a.view(), run.q.view(), run.r.view()).pass);
+}
+
+}  // namespace
+}  // namespace caqr
