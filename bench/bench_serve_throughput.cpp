@@ -1,0 +1,207 @@
+// Serving-layer throughput bench: problems/sec for same-shape tall-skinny
+// QR traffic through serve::SolverPool, swept over
+//
+//   workers     x  batch size  x  plan-cache on/off
+//
+// Traffic is the paper's Robust PCA shape (110,592 x 100 floats, §VI) in
+// ModelOnly mode — the serving question is scheduling and planning cost,
+// not numerics, and ModelOnly runs the exact timeline at paper scale.
+//
+// Two throughput views, matching how the repo reports every paper-scale
+// result:
+//   * simulated problems/sec = problems / makespan over the workers'
+//     simulated devices (each worker owns one simulated GPU, so the worker
+//     axis is the simulated analogue of a multi-GPU serving box);
+//   * host problems/sec = problems / host wall-clock, the view where the
+//     plan cache shows up (planning — the autotune sweep plus two cost
+//     predictions — is host work).
+//
+// Writes BENCH_serve_throughput.json. Flags: --rows --cols --problems
+// --quick
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "serve/solver_pool.hpp"
+
+namespace {
+
+using namespace caqr;
+using namespace caqr::serve;
+using gpusim::ExecMode;
+
+double wall_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+struct Cell {
+  int workers = 1;
+  int batch = 1;
+  bool cache = true;
+  int problems = 0;
+  double wall = 0;          // host seconds, submit to drain
+  double sim_makespan = 0;  // max simulated busy seconds over workers
+  double sim_busy = 0;      // total simulated busy seconds, all workers
+  long long hits = 0;
+  long long misses = 0;
+  idx fused_launches = 0;
+
+  double sim_pps() const { return sim_makespan > 0 ? problems / sim_makespan : 0; }
+  double wall_pps() const { return wall > 0 ? problems / wall : 0; }
+  // Per-problem device time: imbalance-free, isolates the fusion win.
+  double sim_per_problem() const {
+    return problems > 0 ? sim_busy / problems : 0;
+  }
+};
+
+Cell run_config(idx m, idx n, int problems, int workers, int batch,
+                bool cache) {
+  PoolOptions po;
+  po.workers = workers;
+  po.queue_capacity = static_cast<std::size_t>(problems) + 8;
+  po.mode = ExecMode::ModelOnly;
+  po.use_plan_cache = cache;
+  SolverPool pool(po);
+  RequestOptions req;  // Auto algorithm, planned (cached or per-request)
+
+  Cell c;
+  c.workers = workers;
+  c.batch = batch;
+  c.cache = cache;
+  c.problems = problems;
+  const double t0 = wall_seconds();
+  if (batch <= 1) {
+    std::vector<std::future<QrResponse<float>>> futs;
+    futs.reserve(static_cast<std::size_t>(problems));
+    for (int i = 0; i < problems; ++i) {
+      futs.push_back(pool.submit(Matrix<float>::shape_only(m, n), req));
+    }
+    for (auto& f : futs) {
+      if (f.get().status != RequestStatus::Done) std::abort();
+    }
+  } else {
+    std::vector<std::future<BatchResponse<float>>> futs;
+    for (int i = 0; i < problems; i += batch) {
+      const int b = std::min(batch, problems - i);
+      std::vector<Matrix<float>> probs;
+      probs.reserve(static_cast<std::size_t>(b));
+      for (int j = 0; j < b; ++j) {
+        probs.push_back(Matrix<float>::shape_only(m, n));
+      }
+      futs.push_back(pool.submit_batch(std::move(probs), req));
+    }
+    for (auto& f : futs) {
+      BatchResponse<float> resp = f.get();
+      if (resp.status != RequestStatus::Done) std::abort();
+      c.fused_launches += resp.result.fused_launches;
+    }
+  }
+  pool.drain();
+  c.wall = wall_seconds() - t0;
+  const PoolStats stats = pool.stats();
+  c.sim_makespan = stats.makespan_simulated_seconds();
+  for (double s : stats.worker_busy_simulated_seconds) c.sim_busy += s;
+  c.hits = pool.plan_cache().hits();
+  c.misses = pool.plan_cache().misses();
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const bool quick = args.get_bool("quick", false);
+  const idx m = args.get_int("rows", 110592);
+  const idx n = args.get_int("cols", 100);
+  const int problems =
+      static_cast<int>(args.get_int("problems", quick ? 16 : 128));
+
+  std::printf("Serve throughput bench: %d requests of %lld x %lld float "
+              "(ModelOnly, C2050 per worker)\n\n",
+              problems, static_cast<long long>(m), static_cast<long long>(n));
+
+  std::vector<Cell> cells;
+  // Worker scaling x plan cache, unbatched.
+  for (const bool cache : {true, false}) {
+    for (const int workers : {1, 2, 4, 8}) {
+      cells.push_back(run_config(m, n, problems, workers, 1, cache));
+    }
+  }
+  // Batch fusion at a fixed worker count, cache on.
+  for (const int batch : {4, 8}) {
+    cells.push_back(run_config(m, n, problems, 4, batch, true));
+  }
+
+  std::printf("%-8s %-6s %-6s %14s %16s %14s %14s %12s\n", "workers",
+              "batch", "cache", "sim makespan", "sim problems/s",
+              "sim s/problem", "host wall s", "host pps");
+  for (const auto& c : cells) {
+    std::printf("%-8d %-6d %-6s %12.4f s %16.2f %14.5f %12.4f s %12.1f\n",
+                c.workers, c.batch, c.cache ? "on" : "off", c.sim_makespan,
+                c.sim_pps(), c.sim_per_problem(), c.wall, c.wall_pps());
+  }
+
+  auto find = [&](int workers, int batch, bool cache) -> const Cell& {
+    for (const auto& c : cells) {
+      if (c.workers == workers && c.batch == batch && c.cache == cache)
+        return c;
+    }
+    std::abort();
+  };
+  const double scaling_8v1 =
+      find(8, 1, true).sim_pps() / find(1, 1, true).sim_pps();
+  const double cache_gain =
+      find(4, 1, true).wall_pps() / find(4, 1, false).wall_pps();
+  // Per-problem device seconds (total busy / problems) isolates the fused
+  // launch win from queue load imbalance on the finite request stream.
+  const double batch_gain =
+      find(4, 1, true).sim_per_problem() / find(4, 8, true).sim_per_problem();
+  std::printf(
+      "\n8-worker vs 1-worker simulated scaling:   %.2fx (acceptance: >= 2)\n"
+      "plan-cache on vs off host throughput:     %.2fx (acceptance: > 1)\n"
+      "batch=8 vs unbatched sim s/problem gain:  %.3fx\n",
+      scaling_8v1, cache_gain, batch_gain);
+
+  std::string json = "{\"shape\":{";
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "\"rows\":%lld,\"cols\":%lld,\"dtype\":\"float\"},"
+                "\"problems\":%d,\"mode\":\"ModelOnly\",\"results\":[",
+                static_cast<long long>(m), static_cast<long long>(n),
+                problems);
+  json += buf;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s{\"workers\":%d,\"batch\":%d,\"plan_cache\":%s,"
+        "\"sim_makespan_seconds\":%.6e,\"sim_problems_per_sec\":%.3f,"
+        "\"sim_seconds_per_problem\":%.6e,"
+        "\"wall_seconds\":%.4f,\"wall_problems_per_sec\":%.1f,"
+        "\"plan_hits\":%lld,\"plan_misses\":%lld,\"fused_launches\":%lld}",
+        i ? "," : "", c.workers, c.batch, c.cache ? "true" : "false",
+        c.sim_makespan, c.sim_pps(), c.sim_per_problem(), c.wall,
+        c.wall_pps(), c.hits, c.misses,
+        static_cast<long long>(c.fused_launches));
+    json += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "],\"acceptance\":{\"scaling_8_vs_1_workers\":%.3f,"
+                "\"plan_cache_on_vs_off\":%.3f,"
+                "\"batch8_vs_unbatched\":%.3f}}",
+                scaling_8v1, cache_gain, batch_gain);
+  json += buf;
+
+  const char* json_path = "BENCH_serve_throughput.json";
+  if (std::FILE* jf = std::fopen(json_path, "w")) {
+    std::fputs(json.c_str(), jf);
+    std::fclose(jf);
+    std::printf("\nWrote %s\n", json_path);
+  }
+  return 0;
+}

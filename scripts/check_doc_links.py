@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Docs link checker: verifies every relative markdown link and referenced
+repo path in the key documents resolves in the tree.
+
+Checked documents: README.md, DESIGN.md, docs/ARCHITECTURE.md,
+EXPERIMENTS.md (plus any extra paths passed as arguments).
+
+Two classes of reference are validated:
+  1. Markdown links/images `[text](target)` whose target is not an
+     external URL or intra-document anchor.
+  2. Inline-code path mentions (backticked tokens that look like repo
+     paths, e.g. `src/serve/plan_cache.hpp`, `tests/test_serve.cpp`) that
+     name a file or directory with a known source/doc extension or a
+     directory under the repo root.
+
+Exits non-zero listing every dead reference, so CI fails on doc rot.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DEFAULT_DOCS = ["README.md", "DESIGN.md", "docs/ARCHITECTURE.md",
+                "EXPERIMENTS.md"]
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+CODE_RE = re.compile(r"`([^`\n]+)`")
+# Backticked tokens treated as repo paths when they match this shape.
+PATH_EXTS = (".hpp", ".cpp", ".h", ".md", ".py", ".txt", ".cmake", ".yml",
+             ".json")
+TOP_DIRS = ("src/", "tests/", "bench/", "examples/", "docs/", "scripts/",
+            ".github/")
+
+# Outputs of a build/bench run: referenced legitimately before they exist.
+GENERATED = re.compile(
+    r"^(build/|BENCH_[A-Za-z0-9_.]+\.(json|ckpt)$|bench_output)")
+
+
+def candidate_paths(text):
+    """Yield (kind, target) references found in one document's text."""
+    for m in LINK_RE.finditer(text):
+        target = m.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield "link", target.split("#", 1)[0]
+    for m in CODE_RE.finditer(text):
+        token = m.group(1).strip()
+        if " " in token or token.startswith(("-", "--", "<")):
+            continue
+        looks_like_path = (
+            token.endswith(PATH_EXTS) or token.startswith(TOP_DIRS)
+        ) and "/" in token
+        if not looks_like_path:
+            continue
+        # Strip glob/wildcard mentions like src/gpusim/machine_model.{hpp,cpp}
+        if any(c in token for c in "*{}$"):
+            continue
+        yield "path", token
+
+
+def check_doc(doc: Path):
+    dead = []
+    text = doc.read_text(encoding="utf-8")
+    base = doc.parent
+    for kind, target in candidate_paths(text):
+        if GENERATED.match(target):
+            continue
+        # Markdown links resolve relative to the document; bare path
+        # mentions resolve from the repo root. Two repo idioms are also
+        # accepted for path mentions: module-relative headers
+        # (`gpusim/device.hpp` = src/gpusim/device.hpp) and bench/example
+        # binary names (`bench/stress_numerics` = bench/stress_numerics.cpp).
+        roots = [base, REPO] if kind == "link" else [REPO, base]
+        tries = [root / target for root in roots]
+        if kind == "path":
+            tries.append(REPO / "src" / target)
+            if not target.endswith(PATH_EXTS):
+                tries.append(REPO / (target + ".cpp"))
+        if not any(t.exists() for t in tries):
+            dead.append((kind, target))
+    return dead
+
+
+def main(argv):
+    docs = argv[1:] or DEFAULT_DOCS
+    failures = 0
+    for name in docs:
+        doc = (REPO / name) if not Path(name).is_absolute() else Path(name)
+        if not doc.exists():
+            print(f"MISSING DOCUMENT: {name}")
+            failures += 1
+            continue
+        dead = check_doc(doc)
+        for kind, target in dead:
+            print(f"{name}: dead {kind}: {target}")
+        failures += len(dead)
+    if failures:
+        print(f"\n{failures} dead reference(s).")
+        return 1
+    print(f"All references resolve in {len(docs)} document(s).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

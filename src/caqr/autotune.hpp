@@ -15,21 +15,30 @@
 namespace caqr::autotune {
 
 // Cache-hot apply_qt_h microbenchmark at one block shape; returns simulated
-// GFLOPS on the given machine model.
+// GFLOPS on the given machine model. Pure function of its arguments: runs
+// a ModelOnly probe device, touches no data and no shared state, so it is
+// safe to call concurrently and always returns the same value for the same
+// (model, shape, variant, nblocks).
 double microbench_apply_qt_h(
     const gpusim::GpuMachineModel& model, idx block_h, idx block_w,
     kernels::ReductionVariant variant =
         kernels::ReductionVariant::RegisterSerialTransposed,
     idx nblocks = 4096);
 
+// Sweep winner: the block shape CAQR should run with on a model (Figure 7's
+// 128 x 16 on the C2050) and the microbenchmark GFLOPS it achieved.
 struct TunedBlock {
   idx block_rows = 128;
   idx panel_width = 16;
   double gflops = 0;
 };
 
-// Sweeps the standard grid (heights 32..512, widths 4..64) and returns the
-// best shape for the model.
+// Sweeps the standard grid (heights 32..512, widths 4..64, register-file
+// feasible shapes only) and returns the best shape for the model.
+// Deterministic and thread-safe for the same reasons as the microbenchmark;
+// costs ~35 ModelOnly probes per call, which is why the serving layer
+// memoizes it per machine-model fingerprint (serve::PlanCache) instead of
+// re-sweeping on every request.
 TunedBlock autotune_block_size(
     const gpusim::GpuMachineModel& model,
     kernels::ReductionVariant variant =

@@ -9,6 +9,16 @@
 // model only (no data touched), then runs the cheaper one. Prediction uses
 // the same cost models as execution, so the selection is exact with respect
 // to the simulator.
+//
+// Thread-safety and determinism, for every function in this header: all are
+// pure functions of (device, inputs, options) with no shared mutable state —
+// concurrent calls are safe as long as each targets a distinct Device (the
+// repo-wide launch rule). Results are bit-deterministic for fixed inputs
+// and options: prediction probes run ModelOnly on private devices, and the
+// functional paths inherit the simulator's deterministic block execution.
+// The serving layer (src/serve/) builds directly on these guarantees: it
+// memoizes the predictions per shape (PlanCache) and fans adaptive_qr out
+// across worker-owned devices (SolverPool) without changing any result.
 
 #include <limits>
 #include <string>
@@ -27,6 +37,8 @@ enum class QrAlgorithm {
   Hybrid,   // always hybrid blocked Householder (MAGMA-like)
 };
 
+// Explicit factors plus what ran and how long it took (simulated). `used`
+// is never Auto: it records the resolved algorithm.
 template <typename T>
 struct QrSolveResult {
   Matrix<T> q;  // m x min(m, n), orthonormal columns
@@ -35,7 +47,10 @@ struct QrSolveResult {
   double simulated_seconds = 0;
 };
 
-// Predicts simulated seconds without touching data.
+// Predicts simulated seconds without touching data: runs the full launch
+// schedule on a private ModelOnly probe device with storage-free
+// placeholders. Exact with respect to the simulator (same cost models as
+// execution), so `Auto` selection can never disagree with a measured run.
 template <typename T>
 double predict_caqr_seconds(const gpusim::GpuMachineModel& model, idx m, idx n,
                             const CaqrOptions& opt = {}) {
@@ -52,7 +67,13 @@ double predict_hybrid_seconds(const gpusim::GpuMachineModel& model, idx m,
   return baselines::hybrid_qr(probe, Matrix<T>::shape_only(m, n), opt).seconds;
 }
 
-// Shape-adaptive QR: factors A and returns explicit (Q, R).
+// Shape-adaptive QR: factors A and returns explicit (Q, R). With Auto, the
+// algorithm is re-predicted on every call — repeated same-shape traffic
+// should go through serve::SolverPool / serve::PlanCache, which memoize
+// the selection and tuning per (shape, dtype, model fingerprint). Copies
+// its input (the factorization is destructive); requires backing storage,
+// i.e. functional inputs — for a ModelOnly cost estimate use the
+// predict_* functions above.
 template <typename VA>
 QrSolveResult<view_scalar_t<VA>> adaptive_qr(
     gpusim::Device& dev, const VA& a_in, QrAlgorithm algo = QrAlgorithm::Auto,

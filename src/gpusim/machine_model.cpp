@@ -1,6 +1,49 @@
 #include "gpusim/machine_model.hpp"
 
+#include <cstring>
+
+#include "ft/ft.hpp"
+
 namespace caqr::gpusim {
+
+namespace {
+
+// Field-by-field FNV-1a accumulation. Hashing the raw struct would fold in
+// padding bytes; hashing per field keeps the digest well-defined.
+void mix(std::uint64_t& h, const void* data, std::size_t bytes) {
+  h = ft::detail::fnv1a(data, bytes, h);
+}
+
+void mix_double(std::uint64_t& h, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  mix(h, &bits, sizeof(bits));
+}
+
+void mix_int(std::uint64_t& h, long long v) { mix(h, &v, sizeof(v)); }
+
+}  // namespace
+
+std::uint64_t GpuMachineModel::fingerprint() const {
+  std::uint64_t h = ft::detail::kFnvOffset;
+  mix(h, name.data(), name.size());
+  mix_int(h, name.size());
+  mix_int(h, num_sms);
+  mix_int(h, lanes_per_sm);
+  mix_double(h, clock_ghz);
+  mix_int(h, fma ? 1 : 0);
+  mix_double(h, dram_bw_gbs);
+  mix_double(h, kernel_launch_us);
+  mix_int(h, max_concurrent_kernels);
+  mix_double(h, smem_cycles_per_access);
+  mix_double(h, sync_cycles);
+  mix_double(h, issue_stall_factor);
+  mix_double(h, uncoalesced_penalty);
+  mix_double(h, tile_locality_penalty);
+  mix_double(h, gemm_efficiency);
+  return h;
+}
 
 GpuMachineModel GpuMachineModel::c2050() {
   GpuMachineModel m;

@@ -16,6 +16,7 @@
 // (§IV.E: 55 / 168 / 194 / 388) and library GFLOPS, then frozen across all
 // experiments; see EXPERIMENTS.md.
 
+#include <cstdint>
 #include <string>
 
 namespace caqr::gpusim {
@@ -51,6 +52,14 @@ struct GpuMachineModel {
     return num_sms * lanes_per_sm * clock_ghz * 1e9 * (fma ? 2.0 : 1.0);
   }
   double clock_hz() const { return clock_ghz * 1e9; }
+
+  // Stable FNV-1a digest of every calibration constant (including the
+  // name). Two models with the same fingerprint produce bit-identical
+  // simulated timelines, so the digest is the cache-invalidation key for
+  // anything memoized per machine model (serve::PlanCache): change any
+  // field and every cached plan for the old model misses. Pure function of
+  // the fields — no host state, no randomness.
+  std::uint64_t fingerprint() const;
 
   static GpuMachineModel c2050();
   static GpuMachineModel gtx480();

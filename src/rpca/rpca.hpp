@@ -38,6 +38,9 @@ struct RpcaOptions {
   double rho = 1.5;       // mu growth factor per iteration
   int max_iterations = 100;
   double tolerance = 1e-6;  // ||M - L - S||_F / ||M||_F stopping criterion
+  // SVD pipeline options for the per-iteration SVT. Setting svd.qr_hook to
+  // a serve::PooledQrHook routes every iteration's tall-skinny QR through a
+  // SolverPool (bit-identical factors; remote device time charged here).
   svd::TallSkinnySvdOptions svd;
 
   // Checkpoint/restart (ft/checkpoint.hpp). Non-empty: snapshot the

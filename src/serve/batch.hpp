@@ -1,0 +1,346 @@
+#pragma once
+
+// Same-shape batch fusion for the QR serving layer.
+//
+// On a real GPU, k independent tall-skinny factorizations of the same shape
+// are served with batched kernels (cuBLAS geqrfBatched, MAGMA batched QR):
+// one launch covers all k problems, so the per-launch overhead — the very
+// cost CAQR's reduction tree is designed to amortize — is paid once instead
+// of k times, and small grids that would strand SMs are stacked until every
+// SM is busy. factor_batch() reproduces that on the simulated device: it
+// walks ONE CAQR schedule whose every launch is a FusedKernel spanning the
+// k problems' blocks, i.e. one `factor` + tree sweep over k*blocks instead
+// of k separate schedules.
+//
+// Determinism / bit-identity. A FusedKernel dispatches fused block b to
+// sub-problem b / blocks_per_problem, which runs the UNCHANGED run_block
+// body of the solo kernel on that problem's own storage. Blocks write
+// disjoint outputs (per kernel contract), so the fused launch computes
+// bit-identical R, reflectors and Q for every problem to a solo
+// `adaptive_qr` run with the same options — verified by tests/test_serve.
+// The fused launches appear in profiles()/trace() under their own names
+// ("factor_batch", "apply_qt_h_batch", ...) so ModelOnly timelines show
+// exactly where fusion changed the schedule.
+//
+// Cost semantics: Device::launch aggregates per-block stats across the
+// whole fused grid, so the roofline term sums all k problems' work over the
+// SM pool while the latency floor is the max over ALL fused blocks — the
+// same floor as any single problem, not k of them. Launch overhead is paid
+// once per fused launch. Both effects are the simulated-GPU analogue of the
+// real batched-kernel win.
+//
+// Thread safety: factor_batch is a plain function of (device, inputs); it
+// owns no shared state. Concurrent calls must target distinct devices, the
+// same rule as every other launch path in the repo.
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "caqr/solver.hpp"
+#include "gpusim/device.hpp"
+#include "kernels/kernels.hpp"
+#include "tsqr/tsqr.hpp"
+
+namespace caqr::serve {
+
+// One launchable kernel spanning the same-shape launches of k sub-problems.
+// Satisfies the Device::launch kernel contract; forwards stats_summary when
+// the inner kernel type has one (paper-scale ModelOnly stays O(classes)).
+template <typename K>
+struct FusedKernel {
+  std::vector<K> parts;
+  std::vector<idx> prefix{0};  // prefix[i] = first fused block of part i
+  std::string label;
+
+  void add(K part) {
+    const idx blocks = part.num_blocks();
+    if (label.empty()) {
+      label = std::string(part.name()) + "_batch";
+    }
+    prefix.push_back(prefix.back() + blocks);
+    parts.push_back(std::move(part));
+  }
+
+  const char* name() const { return label.c_str(); }
+  idx num_blocks() const { return prefix.back(); }
+
+  void run_block(idx b) const {
+    const std::size_t p = part_of(b);
+    parts[p].run_block(b - prefix[p]);
+  }
+
+  gpusim::BlockStats block_stats(idx b) const {
+    const std::size_t p = part_of(b);
+    return parts[p].block_stats(b - prefix[p]);
+  }
+
+  std::vector<gpusim::StatsClass> stats_summary() const
+    requires gpusim::HasStatsSummary<K>
+  {
+    std::vector<gpusim::StatsClass> out;
+    for (const K& part : parts) {
+      const auto s = part.stats_summary();
+      out.insert(out.end(), s.begin(), s.end());
+    }
+    return out;
+  }
+
+ private:
+  std::size_t part_of(idx b) const {
+    // parts are same-shape, hence same block count: direct division.
+    const idx per = prefix[1];
+    return static_cast<std::size_t>(b / per);
+  }
+};
+
+// Result of one fused batch: per-problem (Q, R) plus the batch timings.
+template <typename T>
+struct BatchQrResult {
+  std::vector<QrSolveResult<T>> problems;  // bit-identical to solo runs
+  QrAlgorithm used = QrAlgorithm::Caqr;
+  double simulated_seconds = 0;  // whole fused batch, all k problems
+  idx fused_launches = 0;        // launches issued (vs k x this, unfused)
+};
+
+namespace detail {
+
+// Per-problem factorization state threaded through the fused schedule.
+template <typename T>
+struct BatchProblem {
+  Matrix<T> a;  // packed storage: R upper triangle + reflectors
+  std::vector<tsqr::PanelFactor<T>> panels;
+};
+
+// Fused TSQR factorization of panel `p_index` (columns c0..c0+w) of every
+// problem: one transpose launch, one factor launch, one launch per tree
+// level — each spanning all k problems.
+template <typename T>
+void fused_tsqr_factor(gpusim::Device& dev,
+                       std::vector<BatchProblem<T>>& probs, idx c0, idx len,
+                       idx w, const tsqr::TsqrOptions& topt,
+                       idx& fused_launches) {
+  const auto cost = kernels::cost_params(topt.variant);
+  const double pen = dev.model().uncoalesced_penalty;
+  const double tile_pen = dev.model().tile_locality_penalty;
+
+  const bool charge_transpose =
+      topt.transposed_panels &&
+      topt.variant == kernels::ReductionVariant::RegisterSerialTransposed;
+  if (charge_transpose) {
+    FusedKernel<kernels::TransposeKernel<T>> tk;
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+      tk.add(kernels::TransposeKernel<T>{len, w, topt.block_rows});
+    }
+    dev.launch(tk, tk.num_blocks());
+    ++fused_launches;
+  }
+
+  // Same shape => same block decomposition for every problem.
+  const std::vector<idx> offsets = tsqr::split_rows(len, topt.block_rows, w);
+  const idx nblocks = static_cast<idx>(offsets.size()) - 1;
+
+  FusedKernel<kernels::FactorKernel<T>> fk;
+  for (auto& pr : probs) {
+    pr.panels.emplace_back();
+    auto& pf = pr.panels.back();
+    pf.rows = len;
+    pf.width = w;
+    pf.offsets = offsets;
+    pf.taus0.assign(static_cast<std::size_t>(nblocks * w), T(0));
+    fk.add(kernels::FactorKernel<T>{pr.a.block(c0, c0, len, w), &pf.offsets,
+                                    pf.taus0.data(), cost, pen, tile_pen});
+  }
+  dev.launch(fk, fk.num_blocks());
+  ++fused_launches;
+
+  // Reduction tree: identical group structure across problems, fused per
+  // level. Level metadata must live in the PanelFactor BEFORE the kernel
+  // takes pointers into it.
+  std::vector<idx> survivors(offsets.begin(), offsets.end() - 1);
+  const idx arity = topt.effective_arity(w);
+  while (static_cast<idx>(survivors.size()) > 1) {
+    std::vector<std::vector<idx>> groups;
+    std::vector<idx> next;
+    for (std::size_t g = 0; g < survivors.size();
+         g += static_cast<std::size_t>(arity)) {
+      const std::size_t end =
+          std::min(survivors.size(), g + static_cast<std::size_t>(arity));
+      groups.emplace_back(survivors.begin() + static_cast<std::ptrdiff_t>(g),
+                          survivors.begin() + static_cast<std::ptrdiff_t>(end));
+      next.push_back(survivors[g]);
+    }
+    FusedKernel<kernels::FactorTreeKernel<T>> tk;
+    for (auto& pr : probs) {
+      auto& pf = pr.panels.back();
+      typename tsqr::PanelFactor<T>::Level level;
+      level.groups = groups;
+      level.taus.assign(groups.size() * static_cast<std::size_t>(w), T(0));
+      pf.levels.push_back(std::move(level));
+      tk.add(kernels::FactorTreeKernel<T>{pr.a.block(c0, c0, len, w),
+                                          &pf.levels.back().groups,
+                                          pf.levels.back().taus.data(), cost,
+                                          pen, tile_pen});
+    }
+    dev.launch(tk, tk.num_blocks());
+    ++fused_launches;
+    survivors = std::move(next);
+  }
+}
+
+// Fused Q^T / Q application of panel `p` of every problem to per-problem
+// targets `c_of(i)`: the solo tsqr_apply launch sequence with every launch
+// spanning all k problems.
+template <typename T, typename COf>
+void fused_apply(gpusim::Device& dev, std::vector<BatchProblem<T>>& probs,
+                 idx p, idx c0, const tsqr::TsqrOptions& topt,
+                 bool transpose_q, COf&& c_of, idx& fused_launches) {
+  const auto cost = kernels::cost_params(topt.variant);
+  const double pen = dev.model().uncoalesced_penalty;
+  const double tile_pen = dev.model().tile_locality_penalty;
+  const auto& pf0 = probs.front().panels[static_cast<std::size_t>(p)];
+
+  auto launch_h = [&] {
+    FusedKernel<kernels::ApplyQtHKernel<T>> k;
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+      auto& pf = probs[i].panels[static_cast<std::size_t>(p)];
+      k.add(kernels::ApplyQtHKernel<T>{
+          probs[i].a.block(c0, c0, pf.rows, pf.width).as_const(), &pf.offsets,
+          pf.taus0.data(), c_of(i), topt.tile_cols, cost, pen, tile_pen,
+          false, transpose_q});
+    }
+    dev.launch(k, k.num_blocks());
+    ++fused_launches;
+  };
+  auto launch_tree = [&](std::size_t level) {
+    FusedKernel<kernels::ApplyQtTreeKernel<T>> k;
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+      auto& pf = probs[i].panels[static_cast<std::size_t>(p)];
+      k.add(kernels::ApplyQtTreeKernel<T>{
+          probs[i].a.block(c0, c0, pf.rows, pf.width).as_const(),
+          &pf.levels[level].groups, pf.levels[level].taus.data(), c_of(i),
+          topt.tile_cols, cost, pen, tile_pen, false, transpose_q});
+    }
+    dev.launch(k, k.num_blocks());
+    ++fused_launches;
+  };
+
+  if (transpose_q) {
+    launch_h();
+    for (std::size_t l = 0; l < pf0.levels.size(); ++l) launch_tree(l);
+  } else {
+    for (std::size_t l = pf0.levels.size(); l-- > 0;) launch_tree(l);
+    launch_h();
+  }
+}
+
+}  // namespace detail
+
+// Factors k same-shape problems with one fused CAQR schedule and returns
+// per-problem explicit (Q, R), exactly what adaptive_qr returns for each
+// problem alone. `algo` must be resolved (not Auto) by the caller — the
+// serving layer resolves it through the PlanCache; QrAlgorithm::Hybrid
+// batches degrade to a per-problem loop (the hybrid baseline models a
+// library call and has no fusable launch structure).
+//
+// Functional mode consumes the problems' data; ModelOnly accepts
+// Matrix::shape_only placeholders and only advances the timeline. All
+// launches go to the synchronous legacy stream: the fused grid already
+// exposes the cross-problem parallelism, so look-ahead has nothing left to
+// overlap.
+template <typename T>
+BatchQrResult<T> factor_batch(gpusim::Device& dev,
+                              std::vector<Matrix<T>> problems,
+                              QrAlgorithm algo = QrAlgorithm::Caqr,
+                              const CaqrOptions& opt = {},
+                              bool want_q = true) {
+  CAQR_CHECK(!problems.empty());
+  CAQR_CHECK(algo != QrAlgorithm::Auto);
+  const idx m = problems.front().rows();
+  const idx n = problems.front().cols();
+  for (const auto& a : problems) {
+    CAQR_CHECK_MSG(a.rows() == m && a.cols() == n,
+                   "factor_batch requires same-shape problems");
+  }
+  const idx k = std::min(m, n);
+  const bool functional = dev.mode() == gpusim::ExecMode::Functional;
+
+  BatchQrResult<T> out;
+  out.used = algo;
+  const double t0 = dev.elapsed_seconds();
+
+  if (algo == QrAlgorithm::Hybrid || k == 0) {
+    for (auto& a : problems) {
+      out.problems.push_back(
+          adaptive_qr(dev, a.as_const(), algo == QrAlgorithm::Hybrid
+                                             ? QrAlgorithm::Hybrid
+                                             : QrAlgorithm::Caqr,
+                      opt));
+    }
+    out.simulated_seconds = dev.elapsed_seconds() - t0;
+    return out;
+  }
+
+  std::vector<detail::BatchProblem<T>> probs;
+  probs.reserve(problems.size());
+  for (auto& a : problems) probs.push_back({std::move(a), {}});
+
+  // Fused serial CAQR panel loop (caqr.hpp Figure 4 structure; Serial and
+  // LookAhead are bit-identical, so fusing the serial schedule preserves
+  // the solo results of either).
+  const tsqr::TsqrOptions topt = opt.panel_tsqr();
+  for (idx c0 = 0; c0 < k; c0 += opt.panel_width) {
+    const idx w = std::min(opt.panel_width, k - c0);
+    const idx len = m - c0;
+    detail::fused_tsqr_factor(dev, probs, c0, len, w, topt,
+                              out.fused_launches);
+    const idx trailing = n - c0 - w;
+    if (trailing > 0) {
+      const idx p = static_cast<idx>(probs.front().panels.size()) - 1;
+      detail::fused_apply(
+          dev, probs, p, c0, topt, /*transpose_q=*/true,
+          [&](std::size_t i) {
+            return probs[i].a.block(c0, c0 + w, len, trailing);
+          },
+          out.fused_launches);
+    }
+  }
+
+  // Per-problem R; fused explicit Q (the SORGQR walk, panels in reverse).
+  out.problems.resize(probs.size());
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    out.problems[i].used = QrAlgorithm::Caqr;
+    out.problems[i].r = functional ? extract_r(probs[i].a.view())
+                                   : Matrix<T>::shape_only(k, n);
+  }
+  if (want_q) {
+    std::vector<Matrix<T>> qs;
+    qs.reserve(probs.size());
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+      qs.push_back(functional ? Matrix<T>::identity(m, k)
+                              : Matrix<T>::shape_only(m, k));
+    }
+    const idx np = static_cast<idx>(probs.front().panels.size());
+    for (idx p = np - 1; p >= 0; --p) {
+      const idx c0 = p * opt.panel_width;
+      const idx len = probs.front().panels[static_cast<std::size_t>(p)].rows;
+      detail::fused_apply(
+          dev, probs, p, c0, topt, /*transpose_q=*/false,
+          [&](std::size_t i) { return qs[i].block(c0, 0, len, k); },
+          out.fused_launches);
+    }
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+      out.problems[i].q = std::move(qs[i]);
+    }
+  }
+
+  out.simulated_seconds = dev.elapsed_seconds() - t0;
+  for (auto& p : out.problems) {
+    p.simulated_seconds =
+        out.simulated_seconds / static_cast<double>(out.problems.size());
+  }
+  return out;
+}
+
+}  // namespace caqr::serve

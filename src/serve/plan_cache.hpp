@@ -1,0 +1,191 @@
+#pragma once
+
+// Plan cache for the batched QR serving layer.
+//
+// The serving workload the paper motivates (§VI: Robust PCA re-factors a
+// 110,592 x 100 matrix every iteration) is many repeated factorizations of
+// the SAME shape. Planning a request — sweeping the §IV.F block-size grid
+// with `caqr::autotune::autotune_block_size` and predicting the CAQR vs
+// hybrid cost with the §V.C selector — touches no data and is a pure
+// function of (shape, dtype, requested algorithm, machine model). PlanCache
+// memoizes exactly that function, keyed by
+//
+//   (rows, cols, sizeof(scalar), requested algorithm, model fingerprint)
+//
+// so the second request of a shape skips tuning and prediction entirely.
+// The model fingerprint (GpuMachineModel::fingerprint) folds every
+// calibration constant into the key: deploying a different machine model
+// invalidates nothing explicitly — old entries simply stop matching and age
+// out of the LRU.
+//
+// Thread safety: every public member is safe to call concurrently; one
+// mutex guards the map, the LRU list and the counters. Misses compute the
+// plan UNDER the lock — planning is milliseconds of ModelOnly simulation,
+// and serializing misses guarantees one plan per key (no duplicate sweeps,
+// deterministic counters). Steady-state traffic is hits, which only touch
+// the LRU list. Determinism: plans are pure functions of the key, so cache
+// hit vs miss can never change a request's numerical result — only how fast
+// the options were obtained. Entries are returned as shared_ptr<const>
+// snapshots, valid even after eviction.
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+#include <utility>
+
+#include "caqr/autotune.hpp"
+#include "caqr/solver.hpp"
+#include "gpusim/machine_model.hpp"
+
+namespace caqr::serve {
+
+// Cache key. Ordered lexicographically so it can drive a std::map.
+struct PlanKey {
+  idx rows = 0;
+  idx cols = 0;
+  int scalar_size = 0;                 // sizeof(T): plans are dtype-specific
+  QrAlgorithm requested = QrAlgorithm::Auto;
+  std::uint64_t model_fingerprint = 0;
+
+  friend bool operator<(const PlanKey& a, const PlanKey& b) {
+    return std::tie(a.rows, a.cols, a.scalar_size, a.requested,
+                    a.model_fingerprint) <
+           std::tie(b.rows, b.cols, b.scalar_size, b.requested,
+                    b.model_fingerprint);
+  }
+};
+
+// Everything a worker needs to run a request without re-planning: the tuned
+// block shape, both cost predictions, and the algorithm the §V.C selector
+// chose. Immutable once published (always held as shared_ptr<const>).
+struct QrPlan {
+  PlanKey key;
+  QrAlgorithm chosen = QrAlgorithm::Caqr;
+  double predicted_caqr_seconds = 0;
+  double predicted_hybrid_seconds = 0;
+  autotune::TunedBlock tuned;  // §IV.F sweep winner for the model
+  // CAQR options with the tuned block shape applied — what the worker (and
+  // the fused batch path) actually runs.
+  CaqrOptions caqr;
+};
+
+// Computes a plan from scratch — the exact work a PlanCache miss performs
+// and what every request pays when serving with the cache disabled. Pure
+// function of its arguments (ModelOnly simulation only; no data, no host
+// state), so two calls with equal arguments return equal plans.
+template <typename T>
+QrPlan make_plan(const gpusim::GpuMachineModel& model, idx m, idx n,
+                 QrAlgorithm algo = QrAlgorithm::Auto,
+                 const CaqrOptions& base = {}) {
+  QrPlan p;
+  p.key = PlanKey{m, n, static_cast<int>(sizeof(T)), algo,
+                  model.fingerprint()};
+  p.tuned = autotune::autotune_block_size(model);
+  p.caqr = base;
+  p.caqr.panel_width = p.tuned.panel_width;
+  p.caqr.tsqr.block_rows = p.tuned.block_rows;
+  p.predicted_caqr_seconds = predict_caqr_seconds<T>(model, m, n, p.caqr);
+  p.predicted_hybrid_seconds = predict_hybrid_seconds<T>(model, m, n);
+  p.chosen = algo;
+  if (algo == QrAlgorithm::Auto) {
+    p.chosen = p.predicted_caqr_seconds <= p.predicted_hybrid_seconds
+                   ? QrAlgorithm::Caqr
+                   : QrAlgorithm::Hybrid;
+  }
+  return p;
+}
+
+class PlanCache {
+ public:
+  // `capacity` bounds the number of resident plans; the least recently used
+  // entry is evicted past it. Capacity 0 degenerates to "never cache"
+  // (every lookup is a miss + immediate eviction).
+  explicit PlanCache(std::size_t capacity = 64) : capacity_(capacity) {}
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  // Lookup result: the plan plus whether it was served from cache — the
+  // per-request hit flag a concurrent caller cannot reconstruct from the
+  // global counters.
+  struct Lookup {
+    std::shared_ptr<const QrPlan> plan;
+    bool hit = false;
+  };
+
+  // Returns the plan for (shape, dtype, algo, model), computing and
+  // inserting it on miss. The returned snapshot stays valid after eviction.
+  template <typename T>
+  Lookup lookup(const gpusim::GpuMachineModel& model, idx m, idx n,
+                QrAlgorithm algo = QrAlgorithm::Auto,
+                const CaqrOptions& base = {}) {
+    const PlanKey key{m, n, static_cast<int>(sizeof(T)), algo,
+                      model.fingerprint()};
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      return {it->second.plan, true};
+    }
+    ++misses_;
+    auto plan = std::make_shared<const QrPlan>(
+        make_plan<T>(model, m, n, algo, base));
+    lru_.push_front(key);
+    entries_[key] = Entry{plan, lru_.begin()};
+    while (entries_.size() > capacity_) {
+      entries_.erase(lru_.back());
+      lru_.pop_back();
+      ++evictions_;
+    }
+    return {plan, false};
+  }
+
+  template <typename T>
+  std::shared_ptr<const QrPlan> plan(const gpusim::GpuMachineModel& model,
+                                     idx m, idx n,
+                                     QrAlgorithm algo = QrAlgorithm::Auto,
+                                     const CaqrOptions& base = {}) {
+    return lookup<T>(model, m, n, algo, base).plan;
+  }
+
+  // Monotonic counters (never reset by eviction); size() is the resident
+  // entry count.
+  long long hits() const { return locked(hits_); }
+  long long misses() const { return locked(misses_); }
+  long long evictions() const { return locked(evictions_); }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    lru_.clear();
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const QrPlan> plan;
+    std::list<PlanKey>::iterator lru_pos;
+  };
+
+  long long locked(const long long& v) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return v;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::map<PlanKey, Entry> entries_;
+  std::list<PlanKey> lru_;  // front = most recently used
+  long long hits_ = 0;
+  long long misses_ = 0;
+  long long evictions_ = 0;
+};
+
+}  // namespace caqr::serve

@@ -1,0 +1,506 @@
+#pragma once
+
+// SolverPool: the work queue of the batched QR serving layer.
+//
+// The ROADMAP north star is a production-scale service for the paper's
+// killer workload — heavy concurrent traffic of same-shape tall-skinny
+// factorizations (Robust PCA re-factors a 110,592 x 100 matrix every
+// iteration, §VI). SolverPool models the standard deployment shape for
+// that: N worker threads, EACH OWNING ITS OWN gpusim::Device (one simulated
+// GPU per worker — the simulated analogue of a multi-GPU serving box),
+// pulling requests from one bounded MPMC queue.
+//
+// Queue semantics:
+//   * Bounded with backpressure. `submit` blocks while the queue is at the
+//     high-water mark (PoolOptions::queue_capacity); `try_submit` instead
+//     returns an already-satisfied RequestStatus::Rejected response.
+//   * FIFO within priority: requests are dispatched in ascending
+//     (priority, submission sequence) order — lower priority value first,
+//     submission order within a priority level.
+//   * Per-request deadlines: a request whose host-clock deadline passed
+//     before a worker picked it up is completed as DeadlineExpired without
+//     running. Deadlines bound queueing delay; they never abort a running
+//     factorization.
+//   * Accepted work is always completed: the destructor drains the queue
+//     before joining the workers.
+//
+// Determinism: a request's numerical result is a pure function of its input
+// matrix and resolved options. Each request runs on a freshly reset device
+// timeline, and the PlanCache is deterministic (plans are pure functions of
+// their key), so the (Q, R) returned for a given request are bit-identical
+// regardless of worker count, queue order, or cache hit vs miss — verified
+// across 1/2/8 workers by tests/test_serve. Only scheduling metadata (which
+// worker ran it, queueing delay) varies.
+//
+// Planning: with use_plan_cache on, workers resolve each request's
+// algorithm and tuned block shape through a shared PlanCache — the second
+// request of a shape skips the autotune sweep and both cost predictions.
+// With it off, every request re-plans from scratch (the cache-off axis of
+// bench_serve_throughput). Requests with use_plan=false bypass planning and
+// run their CaqrOptions verbatim — the bit-compatibility mode PooledQrHook
+// uses to match inline factorizations exactly.
+//
+// Thread safety: all public members are safe to call from any thread,
+// including concurrently with workers. Responses are delivered through
+// std::future. The pool itself must outlive every future's consumer... it
+// owns the workers that fulfil them.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "serve/batch.hpp"
+#include "serve/plan_cache.hpp"
+#include "svd/tall_skinny_svd.hpp"
+
+namespace caqr::serve {
+
+// Terminal state of a request.
+enum class RequestStatus {
+  Done,             // ran to completion; result fields are valid
+  Rejected,         // never queued (backpressure or pool shutting down)
+  DeadlineExpired,  // queued past its deadline; never ran
+};
+
+// Pool-wide configuration, fixed at construction.
+struct PoolOptions {
+  int workers = 4;                    // worker threads == simulated devices
+  std::size_t queue_capacity = 64;    // backpressure high-water mark
+  gpusim::GpuMachineModel model = gpusim::GpuMachineModel::c2050();
+  gpusim::ExecMode mode = gpusim::ExecMode::Functional;
+  bool use_plan_cache = true;         // shared PlanCache vs re-plan per request
+  std::size_t plan_cache_capacity = 64;
+};
+
+// Per-request knobs.
+struct RequestOptions {
+  QrAlgorithm algo = QrAlgorithm::Auto;
+  // Dispatch key, lower first; FIFO within equal priority.
+  int priority = 0;
+  // Host-clock budget from submission to dispatch; <= 0 means no deadline.
+  double deadline_seconds = 0;
+  // When true (the default), the worker resolves {algorithm, tuned block
+  // shape} through planning (cached or not per PoolOptions) with `caqr` as
+  // the base options. When false, `caqr` runs verbatim and Auto resolves by
+  // prediction only — no tuning applied — so results are bit-identical to
+  // an inline adaptive_qr with the same options.
+  bool use_plan = true;
+  CaqrOptions caqr;
+};
+
+// Response for a single factorization request.
+template <typename T>
+struct QrResponse {
+  RequestStatus status = RequestStatus::Done;
+  QrSolveResult<T> result;       // valid iff status == Done
+  bool plan_cache_hit = false;   // plan served from the shared cache
+  double plan_seconds = 0;       // host seconds spent resolving the plan
+  double simulated_seconds = 0;  // device time on the worker's simulated GPU
+};
+
+// Response for a fused same-shape batch request.
+template <typename T>
+struct BatchResponse {
+  RequestStatus status = RequestStatus::Done;
+  BatchQrResult<T> result;  // valid iff status == Done
+  bool plan_cache_hit = false;
+  double plan_seconds = 0;
+};
+
+// Counters + per-worker simulated busy time, snapshotted atomically.
+struct PoolStats {
+  long long submitted = 0;  // accepted into the queue
+  long long completed = 0;  // ran to Done
+  long long rejected = 0;   // refused at admission
+  long long expired = 0;    // completed as DeadlineExpired
+  // Simulated seconds each worker's device spent running requests. The pool
+  // serves on `workers` independent simulated GPUs, so simulated serving
+  // throughput is problems / makespan (the busiest device bounds the batch).
+  std::vector<double> worker_busy_simulated_seconds;
+  double makespan_simulated_seconds() const {
+    double mk = 0;
+    for (double s : worker_busy_simulated_seconds) mk = std::max(mk, s);
+    return mk;
+  }
+};
+
+class SolverPool {
+ public:
+  explicit SolverPool(PoolOptions opts = {})
+      : opts_(std::move(opts)), cache_(opts_.plan_cache_capacity) {
+    CAQR_CHECK(opts_.workers >= 1 && opts_.queue_capacity >= 1);
+    busy_sim_.assign(static_cast<std::size_t>(opts_.workers), 0.0);
+    threads_.reserve(static_cast<std::size_t>(opts_.workers));
+    for (int i = 0; i < opts_.workers; ++i) {
+      threads_.emplace_back([this, i] { worker_main(i); });
+    }
+  }
+
+  SolverPool(const SolverPool&) = delete;
+  SolverPool& operator=(const SolverPool&) = delete;
+
+  // Drains the queue (accepted work always completes), then joins workers.
+  ~SolverPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    cv_work_.notify_all();
+    cv_space_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  const PoolOptions& options() const { return opts_; }
+
+  // The shared plan cache (hit/miss/eviction counters live here).
+  const PlanCache& plan_cache() const { return cache_; }
+
+  // Submits one factorization; blocks while the queue is full. The matrix
+  // is consumed. ModelOnly pools accept Matrix::shape_only placeholders.
+  template <typename T>
+  std::future<QrResponse<T>> submit(Matrix<T> a,
+                                    const RequestOptions& req = {}) {
+    return submit_impl(std::move(a), req, /*blocking=*/true);
+  }
+
+  // Non-blocking admission: a full queue (or stopping pool) yields an
+  // already-satisfied Rejected response instead of waiting.
+  template <typename T>
+  std::future<QrResponse<T>> try_submit(Matrix<T> a,
+                                        const RequestOptions& req = {}) {
+    return submit_impl(std::move(a), req, /*blocking=*/false);
+  }
+
+  // Submits k same-shape problems as ONE queue entry served by one fused
+  // factor_batch schedule on a single worker (see serve/batch.hpp). Blocks
+  // while the queue is full. Auto resolves through planning like submit.
+  template <typename T>
+  std::future<BatchResponse<T>> submit_batch(std::vector<Matrix<T>> problems,
+                                             const RequestOptions& req = {}) {
+    auto prom = std::make_shared<std::promise<BatchResponse<T>>>();
+    auto fut = prom->get_future();
+    auto probs = std::make_shared<std::vector<Matrix<T>>>(std::move(problems));
+    Job job;
+    job.run = [this, prom, probs, req](gpusim::Device& dev) {
+      BatchResponse<T> resp;
+      try {
+        run_batch<T>(dev, *probs, req, resp);
+        prom->set_value(std::move(resp));
+      } catch (...) {
+        prom->set_exception(std::current_exception());
+      }
+    };
+    job.finish = [prom](RequestStatus s) {
+      BatchResponse<T> resp;
+      resp.status = s;
+      prom->set_value(std::move(resp));
+    };
+    if (!enqueue(std::move(job), req, /*blocking=*/true)) {
+      // job.finish was not called by the queue: reject here.
+      BatchResponse<T> resp;
+      resp.status = RequestStatus::Rejected;
+      prom->set_value(std::move(resp));
+    }
+    return fut;
+  }
+
+  // Escape hatch: run an arbitrary task on a worker's device (tests use it
+  // to hold workers at a latch). Subject to the same queue/priority rules.
+  std::future<RequestStatus> submit_task(
+      std::function<void(gpusim::Device&)> fn, const RequestOptions& req = {},
+      bool blocking = true) {
+    auto prom = std::make_shared<std::promise<RequestStatus>>();
+    auto fut = prom->get_future();
+    Job job;
+    job.run = [prom, fn = std::move(fn)](gpusim::Device& dev) {
+      try {
+        fn(dev);
+        prom->set_value(RequestStatus::Done);
+      } catch (...) {
+        prom->set_exception(std::current_exception());
+      }
+    };
+    job.finish = [prom](RequestStatus s) { prom->set_value(s); };
+    if (!enqueue(std::move(job), req, blocking)) {
+      prom->set_value(RequestStatus::Rejected);
+    }
+    return fut;
+  }
+
+  // Blocks until the queue is empty and no worker is running a request.
+  void drain() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_drain_.wait(lock, [&] { return queue_.empty() && active_ == 0; });
+  }
+
+  PoolStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PoolStats s;
+    s.submitted = submitted_;
+    s.completed = completed_;
+    s.rejected = rejected_;
+    s.expired = expired_;
+    s.worker_busy_simulated_seconds = busy_sim_;
+    return s;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Job {
+    std::function<void(gpusim::Device&)> run;
+    std::function<void(RequestStatus)> finish;  // terminal non-Done outcome
+    bool has_deadline = false;
+    Clock::time_point deadline{};
+  };
+
+  static double wall_seconds() {
+    return std::chrono::duration<double>(Clock::now().time_since_epoch())
+        .count();
+  }
+
+  template <typename T>
+  std::future<QrResponse<T>> submit_impl(Matrix<T> a,
+                                         const RequestOptions& req,
+                                         bool blocking) {
+    auto prom = std::make_shared<std::promise<QrResponse<T>>>();
+    auto fut = prom->get_future();
+    auto mat = std::make_shared<Matrix<T>>(std::move(a));
+    Job job;
+    job.run = [this, prom, mat, req](gpusim::Device& dev) {
+      QrResponse<T> resp;
+      try {
+        run_one<T>(dev, *mat, req, resp);
+        prom->set_value(std::move(resp));
+      } catch (...) {
+        prom->set_exception(std::current_exception());
+      }
+    };
+    job.finish = [prom](RequestStatus s) {
+      QrResponse<T> resp;
+      resp.status = s;
+      prom->set_value(std::move(resp));
+    };
+    if (!enqueue(std::move(job), req, blocking)) {
+      QrResponse<T> resp;
+      resp.status = RequestStatus::Rejected;
+      prom->set_value(std::move(resp));
+    }
+    return fut;
+  }
+
+  // Resolves {algorithm, options} for a request, then runs it on `dev`.
+  template <typename T>
+  void run_one(gpusim::Device& dev, Matrix<T>& a, const RequestOptions& req,
+               QrResponse<T>& resp) {
+    const idx m = a.rows(), n = a.cols();
+    QrAlgorithm algo;
+    CaqrOptions opts;
+    const double p0 = wall_seconds();
+    resolve_plan<T>(m, n, req, algo, opts, resp.plan_cache_hit);
+    resp.plan_seconds = wall_seconds() - p0;
+
+    const double t0 = dev.elapsed_seconds();
+    if (dev.mode() == gpusim::ExecMode::Functional) {
+      resp.result = adaptive_qr(dev, a.view(), algo, opts);
+    } else {
+      // ModelOnly: charge adaptive_qr's exact launch sequence on
+      // storage-free placeholders (adaptive_qr itself copies the input,
+      // which a shape_only matrix cannot back).
+      const idx k = std::min(m, n);
+      resp.result.used = algo;
+      if (algo == QrAlgorithm::Caqr) {
+        auto f = CaqrFactorization<T>::factor(
+            dev, Matrix<T>::shape_only(m, n), opts);
+        Matrix<T> q = Matrix<T>::shape_only(m, k);
+        f.apply_q(dev, q.view());  // form_q's charges without the identity
+        resp.result.q = std::move(q);
+      } else {
+        baselines::hybrid_qr(dev, Matrix<T>::shape_only(m, n));
+        baselines::charge_gemm(dev, m, k, k, "hybrid_orgqr");
+        resp.result.q = Matrix<T>::shape_only(m, k);
+      }
+      resp.result.r = Matrix<T>::shape_only(k, n);
+      resp.result.simulated_seconds = dev.elapsed_seconds() - t0;
+    }
+    resp.simulated_seconds = dev.elapsed_seconds() - t0;
+  }
+
+  template <typename T>
+  void run_batch(gpusim::Device& dev, std::vector<Matrix<T>>& problems,
+                 const RequestOptions& req, BatchResponse<T>& resp) {
+    CAQR_CHECK(!problems.empty());
+    const idx m = problems.front().rows(), n = problems.front().cols();
+    QrAlgorithm algo;
+    CaqrOptions opts;
+    const double p0 = wall_seconds();
+    resolve_plan<T>(m, n, req, algo, opts, resp.plan_cache_hit);
+    resp.plan_seconds = wall_seconds() - p0;
+    resp.result = factor_batch<T>(dev, std::move(problems), algo, opts);
+  }
+
+  template <typename T>
+  void resolve_plan(idx m, idx n, const RequestOptions& req,
+                    QrAlgorithm& algo, CaqrOptions& opts, bool& cache_hit) {
+    algo = req.algo;
+    opts = req.caqr;
+    cache_hit = false;
+    if (req.use_plan) {
+      if (opts_.use_plan_cache) {
+        const PlanCache::Lookup lk =
+            cache_.lookup<T>(opts_.model, m, n, req.algo, req.caqr);
+        cache_hit = lk.hit;
+        algo = lk.plan->chosen;
+        opts = lk.plan->caqr;
+      } else {
+        const QrPlan p = make_plan<T>(opts_.model, m, n, req.algo, req.caqr);
+        algo = p.chosen;
+        opts = p.caqr;
+      }
+    } else if (algo == QrAlgorithm::Auto) {
+      // Verbatim options: resolve Auto by prediction only, no tuning.
+      algo = predict_caqr_seconds<T>(opts_.model, m, n, opts) <=
+                     predict_hybrid_seconds<T>(opts_.model, m, n)
+                 ? QrAlgorithm::Caqr
+                 : QrAlgorithm::Hybrid;
+    }
+  }
+
+  // Admission. Returns false when the job was NOT queued (caller delivers
+  // the Rejected response — the job's callbacks are untouched).
+  bool enqueue(Job job, const RequestOptions& req, bool blocking) {
+    if (req.deadline_seconds > 0) {
+      job.has_deadline = true;
+      job.deadline =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(
+                                 req.deadline_seconds));
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (blocking) {
+      cv_space_.wait(lock, [&] {
+        return stopping_ || queue_.size() < opts_.queue_capacity;
+      });
+    }
+    if (stopping_ || queue_.size() >= opts_.queue_capacity) {
+      ++rejected_;
+      return false;
+    }
+    queue_.emplace(std::make_pair(req.priority, seq_++), std::move(job));
+    ++submitted_;
+    lock.unlock();
+    cv_work_.notify_one();
+    return true;
+  }
+
+  void worker_main(int widx) {
+    // One simulated GPU per worker, constructed on the worker thread.
+    gpusim::Device dev(opts_.model, opts_.mode);
+    for (;;) {
+      Job job;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_work_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping and drained
+        auto it = queue_.begin();
+        job = std::move(it->second);
+        queue_.erase(it);
+        ++active_;
+        cv_space_.notify_all();
+      }
+      if (job.has_deadline && Clock::now() > job.deadline) {
+        // Count before fulfilling the promise: a waiter woken by the
+        // response future must already see the stat it implies.
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++expired_;
+          --active_;
+        }
+        job.finish(RequestStatus::DeadlineExpired);
+        cv_drain_.notify_all();
+        continue;
+      }
+      // Fresh timeline per request: simulated_seconds is the request's own
+      // device time, and results cannot depend on what ran before.
+      dev.reset_timeline();
+      job.run(dev);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        busy_sim_[static_cast<std::size_t>(widx)] += dev.elapsed_seconds();
+        ++completed_;
+        --active_;
+        cv_drain_.notify_all();
+      }
+    }
+  }
+
+  const PoolOptions opts_;
+  PlanCache cache_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_work_;   // queue became non-empty / stopping
+  std::condition_variable cv_space_;  // queue dropped below capacity
+  std::condition_variable cv_drain_;  // a request finished
+  // Dispatch order: ascending (priority, submission sequence).
+  std::map<std::pair<int, std::uint64_t>, Job> queue_;
+  std::uint64_t seq_ = 0;
+  int active_ = 0;
+  bool stopping_ = false;
+  long long submitted_ = 0;
+  long long completed_ = 0;
+  long long rejected_ = 0;
+  long long expired_ = 0;
+  std::vector<double> busy_sim_;
+  std::vector<std::thread> threads_;  // last: joins before members destruct
+};
+
+// svd::QrHook adapter: routes a tall-skinny-SVD (and hence Robust PCA)
+// stage-1 QR through a SolverPool. Submits with use_plan=false and the
+// caller's CaqrOptions verbatim, so the pooled factorization is
+// bit-identical to the inline one it replaces; the simulated seconds the
+// request took on the worker's device are returned for the caller to charge
+// to its own timeline. Requires a Functional pool (the hook moves real
+// factors back). Thread-safe: holds no mutable state beyond the pool
+// pointer.
+class PooledQrHook final : public svd::QrHook {
+ public:
+  explicit PooledQrHook(SolverPool& pool) : pool_(&pool) {}
+
+  double qr(ConstMatrixView<float> a, const CaqrOptions& opt,
+            Matrix<float>& q, Matrix<float>& r) override {
+    return run<float>(a, opt, q, r);
+  }
+  double qr(ConstMatrixView<double> a, const CaqrOptions& opt,
+            Matrix<double>& q, Matrix<double>& r) override {
+    return run<double>(a, opt, q, r);
+  }
+
+ private:
+  template <typename T>
+  double run(ConstMatrixView<T> a, const CaqrOptions& opt, Matrix<T>& q,
+             Matrix<T>& r) {
+    CAQR_CHECK_MSG(
+        pool_->options().mode == gpusim::ExecMode::Functional,
+        "PooledQrHook needs a Functional pool (it returns real factors)");
+    RequestOptions req;
+    req.algo = QrAlgorithm::Caqr;
+    req.use_plan = false;  // verbatim options => bit-identical to inline
+    req.caqr = opt;
+    QrResponse<T> resp = pool_->submit(Matrix<T>::from(a), req).get();
+    CAQR_CHECK(resp.status == RequestStatus::Done);
+    q = std::move(resp.result.q);
+    r = std::move(resp.result.r);
+    return resp.simulated_seconds;
+  }
+
+  SolverPool* pool_;
+};
+
+}  // namespace caqr::serve

@@ -50,6 +50,28 @@ enum class SmallSvd {
   TwoPhase,  // Golub-Kahan bidiagonalization + Jacobi on the bidiagonal
 };
 
+// Routing point for external QR execution (the serving layer's
+// serve::PooledQrHook implements this). When TallSkinnySvdOptions::qr_hook
+// is set and the run is Functional with the Caqr backend, stage 1 delegates
+// to the hook instead of factoring inline: the hook returns explicit
+// (Q, R) for `a` computed with exactly the given options — so the result is
+// bit-identical to the inline path — plus the simulated seconds the
+// factorization took on whatever device served it; the caller charges that
+// time to its own timeline. ModelOnly runs ignore the hook (the inline
+// charge path already models the cost, and a remote round trip has no
+// numerics to contribute).
+class QrHook {
+ public:
+  virtual ~QrHook() = default;
+  // Factors a = q r (q: m x n orthonormal, r: n x n upper triangular for
+  // tall a); returns simulated seconds spent. Must be thread-safe if the
+  // same hook serves concurrent SVDs.
+  virtual double qr(ConstMatrixView<float> a, const caqr::CaqrOptions& opt,
+                    Matrix<float>& q, Matrix<float>& r) = 0;
+  virtual double qr(ConstMatrixView<double> a, const caqr::CaqrOptions& opt,
+                    Matrix<double>& q, Matrix<double>& r) = 0;
+};
+
 struct TallSkinnySvdOptions {
   QrBackend backend = QrBackend::Caqr;
   SmallSvd small_svd = SmallSvd::Jacobi;
@@ -61,6 +83,11 @@ struct TallSkinnySvdOptions {
   // Sweep budget for the small Jacobi SVD; exhaustion is surfaced via
   // TallSkinnySvd::small_svd_converged instead of being silently dropped.
   int svd_max_sweeps = 60;
+  // Optional external QR executor (see QrHook above). Non-owning; the hook
+  // must outlive every SVD call that uses these options. Robust PCA routes
+  // its per-iteration QR through a serve::SolverPool by setting this on
+  // RpcaOptions::svd.
+  QrHook* qr_hook = nullptr;
 };
 
 // Simulated-time charge for the small CPU SVD of R (one-sided Jacobi,
@@ -97,12 +124,23 @@ TallSkinnySvd<view_scalar_t<VA>> tall_skinny_svd(
   Matrix<T> r(n, n);
   Matrix<T> q(0, 0);
   if (opt.backend == QrBackend::Caqr) {
-    auto f = CaqrFactorization<T>::factor(dev, working_copy(), opt.caqr);
-    // Explicit Q (paper: SORGQR via CAQR costs about as much as the
-    // factorization itself); in ModelOnly this only charges the timeline.
-    q = f.form_q(dev, n);
-    if (dev.mode() == gpusim::ExecMode::Functional) {
-      r.view().copy_from(f.r().view().block(0, 0, n, n));
+    if (opt.qr_hook != nullptr && functional) {
+      // Serving-layer route: the hook factors with the same options, so
+      // (Q, R) are bit-identical to the inline path below; its device time
+      // is charged to this timeline as one external op.
+      Matrix<T> qh(0, 0), rh(0, 0);
+      const double sim = opt.qr_hook->qr(a, opt.caqr, qh, rh);
+      dev.add_external_seconds(sim, "pooled_qr");
+      q = std::move(qh);
+      r.view().copy_from(rh.view().block(0, 0, n, n));
+    } else {
+      auto f = CaqrFactorization<T>::factor(dev, working_copy(), opt.caqr);
+      // Explicit Q (paper: SORGQR via CAQR costs about as much as the
+      // factorization itself); in ModelOnly this only charges the timeline.
+      q = f.form_q(dev, n);
+      if (dev.mode() == gpusim::ExecMode::Functional) {
+        r.view().copy_from(f.r().view().block(0, 0, n, n));
+      }
     }
   } else {
     auto res = baselines::gpu_blas2_qr(dev, working_copy(), opt.blas2);

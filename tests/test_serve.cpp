@@ -1,0 +1,407 @@
+// Tests for the batched QR serving layer (src/serve/): plan-cache hit/miss
+// accounting and machine-model fingerprint invalidation, work-queue
+// semantics (backpressure, deadlines, priority/FIFO dispatch), determinism
+// of pooled results across worker counts, bit-identity of the fused
+// same-shape batch path against solo factorizations, and Robust PCA routed
+// through the pool.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "linalg/norms.hpp"
+#include "linalg/random_matrix.hpp"
+#include "rpca/rpca.hpp"
+#include "serve/solver_pool.hpp"
+
+namespace caqr::serve {
+namespace {
+
+using gpusim::Device;
+using gpusim::ExecMode;
+using gpusim::GpuMachineModel;
+
+template <typename T>
+void expect_bits_equal(const Matrix<T>& a, const Matrix<T>& b,
+                       const char* what) {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  for (idx j = 0; j < a.cols(); ++j) {
+    for (idx i = 0; i < a.rows(); ++i) {
+      ASSERT_EQ(a(i, j), b(i, j)) << what << " at (" << i << "," << j << ")";
+    }
+  }
+}
+
+// ---------------------------------------------------------------- PlanCache
+
+TEST(PlanCache, MissThenHit) {
+  PlanCache cache(8);
+  const auto model = GpuMachineModel::c2050();
+  auto first = cache.lookup<float>(model, 4096, 64);
+  EXPECT_FALSE(first.hit);
+  auto second = cache.lookup<float>(model, 4096, 64);
+  EXPECT_TRUE(second.hit);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.size(), 1u);
+  // Identical keys return the identical plan object.
+  EXPECT_EQ(first.plan.get(), second.plan.get());
+  // Different shape, dtype, or requested algorithm: distinct entries.
+  EXPECT_FALSE(cache.lookup<float>(model, 8192, 64).hit);
+  EXPECT_FALSE(cache.lookup<double>(model, 4096, 64).hit);
+  EXPECT_FALSE(
+      cache.lookup<float>(model, 4096, 64, QrAlgorithm::Hybrid).hit);
+  EXPECT_EQ(cache.misses(), 4);
+}
+
+TEST(PlanCache, LruEvictionPastCapacity) {
+  PlanCache cache(2);
+  const auto model = GpuMachineModel::c2050();
+  cache.lookup<float>(model, 1024, 32);
+  cache.lookup<float>(model, 2048, 32);
+  cache.lookup<float>(model, 4096, 32);  // evicts 1024 (least recent)
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.lookup<float>(model, 4096, 32).hit);
+  EXPECT_FALSE(cache.lookup<float>(model, 1024, 32).hit);  // re-inserted
+}
+
+TEST(PlanCache, ModelFingerprintInvalidates) {
+  const auto c2050 = GpuMachineModel::c2050();
+  GpuMachineModel tweaked = c2050;
+  tweaked.dram_bw_gbs += 1.0;
+  EXPECT_EQ(c2050.fingerprint(), GpuMachineModel::c2050().fingerprint());
+  EXPECT_NE(c2050.fingerprint(), tweaked.fingerprint());
+  EXPECT_NE(c2050.fingerprint(), GpuMachineModel::gtx480().fingerprint());
+
+  PlanCache cache(8);
+  EXPECT_FALSE(cache.lookup<float>(c2050, 4096, 64).hit);
+  // Same shape on a changed model must MISS: stale plans never served.
+  EXPECT_FALSE(cache.lookup<float>(tweaked, 4096, 64).hit);
+  EXPECT_TRUE(cache.lookup<float>(c2050, 4096, 64).hit);
+  EXPECT_EQ(cache.misses(), 2);
+}
+
+TEST(PlanCache, PlanMatchesAutotuneAndPrediction) {
+  const auto model = GpuMachineModel::c2050();
+  const QrPlan p = make_plan<float>(model, 110592, 100);
+  const auto tuned = autotune::autotune_block_size(model);
+  EXPECT_EQ(p.tuned.block_rows, tuned.block_rows);
+  EXPECT_EQ(p.tuned.panel_width, tuned.panel_width);
+  EXPECT_EQ(p.caqr.panel_width, tuned.panel_width);
+  EXPECT_EQ(p.caqr.tsqr.block_rows, tuned.block_rows);
+  EXPECT_GT(p.predicted_caqr_seconds, 0.0);
+  EXPECT_GT(p.predicted_hybrid_seconds, 0.0);
+  // The paper's tall-skinny regime: CAQR must win at 110592 x 100.
+  EXPECT_EQ(p.chosen, QrAlgorithm::Caqr);
+  EXPECT_DOUBLE_EQ(
+      p.predicted_caqr_seconds,
+      predict_caqr_seconds<float>(model, 110592, 100, p.caqr));
+}
+
+// --------------------------------------------------------------- SolverPool
+
+// Holds a 1-worker pool at a latch so queue states can be set up exactly.
+struct WorkerLatch {
+  std::promise<void> started;
+  std::promise<void> release;
+  std::shared_future<void> release_fut{release.get_future()};
+
+  std::future<RequestStatus> block(SolverPool& pool) {
+    return pool.submit_task([this](gpusim::Device&) {
+      started.set_value();
+      release_fut.wait();
+    });
+  }
+};
+
+TEST(SolverPool, BackpressureRejectsPastHighWaterMark) {
+  PoolOptions po;
+  po.workers = 1;
+  po.queue_capacity = 1;
+  po.mode = ExecMode::ModelOnly;
+  SolverPool pool(po);
+
+  WorkerLatch latch;
+  auto blocked = latch.block(pool);
+  latch.started.get_future().wait();  // worker busy, queue empty
+
+  auto queued = pool.submit_task([](gpusim::Device&) {});  // queue now full
+  auto rejected =
+      pool.try_submit(Matrix<float>::shape_only(1024, 32));
+  EXPECT_EQ(rejected.get().status, RequestStatus::Rejected);
+
+  latch.release.set_value();
+  EXPECT_EQ(blocked.get(), RequestStatus::Done);
+  EXPECT_EQ(queued.get(), RequestStatus::Done);
+  pool.drain();
+  const PoolStats s = pool.stats();
+  EXPECT_EQ(s.rejected, 1);
+  EXPECT_EQ(s.completed, 2);
+}
+
+TEST(SolverPool, DeadlineExpiresWhileQueued) {
+  PoolOptions po;
+  po.workers = 1;
+  po.mode = ExecMode::ModelOnly;
+  SolverPool pool(po);
+
+  WorkerLatch latch;
+  auto blocked = latch.block(pool);
+  latch.started.get_future().wait();
+
+  RequestOptions tight;
+  tight.deadline_seconds = 1e-4;
+  auto doomed = pool.submit(Matrix<float>::shape_only(4096, 64), tight);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  latch.release.set_value();
+  EXPECT_EQ(doomed.get().status, RequestStatus::DeadlineExpired);
+  EXPECT_EQ(blocked.get(), RequestStatus::Done);
+  EXPECT_EQ(pool.stats().expired, 1);
+
+  // A comfortable deadline on an idle pool runs normally.
+  RequestOptions loose;
+  loose.deadline_seconds = 60.0;
+  EXPECT_EQ(pool.submit(Matrix<float>::shape_only(4096, 64), loose)
+                .get()
+                .status,
+            RequestStatus::Done);
+}
+
+TEST(SolverPool, FifoWithinPriority) {
+  PoolOptions po;
+  po.workers = 1;
+  po.mode = ExecMode::ModelOnly;
+  SolverPool pool(po);
+
+  WorkerLatch latch;
+  auto blocked = latch.block(pool);
+  latch.started.get_future().wait();
+
+  std::mutex order_mutex;
+  std::vector<int> order;
+  auto record = [&](int tag) {
+    return [&order_mutex, &order, tag](gpusim::Device&) {
+      std::lock_guard<std::mutex> lock(order_mutex);
+      order.push_back(tag);
+    };
+  };
+  RequestOptions lo;  // priority 1: dispatched after every priority 0
+  lo.priority = 1;
+  RequestOptions hi;
+  hi.priority = 0;
+  std::vector<std::future<RequestStatus>> futs;
+  futs.push_back(pool.submit_task(record(10), lo));
+  futs.push_back(pool.submit_task(record(0), hi));
+  futs.push_back(pool.submit_task(record(11), lo));
+  futs.push_back(pool.submit_task(record(1), hi));
+
+  latch.release.set_value();
+  for (auto& f : futs) EXPECT_EQ(f.get(), RequestStatus::Done);
+  blocked.get();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 10, 11}));
+}
+
+TEST(SolverPool, PlanCacheHitOnRepeatedShape) {
+  PoolOptions po;
+  po.workers = 2;
+  po.mode = ExecMode::ModelOnly;
+  SolverPool pool(po);
+
+  auto first = pool.submit(Matrix<float>::shape_only(110592, 100)).get();
+  EXPECT_EQ(first.status, RequestStatus::Done);
+  EXPECT_FALSE(first.plan_cache_hit);
+  EXPECT_EQ(first.result.used, QrAlgorithm::Caqr);
+  EXPECT_GT(first.simulated_seconds, 0.0);
+
+  auto second = pool.submit(Matrix<float>::shape_only(110592, 100)).get();
+  EXPECT_EQ(second.status, RequestStatus::Done);
+  EXPECT_TRUE(second.plan_cache_hit);
+  // Cache hit cannot change the simulated schedule.
+  EXPECT_DOUBLE_EQ(second.simulated_seconds, first.simulated_seconds);
+  EXPECT_EQ(pool.plan_cache().hits(), 1);
+  EXPECT_EQ(pool.plan_cache().misses(), 1);
+}
+
+TEST(SolverPool, DeterministicAcrossWorkerCounts) {
+  const idx m = 512, n = 24, kReq = 10;
+  std::vector<Matrix<float>> inputs;
+  for (idx i = 0; i < kReq; ++i) {
+    inputs.push_back(gaussian_matrix<float>(m, n, 100 + static_cast<int>(i)));
+  }
+
+  // Reference: single-shot adaptive_qr, one fresh device per problem (the
+  // exact computation a pool worker performs).
+  std::vector<QrSolveResult<float>> ref;
+  for (const auto& a : inputs) {
+    Device dev;
+    ref.push_back(adaptive_qr(dev, a.view(), QrAlgorithm::Caqr));
+  }
+
+  RequestOptions req;
+  req.algo = QrAlgorithm::Caqr;
+  req.use_plan = false;  // verbatim options: must match inline exactly
+  for (const int workers : {1, 2, 8}) {
+    PoolOptions po;
+    po.workers = workers;
+    SolverPool pool(po);
+    std::vector<std::future<QrResponse<float>>> futs;
+    for (const auto& a : inputs) {
+      futs.push_back(pool.submit(Matrix<float>::from(a.view()), req));
+    }
+    for (std::size_t i = 0; i < futs.size(); ++i) {
+      QrResponse<float> resp = futs[i].get();
+      ASSERT_EQ(resp.status, RequestStatus::Done);
+      expect_bits_equal(resp.result.q, ref[i].q, "pooled Q vs solo");
+      expect_bits_equal(resp.result.r, ref[i].r, "pooled R vs solo");
+      EXPECT_DOUBLE_EQ(resp.result.simulated_seconds,
+                       ref[i].simulated_seconds);
+    }
+  }
+}
+
+// -------------------------------------------------------------- batch fusion
+
+TEST(FactorBatch, BitIdenticalToSoloRuns) {
+  const idx m = 384, n = 32, k = 3;
+  std::vector<Matrix<float>> inputs;
+  for (idx i = 0; i < k; ++i) {
+    inputs.push_back(gaussian_matrix<float>(m, n, 200 + static_cast<int>(i)));
+  }
+
+  std::vector<QrSolveResult<float>> solo;
+  for (const auto& a : inputs) {
+    Device dev;
+    solo.push_back(adaptive_qr(dev, a.view(), QrAlgorithm::Caqr));
+  }
+
+  Device dev;
+  std::vector<Matrix<float>> copies;
+  for (const auto& a : inputs) copies.push_back(Matrix<float>::from(a.view()));
+  auto batch = factor_batch(dev, std::move(copies), QrAlgorithm::Caqr);
+  ASSERT_EQ(batch.problems.size(), static_cast<std::size_t>(k));
+  EXPECT_EQ(batch.used, QrAlgorithm::Caqr);
+  for (idx i = 0; i < k; ++i) {
+    const auto& bp = batch.problems[static_cast<std::size_t>(i)];
+    expect_bits_equal(bp.q, solo[static_cast<std::size_t>(i)].q, "batch Q");
+    expect_bits_equal(bp.r, solo[static_cast<std::size_t>(i)].r, "batch R");
+  }
+  // One fused schedule, not k: fewer launches than the k solo runs issued.
+  EXPECT_GT(batch.fused_launches, 0);
+  EXPECT_LT(batch.simulated_seconds,
+            k * solo.front().simulated_seconds);
+}
+
+TEST(FactorBatch, FusedLaunchesVisibleInModelOnlyTimeline) {
+  Device dev(GpuMachineModel::c2050(), ExecMode::ModelOnly);
+  std::vector<Matrix<float>> probs;
+  for (int i = 0; i < 4; ++i) {
+    probs.push_back(Matrix<float>::shape_only(110592, 100));
+  }
+  auto batch = factor_batch(dev, std::move(probs), QrAlgorithm::Caqr);
+  EXPECT_GT(batch.simulated_seconds, 0.0);
+
+  bool saw_factor = false, saw_apply = false;
+  long long fused_ops = 0;
+  for (const auto& p : dev.profiles()) {
+    if (p.name.find("_batch") == std::string::npos) continue;
+    fused_ops += p.launches;
+    if (p.name.find("factor") != std::string::npos) saw_factor = true;
+    if (p.name.find("apply") != std::string::npos) saw_apply = true;
+  }
+  EXPECT_TRUE(saw_factor);
+  EXPECT_TRUE(saw_apply);
+  EXPECT_EQ(fused_ops, static_cast<long long>(batch.fused_launches));
+}
+
+TEST(FactorBatch, ModelOnlyTimelineMatchesFunctional) {
+  const idx m = 384, n = 32;
+  auto make_inputs = [&](bool functional) {
+    std::vector<Matrix<float>> v;
+    for (int i = 0; i < 3; ++i) {
+      v.push_back(functional ? gaussian_matrix<float>(m, n, 300 + i)
+                             : Matrix<float>::shape_only(m, n));
+    }
+    return v;
+  };
+  Device fdev;
+  Device mdev(GpuMachineModel::c2050(), ExecMode::ModelOnly);
+  auto fb = factor_batch(fdev, make_inputs(true), QrAlgorithm::Caqr);
+  auto mb = factor_batch(mdev, make_inputs(false), QrAlgorithm::Caqr);
+  EXPECT_DOUBLE_EQ(fb.simulated_seconds, mb.simulated_seconds);
+  EXPECT_EQ(fb.fused_launches, mb.fused_launches);
+}
+
+TEST(SolverPool, BatchThroughPoolMatchesSolo) {
+  const idx m = 256, n = 16, k = 4;
+  std::vector<Matrix<float>> inputs;
+  for (idx i = 0; i < k; ++i) {
+    inputs.push_back(gaussian_matrix<float>(m, n, 400 + static_cast<int>(i)));
+  }
+  std::vector<QrSolveResult<float>> solo;
+  for (const auto& a : inputs) {
+    Device dev;
+    solo.push_back(adaptive_qr(dev, a.view(), QrAlgorithm::Caqr));
+  }
+
+  PoolOptions po;
+  po.workers = 2;
+  SolverPool pool(po);
+  RequestOptions req;
+  req.algo = QrAlgorithm::Caqr;
+  req.use_plan = false;
+  std::vector<Matrix<float>> copies;
+  for (const auto& a : inputs) copies.push_back(Matrix<float>::from(a.view()));
+  BatchResponse<float> resp =
+      pool.submit_batch(std::move(copies), req).get();
+  ASSERT_EQ(resp.status, RequestStatus::Done);
+  ASSERT_EQ(resp.result.problems.size(), static_cast<std::size_t>(k));
+  for (idx i = 0; i < k; ++i) {
+    const auto& bp = resp.result.problems[static_cast<std::size_t>(i)];
+    expect_bits_equal(bp.q, solo[static_cast<std::size_t>(i)].q, "pool batch Q");
+    expect_bits_equal(bp.r, solo[static_cast<std::size_t>(i)].r, "pool batch R");
+  }
+}
+
+// ------------------------------------------------------------ RPCA routing
+
+TEST(PooledQrHook, RpcaThroughPoolMatchesInline) {
+  LowRankPlusSparse spec;
+  spec.rank = 2;
+  spec.sparse_fraction = 0.05;
+  auto planted = planted_low_rank_plus_sparse<double>(128, 16, spec, 91);
+
+  rpca::RpcaOptions opt;
+  opt.max_iterations = 30;
+
+  Device inline_dev;
+  auto inline_res =
+      rpca::robust_pca(inline_dev, planted.observed.view(), opt);
+
+  PoolOptions po;
+  po.workers = 2;
+  SolverPool pool(po);
+  PooledQrHook hook(pool);
+  rpca::RpcaOptions pooled_opt = opt;
+  pooled_opt.svd.qr_hook = &hook;
+  Device pooled_dev;
+  auto pooled_res =
+      rpca::robust_pca(pooled_dev, planted.observed.view(), pooled_opt);
+
+  EXPECT_EQ(pooled_res.converged, inline_res.converged);
+  EXPECT_EQ(pooled_res.iterations, inline_res.iterations);
+  expect_bits_equal(pooled_res.low_rank, inline_res.low_rank,
+                    "RPCA L through pool");
+  expect_bits_equal(pooled_res.sparse, inline_res.sparse,
+                    "RPCA S through pool");
+  EXPECT_GT(pool.stats().completed, 0);
+}
+
+}  // namespace
+}  // namespace caqr::serve
