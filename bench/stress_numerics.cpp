@@ -16,6 +16,8 @@
 //        --recover (run the fault-RECOVERY sweep instead: same kappa sweep
 //                   with injection armed AND ft/ recovery on; every cell
 //                   must come back with clean fault-free-bound residuals)
+//        --devices N (run the sweep through the DISTRIBUTED CAQR driver on
+//                     an N-device grid, judged by the same Verifier bounds)
 
 #include <cstdio>
 #include <string>
@@ -129,6 +131,35 @@ int main(int argc, char** argv) {
       14.0, static_cast<int>(args.get_int("points", quick ? 4 : 8)));
   spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 20260807));
   spec.mixed_columns = !quick;
+
+  const int devices = static_cast<int>(args.get_int("devices", 0));
+  if (devices > 0) {
+    if (spec.rows < static_cast<idx>(devices) * spec.cols) {
+      spec.rows = static_cast<idx>(devices) * spec.cols * 8;
+      std::printf("(rows raised to %lld so every shard holds >= cols rows)\n",
+                  static_cast<long long>(spec.rows));
+    }
+    std::printf("Distributed stress sweep: %lld x %lld on %d devices, "
+                "%zu cond samples x %zu scalings\n\n",
+                static_cast<long long>(spec.rows),
+                static_cast<long long>(spec.cols), devices, spec.conds.size(),
+                spec.col_scales.size());
+    const numerics::StressSummary dsum =
+        numerics::run_stress_dist(spec, devices);
+    numerics::print_stress(dsum);
+
+    const char* json_path = "BENCH_stress_numerics_dist.json";
+    const std::string json = "{\"devices\":" + std::to_string(devices) +
+                             ",\"stress\":" + numerics::stress_json(dsum) + "}";
+    if (std::FILE* f = std::fopen(json_path, "w")) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("\nWrote %s\n", json_path);
+    }
+    const bool ok = dsum.pass();
+    std::printf("%s\n", ok ? "DIST STRESS PASS" : "DIST STRESS FAIL");
+    return ok ? 0 : 1;
+  }
 
   std::printf("Numerics stress sweep: %lld x %lld, %zu cond samples x %zu "
               "scalings, all QR paths\n\n",

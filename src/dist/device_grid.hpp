@@ -1,0 +1,214 @@
+#pragma once
+
+// DeviceGrid: N independent simulated GPUs joined by an InterconnectModel.
+//
+// Each member is a full gpusim::Device with its own streams, timeline,
+// profiles and trace; the grid adds the one thing a single device cannot
+// express — modeled PEER transfers. transfer(src, dst, bytes) synchronizes
+// both endpoints, aligns their clocks to the rendezvous point
+// max(clock_src, clock_dst) (Device::wait_until), then charges
+// link.transfer_seconds(bytes) on BOTH timelines as an external op, so the
+// communication appears in both devices' ModelOnly timelines, profiles and
+// chrome traces, exactly like `pcie_transfer` on one device. Every transfer
+// is also appended to a host-side comm log from which comm_stats() reports
+// the volume/time totals the scaling bench plots.
+//
+// Determinism: the grid performs no host-side parallelism of its own and
+// every member timeline is resolved by the same pure event simulation as a
+// lone device, so Functional and ModelOnly grids produce bit-identical
+// timelines and comm logs for the same issue sequence (tested in
+// tests/test_dist.cpp).
+//
+// fingerprint() composes the member device-model fingerprints, the
+// interconnect fingerprint and the device count into one FNV-1a digest —
+// the key serve::PlanCache uses so cached plans self-invalidate when the
+// link model, the device model, or the grid size changes.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "dist/interconnect.hpp"
+#include "ft/ft.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/report.hpp"
+
+namespace caqr::dist {
+
+// One modeled peer transfer (host-side record; simulated seconds).
+struct CommRecord {
+  int src = 0;
+  int dst = 0;
+  double bytes = 0;
+  double seconds = 0;  // link occupancy charged on both endpoints
+  double start = 0;    // aligned simulated start time
+  std::string label;
+};
+
+struct CommStats {
+  long long transfers = 0;
+  double bytes = 0;
+  double seconds = 0;  // sum of per-transfer link time (not wall overlap)
+};
+
+class DeviceGrid {
+ public:
+  explicit DeviceGrid(int num_devices,
+                      gpusim::GpuMachineModel model =
+                          gpusim::GpuMachineModel::c2050(),
+                      InterconnectModel interconnect =
+                          InterconnectModel::pcie_switch(),
+                      gpusim::ExecMode mode = gpusim::ExecMode::Functional)
+      : interconnect_(std::move(interconnect)), mode_(mode) {
+    CAQR_CHECK(num_devices >= 1);
+    devices_.reserve(static_cast<std::size_t>(num_devices));
+    for (int d = 0; d < num_devices; ++d) {
+      devices_.emplace_back(model, mode);
+    }
+  }
+
+  int size() const { return static_cast<int>(devices_.size()); }
+  gpusim::ExecMode mode() const { return mode_; }
+  gpusim::Device& device(int d) {
+    CAQR_CHECK(d >= 0 && d < size());
+    return devices_[static_cast<std::size_t>(d)];
+  }
+  const gpusim::Device& device(int d) const {
+    CAQR_CHECK(d >= 0 && d < size());
+    return devices_[static_cast<std::size_t>(d)];
+  }
+  const InterconnectModel& interconnect() const { return interconnect_; }
+
+  // Composed digest: every member device model, the interconnect, and the
+  // device count. Two grids with equal fingerprints produce bit-identical
+  // simulated timelines for the same program.
+  std::uint64_t fingerprint() const {
+    std::uint64_t h = ft::detail::kFnvOffset;
+    for (const auto& dev : devices_) {
+      const std::uint64_t f = dev.model().fingerprint();
+      h = ft::detail::fnv1a(&f, sizeof(f), h);
+    }
+    const std::uint64_t link = interconnect_.fingerprint();
+    h = ft::detail::fnv1a(&link, sizeof(link), h);
+    const std::int64_t n = size();
+    h = ft::detail::fnv1a(&n, sizeof(n), h);
+    return h;
+  }
+
+  // Modeled point-to-point transfer: rendezvous (both endpoints' clocks
+  // advance to the later of the two), then the link time is charged on both
+  // timelines under `label`. A same-device "transfer" is free (no link
+  // crossed) and charges nothing. Returns the simulated completion time.
+  // Moves no data — functional callers copy the host-resident shards
+  // themselves; this models when those bytes would have arrived.
+  double transfer(int src, int dst, double bytes,
+                  const std::string& label = "link_transfer") {
+    CAQR_CHECK(bytes >= 0);
+    gpusim::Device& s = device(src);
+    if (src == dst) return s.sync();
+    gpusim::Device& d = device(dst);
+    const double t_src = s.sync();
+    const double t_dst = d.sync();
+    const double start = t_src > t_dst ? t_src : t_dst;
+    s.wait_until(start);
+    d.wait_until(start);
+    const double t = interconnect_.transfer_seconds(bytes);
+    s.transfer(bytes, interconnect_.link, label);
+    d.transfer(bytes, interconnect_.link, label);
+    comm_log_.push_back(CommRecord{src, dst, bytes, t, start, label});
+    return start + t;
+  }
+
+  // Grid-wide barrier: every device joins at the latest clock. Returns it.
+  double barrier() {
+    double t = 0;
+    for (auto& dev : devices_) t = std::max(t, dev.sync());
+    for (auto& dev : devices_) dev.wait_until(t);
+    return t;
+  }
+
+  // Latest member clock (no barrier side effect).
+  double elapsed_seconds() const {
+    double t = 0;
+    for (const auto& dev : devices_) t = std::max(t, dev.elapsed_seconds());
+    return t;
+  }
+
+  void reset_timelines() {
+    for (auto& dev : devices_) dev.reset_timeline();
+    comm_log_.clear();
+  }
+
+  const std::vector<CommRecord>& comm_log() const { return comm_log_; }
+
+  CommStats comm_stats() const {
+    CommStats s;
+    for (const auto& r : comm_log_) {
+      ++s.transfers;
+      s.bytes += r.bytes;
+      s.seconds += r.seconds;
+    }
+    return s;
+  }
+
+ private:
+  std::vector<gpusim::Device> devices_;
+  InterconnectModel interconnect_;
+  gpusim::ExecMode mode_;
+  std::vector<CommRecord> comm_log_;
+};
+
+// Combined chrome-trace export: one process ("pid") per device, tid = that
+// device's stream ids — load in chrome://tracing / ui.perfetto.dev to see
+// per-device overlap and the link transfers on both endpoints. `other_data`
+// follows the same contract as gpusim::trace_json.
+inline std::string grid_trace_json(const DeviceGrid& grid,
+                                   const std::string& other_data = "") {
+  auto escaped = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  };
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (int d = 0; d < grid.size(); ++d) {
+    for (const auto& e : grid.device(d).trace()) {
+      char buf[320];
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"name\":\"%s\",\"cat\":\"kernel\",\"ph\":\"X\","
+                    "\"pid\":%d,\"tid\":%d,\"ts\":%.6f,\"dur\":%.6f,"
+                    "\"args\":{\"blocks\":%lld,\"flops\":%.17g,"
+                    "\"gmem_bytes\":%.17g}}",
+                    first ? "" : ",", escaped(e.name).c_str(), d, e.stream,
+                    e.t_start * 1e6, (e.t_end - e.t_start) * 1e6, e.blocks,
+                    e.flops, e.gmem_bytes);
+      out += buf;
+      first = false;
+    }
+  }
+  out += "]";
+  if (!other_data.empty()) {
+    out += ",\"otherData\":";
+    out += other_data;
+  }
+  out += "}";
+  return out;
+}
+
+inline bool write_grid_trace_json(const DeviceGrid& grid,
+                                  const std::string& path,
+                                  const std::string& other_data = "") {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = grid_trace_json(grid, other_data);
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace caqr::dist

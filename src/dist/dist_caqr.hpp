@@ -1,0 +1,488 @@
+#pragma once
+
+// Distributed CAQR over a DeviceGrid: the paper's four kernels run locally
+// per device, stitched by a cross-device TSQR reduction tree.
+//
+// Per panel (global column offset c0, width w):
+//
+//   1. local factor — every device runs the ordinary single-device TSQR
+//      (factor + local factor_tree levels) on its shard's slice of the
+//      panel; only device 0's slice starts at local row c0 (R lives in
+//      shard 0 by the partition invariant), the rest are fully active.
+//   2. cross reduction — the devices' surviving w x w R triangles are
+//      combined up a configurable-arity tree: each non-owner ships its
+//      triangle over the interconnect (modeled transfer), the owner stacks
+//      the k triangles into a (k*w x w) staging matrix and launches the
+//      same factor_tree kernel on it, and the root's new R is copied back
+//      into the owner's shard. The stage (stacked reflectors) and taus are
+//      recorded for replay.
+//   3. trailing update — local apply_qt_h / apply_qt_tree per device, then
+//      per cross level the w-row C slices of each member round-trip to the
+//      owner, which applies the stacked reflectors (apply_qt_tree on the
+//      stage) and ships the updated rows back.
+//
+// Bit-identity guarantee. The tree-combine and tree-apply arithmetic
+// (stacked_geqr2 / stacked_apply_qt, kernels/block_ops.hpp) are pure
+// functions of the gathered stacked values, and stacked_apply never reads
+// v block 0 — so combining triangles on an owner's staging matrix is
+// bitwise equal to combining them in place in one device's panel, and the
+// one storage divergence this leaves (a non-owner's stale root triangle,
+// whose single-device twin holds the combine's reflector tails) is never
+// read by any later kernel. A single-device CaqrFactorization run with
+// TsqrOptions::tree_spec = dist_tree_spec(partition, ...) therefore
+// reproduces the distributed Q and R bit-for-bit (tests/test_dist.cpp).
+//
+// Execution/timing model. Host-side fan-out over devices goes through
+// common/thread_pool (each device's functional launches already
+// parallel_for over blocks; nested parallel_for runs inline). Simulated
+// clocks are per-device, so local phases overlap in simulated time even
+// though the host issues sequentially; transfers rendezvous both endpoints
+// (DeviceGrid::transfer). ModelOnly grids run the identical issue sequence
+// on storage-free shards/stages and produce bit-identical timelines and
+// comm logs.
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "caqr/caqr.hpp"
+#include "common/thread_pool.hpp"
+#include "dist/device_grid.hpp"
+#include "dist/dist_matrix.hpp"
+#include "kernels/kernels.hpp"
+#include "tsqr/tsqr.hpp"
+
+namespace caqr::dist {
+
+struct DistCaqrOptions {
+  idx panel_width = 16;
+  // Local (per-device) TSQR options; tree_spec must be left unset (the
+  // driver owns the decomposition).
+  tsqr::TsqrOptions tsqr;
+  // Cross-device reduction-tree fan-in: 2 = binary, 4 = quad.
+  idx cross_arity = 2;
+
+  tsqr::TsqrOptions panel_tsqr() const {
+    tsqr::TsqrOptions t = tsqr;
+    t.tile_cols = panel_width;
+    return t;
+  }
+};
+
+namespace detail {
+
+// Consecutive grouping of survivors by `arity` — the one grouping rule
+// shared by the cross-device reduction and its single-device replay spec,
+// so the two can never drift apart.
+template <typename X>
+std::vector<std::vector<X>> group_consecutive(const std::vector<X>& xs,
+                                              idx arity) {
+  CAQR_CHECK(arity >= 2);
+  std::vector<std::vector<X>> groups;
+  for (std::size_t g = 0; g < xs.size(); g += static_cast<std::size_t>(arity)) {
+    const std::size_t end =
+        std::min(xs.size(), g + static_cast<std::size_t>(arity));
+    groups.emplace_back(xs.begin() + static_cast<std::ptrdiff_t>(g),
+                        xs.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  return groups;
+}
+
+// Bytes of one w x w upper triangle (what the R exchange ships).
+inline double triangle_bytes(idx w, std::size_t scalar_size) {
+  return 0.5 * static_cast<double>(w) * static_cast<double>(w + 1) *
+         static_cast<double>(scalar_size);
+}
+
+}  // namespace detail
+
+// TreeSpec provider replaying the distributed decomposition on one device:
+// per active shard, the uniform local tree (same split_rows/arity
+// construction the per-device tsqr_factor uses), merged level-by-level,
+// followed by the cross-device levels over the shard root blocks. Capture
+// of `partition` fixes the geometry, so the provider is a deterministic
+// pure function of (rows, width) as TsqrOptions::tree_spec requires. The
+// (rows, width) panel is assumed to start at global row
+// partition.back() - rows — exactly how CAQR walks its panels.
+inline std::function<tsqr::TreeSpec(idx, idx)> dist_tree_spec(
+    std::vector<idx> partition, tsqr::TsqrOptions local, idx cross_arity) {
+  CAQR_CHECK(partition.size() >= 2 && cross_arity >= 2);
+  local.tree_spec = nullptr;  // the provider must not recurse
+  return [partition = std::move(partition), local,
+          cross_arity](idx rows, idx width) {
+    const idx total = partition.back();
+    const idx c0 = total - rows;
+    tsqr::TreeSpec spec;
+    spec.offsets.push_back(0);
+    std::vector<idx> roots;  // global block index of each shard's local root
+    std::vector<tsqr::TreeSpec> locals;
+    const int n = static_cast<int>(partition.size()) - 1;
+    for (int d = 0; d < n; ++d) {
+      const idx lo = std::max(c0, partition[static_cast<std::size_t>(d)]);
+      const idx h = partition[static_cast<std::size_t>(d) + 1] - lo;
+      CAQR_CHECK(h >= width);
+      tsqr::TreeSpec ls = tsqr::uniform_tree_spec(h, width, local);
+      roots.push_back(spec.num_blocks());  // local root is local block 0
+      for (std::size_t i = 1; i < ls.offsets.size(); ++i) {
+        spec.offsets.push_back(lo - c0 + ls.offsets[i]);
+      }
+      locals.push_back(std::move(ls));
+    }
+    std::size_t max_local = 0;
+    for (const auto& ls : locals) max_local = std::max(max_local, ls.levels.size());
+    for (std::size_t l = 0; l < max_local; ++l) {
+      std::vector<std::vector<idx>> groups;
+      for (int d = 0; d < n; ++d) {
+        const auto& ls = locals[static_cast<std::size_t>(d)];
+        if (l >= ls.levels.size()) continue;  // local root passes through
+        for (const auto& g : ls.levels[l]) {
+          std::vector<idx> shifted;
+          shifted.reserve(g.size());
+          for (const idx b : g) {
+            shifted.push_back(roots[static_cast<std::size_t>(d)] + b);
+          }
+          groups.push_back(std::move(shifted));
+        }
+      }
+      spec.levels.push_back(std::move(groups));
+    }
+    std::vector<idx> survivors = roots;
+    while (survivors.size() > 1) {
+      auto groups = detail::group_consecutive(survivors, cross_arity);
+      std::vector<idx> next;
+      next.reserve(groups.size());
+      for (const auto& g : groups) next.push_back(g.front());
+      spec.levels.push_back(std::move(groups));
+      survivors = std::move(next);
+    }
+    return spec;
+  };
+}
+
+// Single-device CaqrOptions whose factorization is bit-identical to the
+// distributed run with `opt` over `partition` — the reference the tests
+// and the scaling bench compare against.
+inline CaqrOptions single_device_equivalent(const DistCaqrOptions& opt,
+                                            std::vector<idx> partition) {
+  CaqrOptions c;
+  c.panel_width = opt.panel_width;
+  c.schedule = CaqrSchedule::Serial;
+  c.tsqr = opt.tsqr;
+  c.tsqr.tree_spec =
+      dist_tree_spec(std::move(partition), opt.panel_tsqr(), opt.cross_arity);
+  return c;
+}
+
+template <typename T>
+class DistCaqrFactorization {
+ public:
+  // Factors the sharded `a` (consumed) across the grid. Requires the tall
+  // partition invariant (every shard >= cols rows) and one shard per device.
+  static DistCaqrFactorization factor(DeviceGrid& grid, DistMatrix<T> a,
+                                      const DistCaqrOptions& opt = {}) {
+    DistCaqrFactorization f;
+    f.a_ = std::move(a);
+    f.opt_ = opt;
+    CAQR_CHECK(f.a_.num_shards() == grid.size());
+    CAQR_CHECK(opt.panel_width >= 1 && opt.cross_arity >= 2);
+    CAQR_CHECK(opt.tsqr.block_rows >= opt.panel_width);
+    CAQR_CHECK_MSG(!opt.tsqr.tree_spec,
+                   "the distributed driver owns the tree decomposition");
+    const idx m = f.a_.rows(), n = f.a_.cols();
+    if (std::min(m, n) == 0) return f;
+    for (int d = 0; d < f.a_.num_shards(); ++d) {
+      CAQR_CHECK_MSG(f.a_.shard_rows(d) >= n,
+                     "every shard needs at least cols rows (R in shard 0)");
+    }
+
+    const tsqr::TsqrOptions topt = opt.panel_tsqr();
+    const idx kmax = std::min(m, n);
+    for (idx c0 = 0; c0 < kmax; c0 += opt.panel_width) {
+      const idx w = std::min(opt.panel_width, kmax - c0);
+      PanelRecord rec;
+      rec.c0 = c0;
+      rec.w = w;
+      f.factor_panel(grid, rec, topt);
+      const idx trailing = n - c0 - w;
+      if (trailing > 0) {
+        f.apply_panel(grid, rec, topt, /*col0=*/c0 + w, trailing,
+                      /*transpose_q=*/true, f.a_);
+      }
+      f.panels_.push_back(std::move(rec));
+    }
+    return f;
+  }
+
+  idx rows() const { return a_.rows(); }
+  idx cols() const { return a_.cols(); }
+  const DistMatrix<T>& packed() const { return a_; }
+  const DistCaqrOptions& options() const { return opt_; }
+
+  // Upper-triangular R (min(m,n) x n), read entirely from shard 0.
+  Matrix<T> r() const {
+    CAQR_CHECK(a_.functional());
+    return extract_r(a_.shard(0).view());
+  }
+
+  // c := Q^T c / Q c for a DistMatrix sharded on the SAME partition as A.
+  void apply_qt(DeviceGrid& grid, DistMatrix<T>& c) const {
+    walk(grid, c, /*transpose_q=*/true);
+  }
+  void apply_q(DeviceGrid& grid, DistMatrix<T>& c) const {
+    walk(grid, c, /*transpose_q=*/false);
+  }
+
+  // Explicit thin Q (m x qcols), block-row sharded like A.
+  DistMatrix<T> form_q(DeviceGrid& grid, idx qcols) const {
+    CAQR_CHECK(qcols >= 0 && qcols <= a_.rows());
+    DistMatrix<T> q =
+        a_.functional()
+            ? DistMatrix<T>::identity(a_.rows(), qcols, a_.offsets())
+            : DistMatrix<T>::shape_only(a_.rows(), qcols, a_.offsets());
+    walk(grid, q, /*transpose_q=*/false);
+    return q;
+  }
+
+  // The TsqrOptions::tree_spec provider a single device needs to replay
+  // this factorization bit-for-bit.
+  std::function<tsqr::TreeSpec(idx, idx)> equivalent_tree_spec() const {
+    return dist_tree_spec(a_.offsets(), opt_.panel_tsqr(), opt_.cross_arity);
+  }
+
+ private:
+  // One cross-tree combine group: the owner's staging matrix holds the
+  // stacked reflectors the later applies replay.
+  struct CrossGroup {
+    std::vector<int> members;  // device ids, owner (= members[0]) first
+    Matrix<T> stage;           // (k*w x w) combined stack
+    std::vector<T> taus;       // w scalars
+  };
+  struct CrossLevel {
+    std::vector<CrossGroup> groups;
+  };
+  struct PanelRecord {
+    idx c0 = 0;
+    idx w = 0;
+    std::vector<tsqr::PanelFactor<T>> local;  // one per device
+    std::vector<CrossLevel> cross;
+  };
+
+  bool functional() const { return a_.functional(); }
+
+  // Local row where the active panel area starts inside shard d.
+  idx local_start(int d, idx c0) const { return d == 0 ? c0 : 0; }
+  idx local_height(int d, idx c0) const {
+    return a_.shard_rows(d) - local_start(d, c0);
+  }
+
+  // Shard d's slice of the panel at (c0, w).
+  MatrixView<T> panel_view(int d, idx c0, idx w) {
+    return a_.shard(d).block(local_start(d, c0), c0, local_height(d, c0), w);
+  }
+  ConstMatrixView<T> panel_view(int d, idx c0, idx w) const {
+    return a_.shard(d).block(local_start(d, c0), c0, local_height(d, c0), w);
+  }
+
+  void factor_panel(DeviceGrid& grid, PanelRecord& rec,
+                    const tsqr::TsqrOptions& topt) {
+    const int nd = grid.size();
+    const idx c0 = rec.c0, w = rec.w;
+    rec.local.resize(static_cast<std::size_t>(nd));
+
+    // 1. Local TSQR per device (host fan-out through the shared pool; each
+    // worker drives only its own device).
+    ThreadPool::global().parallel_for(
+        static_cast<std::size_t>(nd),
+        [&](std::size_t d) {
+          const int dd = static_cast<int>(d);
+          rec.local[d] = tsqr::tsqr_factor(grid.device(dd),
+                                           gpusim::kDefaultStream,
+                                           panel_view(dd, c0, w), topt);
+        },
+        /*grain=*/1);
+
+    // 2. Cross-device reduction over the shard root triangles.
+    const auto cost = kernels::cost_params(topt.variant);
+    std::vector<int> survivors;
+    survivors.reserve(static_cast<std::size_t>(nd));
+    for (int d = 0; d < nd; ++d) survivors.push_back(d);
+    while (survivors.size() > 1) {
+      CrossLevel level;
+      std::vector<int> next;
+      for (auto& members :
+           detail::group_consecutive(survivors, opt_.cross_arity)) {
+        const int owner = members.front();
+        next.push_back(owner);
+        const idx k = static_cast<idx>(members.size());
+        if (k < 2) continue;  // singleton survivor passes through
+        CrossGroup cg;
+        cg.members = std::move(members);
+        cg.stage = functional() ? Matrix<T>(k * w, w)
+                                : Matrix<T>::shape_only(k * w, w);
+        for (idx b = 0; b < k; ++b) {
+          const int d = cg.members[static_cast<std::size_t>(b)];
+          if (d != owner) {
+            grid.transfer(d, owner, detail::triangle_bytes(w, sizeof(T)),
+                          "link_r_triangle");
+          }
+          if (functional()) {
+            cg.stage.block(b * w, 0, w, w)
+                .copy_from(panel_view(d, c0, w).as_const().block(0, 0, w, w));
+          }
+        }
+        cg.taus.assign(static_cast<std::size_t>(w), T(0));
+        const std::vector<std::vector<idx>> stack_groups = {
+            stage_offsets(k, w)};
+        gpusim::Device& dev = grid.device(owner);
+        kernels::FactorTreeKernel<T> tk{cg.stage.view(), &stack_groups,
+                                        cg.taus.data(), cost,
+                                        dev.model().uncoalesced_penalty,
+                                        dev.model().tile_locality_penalty};
+        dev.launch(gpusim::kDefaultStream, tk, tk.num_blocks());
+        if (functional()) {
+          // The root's new R; the stage keeps the reflector tails the
+          // applies replay (the combine never writes below the diagonals,
+          // so this is exactly the single-device scatter-back at offset 0).
+          panel_view(owner, c0, w).block(0, 0, w, w).copy_from(
+              cg.stage.as_const().block(0, 0, w, w));
+        }
+        level.groups.push_back(std::move(cg));
+      }
+      survivors = std::move(next);
+      if (!level.groups.empty()) rec.cross.push_back(std::move(level));
+    }
+  }
+
+  // Applies the panel's Q^T (or Q) to columns [col0, col0 + nc) of `cmat`,
+  // a matrix on the same partition — the sharded A itself for the trailing
+  // update, or a separate right-hand side / Q seed from walk().
+  void apply_panel(DeviceGrid& grid, const PanelRecord& rec,
+                   const tsqr::TsqrOptions& topt, idx col0, idx nc,
+                   bool transpose_q, DistMatrix<T>& cmat) const {
+    if (nc == 0 || rec.w == 0) return;
+    const int nd = grid.size();
+    const idx c0 = rec.c0, w = rec.w;
+    auto c_view = [&](int d) {
+      return cmat.shard(d).block(local_start(d, c0), col0,
+                                 local_height(d, c0), nc);
+    };
+    auto local_apply = [&] {
+      ThreadPool::global().parallel_for(
+          static_cast<std::size_t>(nd),
+          [&](std::size_t d) {
+            const int dd = static_cast<int>(d);
+            tsqr::tsqr_apply(grid.device(dd), gpusim::kDefaultStream,
+                             panel_view(dd, c0, w), rec.local[d], c_view(dd),
+                             topt, transpose_q);
+          },
+          /*grain=*/1);
+    };
+
+    if (transpose_q) {
+      local_apply();
+      for (const CrossLevel& level : rec.cross) {
+        cross_apply(grid, level, topt, w, nc, c_view, /*transpose_q=*/true);
+      }
+    } else {
+      for (auto it = rec.cross.rbegin(); it != rec.cross.rend(); ++it) {
+        cross_apply(grid, *it, topt, w, nc, c_view, /*transpose_q=*/false);
+      }
+      local_apply();
+    }
+  }
+
+  // One cross level of the apply: each member's w-row C slice round-trips
+  // to the owner, which runs apply_qt_tree against the recorded stage.
+  template <typename CV>
+  void cross_apply(DeviceGrid& grid, const CrossLevel& level,
+                   const tsqr::TsqrOptions& topt, idx w, idx nc, CV&& c_view,
+                   bool transpose_q) const {
+    const auto cost = kernels::cost_params(topt.variant);
+    for (const CrossGroup& cg : level.groups) {
+      const int owner = cg.members.front();
+      const idx k = static_cast<idx>(cg.members.size());
+      const double slice_bytes =
+          static_cast<double>(w) * static_cast<double>(nc) * sizeof(T);
+      Matrix<T> cstack = functional() ? Matrix<T>(k * w, nc)
+                                      : Matrix<T>::shape_only(k * w, nc);
+      for (idx b = 0; b < k; ++b) {
+        const int d = cg.members[static_cast<std::size_t>(b)];
+        if (d != owner) grid.transfer(d, owner, slice_bytes, "link_c_slice");
+        if (functional()) {
+          cstack.block(b * w, 0, w, nc)
+              .copy_from(c_view(d).as_const().block(0, 0, w, nc));
+        }
+      }
+      const std::vector<std::vector<idx>> stack_groups = {stage_offsets(k, w)};
+      gpusim::Device& dev = grid.device(owner);
+      kernels::ApplyQtTreeKernel<T> ak{cg.stage.view(),
+                                       &stack_groups,
+                                       cg.taus.data(),
+                                       cstack.view(),
+                                       topt.tile_cols,
+                                       cost,
+                                       dev.model().uncoalesced_penalty,
+                                       dev.model().tile_locality_penalty,
+                                       false,
+                                       transpose_q};
+      dev.launch(gpusim::kDefaultStream, ak, ak.num_blocks());
+      for (idx b = 0; b < k; ++b) {
+        const int d = cg.members[static_cast<std::size_t>(b)];
+        if (functional()) {
+          c_view(d).block(0, 0, w, nc).copy_from(
+              cstack.as_const().block(b * w, 0, w, nc));
+        }
+        if (d != owner) grid.transfer(owner, d, slice_bytes, "link_c_slice");
+      }
+    }
+  }
+
+  // Full-factorization Q^T / Q walk over a same-partition DistMatrix.
+  void walk(DeviceGrid& grid, DistMatrix<T>& c, bool transpose_q) const {
+    CAQR_CHECK(c.rows() == a_.rows());
+    CAQR_CHECK(c.offsets() == a_.offsets());
+    if (c.cols() == 0) return;
+    const tsqr::TsqrOptions topt = opt_.panel_tsqr();
+    const idx np = static_cast<idx>(panels_.size());
+    if (transpose_q) {
+      for (idx p = 0; p < np; ++p) {
+        apply_panel(grid, panels_[static_cast<std::size_t>(p)], topt, 0,
+                    c.cols(), true, c);
+      }
+    } else {
+      for (idx p = np - 1; p >= 0; --p) {
+        apply_panel(grid, panels_[static_cast<std::size_t>(p)], topt, 0,
+                    c.cols(), false, c);
+      }
+    }
+  }
+
+  static std::vector<idx> stage_offsets(idx k, idx w) {
+    std::vector<idx> o;
+    o.reserve(static_cast<std::size_t>(k));
+    for (idx b = 0; b < k; ++b) o.push_back(b * w);
+    return o;
+  }
+
+  DistMatrix<T> a_;
+  DistCaqrOptions opt_;
+  std::vector<PanelRecord> panels_;
+};
+
+// ModelOnly cost probe: the full distributed launch + transfer schedule on
+// storage-free shards. Exact with respect to the simulator, like
+// predict_caqr_seconds.
+template <typename T>
+double predict_dist_caqr_seconds(const gpusim::GpuMachineModel& model,
+                                 const InterconnectModel& interconnect,
+                                 int devices, idx m, idx n,
+                                 const DistCaqrOptions& opt = {}) {
+  DeviceGrid grid(devices, model, interconnect, gpusim::ExecMode::ModelOnly);
+  auto f = DistCaqrFactorization<T>::factor(
+      grid, DistMatrix<T>::shape_only(m, n, devices), opt);
+  (void)f;
+  return grid.elapsed_seconds();
+}
+
+}  // namespace caqr::dist

@@ -1,0 +1,67 @@
+#pragma once
+
+// Inter-device interconnect model for the multi-device grid (dist/).
+//
+// The single-device simulator already charges host<->device traffic through
+// gpusim::PcieModel (latency + bytes / bandwidth). A grid of devices needs
+// the same thing between PEERS: every DeviceGrid::transfer is charged
+// link.transfer_seconds(bytes) on BOTH endpoints' timelines, exactly like
+// `pcie_transfer` on a single device, so communication is first-class in
+// ModelOnly runs and in the chrome-trace export.
+//
+// The model is deliberately simple — a uniform full crossbar where every
+// ordered device pair is joined by an identical link — because that is all
+// the cross-device TSQR reduction needs to expose the communication-
+// avoidance story: the paper's R-triangle exchanges are latency-bound, so
+// the PCIe-like and NVLink-like presets differ by ~8x bandwidth and ~7.5x
+// latency and the tree-shape tradeoff shifts visibly between them.
+//
+// fingerprint() folds every link parameter (and the name) into a stable
+// FNV-1a digest; DeviceGrid composes it with the device-model fingerprints
+// and the device count so serve::PlanCache entries self-invalidate when the
+// interconnect or the grid size changes (satellite of ISSUE 5).
+
+#include <cstdint>
+#include <string>
+
+#include "ft/ft.hpp"
+#include "gpusim/machine_model.hpp"
+
+namespace caqr::dist {
+
+struct InterconnectModel {
+  std::string name = "pcie_switch";
+  // Per-link point-to-point characteristics, reusing the PCIe cost form:
+  // seconds = latency_us * 1e-6 + bytes / (bandwidth_gbs * 1e9).
+  gpusim::PcieModel link;
+
+  double transfer_seconds(double bytes) const {
+    return link.transfer_seconds(bytes);
+  }
+
+  // Stable digest of (name, bandwidth, latency): the cache-invalidation key
+  // for anything memoized per interconnect. Pure function of the fields.
+  std::uint64_t fingerprint() const {
+    std::uint64_t h = ft::detail::fnv1a(name.data(), name.size());
+    h = ft::detail::fnv1a(&link.bandwidth_gbs, sizeof(link.bandwidth_gbs), h);
+    h = ft::detail::fnv1a(&link.latency_us, sizeof(link.latency_us), h);
+    return h;
+  }
+
+  // PCIe-gen2-switch era peer-to-peer: the same 5 GB/s / 15 us as the
+  // host link (peer traffic crosses the same switch).
+  static InterconnectModel pcie_switch() { return InterconnectModel{}; }
+
+  // NVLink-like point-to-point: ~8x the bandwidth at a fraction of the
+  // initiation latency; shifts the cross-device tree tradeoff toward
+  // shallower (higher-arity) reductions.
+  static InterconnectModel nvlink() {
+    InterconnectModel m;
+    m.name = "nvlink";
+    m.link.bandwidth_gbs = 40.0;
+    m.link.latency_us = 2.0;
+    return m;
+  }
+};
+
+}  // namespace caqr::dist

@@ -221,11 +221,25 @@ class Device {
     return base_;
   }
 
+  // Device-wide barrier that also holds the clock at `t` if `t` is in the
+  // future — the multi-device synchronization primitive: DeviceGrid aligns
+  // both endpoints of a transfer to max(their clocks) before charging the
+  // link time on each. Returns the resulting clock.
+  double wait_until(double t) {
+    sync();
+    if (t > base_) base_ = t;
+    return base_;
+  }
+
   // Explicit PCIe transfer between host and device memory (simulated time
-  // only; data lives in host memory either way). Device-wide barrier.
-  void transfer(double bytes, const PcieModel& link = PcieModel{}) {
+  // only; data lives in host memory either way). Device-wide barrier. The
+  // label defaults to the historical op name; dist::DeviceGrid charges its
+  // per-link peer transfers through the same path under semantic labels so
+  // they are distinguishable in profiles and traces.
+  void transfer(double bytes, const PcieModel& link = PcieModel{},
+                const std::string& label = "pcie_transfer") {
     const double t = link.transfer_seconds(bytes);
-    external_op("pcie_transfer", t, bytes);
+    external_op(label, t, bytes);
   }
 
   // Advance the simulated clock for work done off-device (e.g. the small

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "caqr/caqr.hpp"
+#include "dist/dist_caqr.hpp"
 #include "ft/ft.hpp"
 #include "gpusim/device.hpp"
 #include "linalg/qr.hpp"
@@ -170,6 +171,51 @@ inline StressSummary run_stress(const StressSpec& spec) {
       cell("caqr_serial", [&] { return caqr_cell(CaqrSchedule::Serial); });
       cell("caqr_lookahead",
            [&] { return caqr_cell(CaqrSchedule::LookAhead); });
+    }
+  }
+  return out;
+}
+
+// Same cond/scale sweep through the DISTRIBUTED CAQR driver: each cell
+// scatters the generated matrix across a fresh N-device grid, factors with
+// dist::DistCaqrFactorization, gathers Q and reads R from shard 0, and
+// judges the result with the SAME Verifier bounds as the single-device
+// paths — the distributed reduction earns no numerical slack. `devices` = 1
+// exercises the grid plumbing with an empty cross tree.
+inline StressSummary run_stress_dist(const StressSpec& spec, int devices) {
+  const idx m = spec.rows, n = spec.cols;
+  CAQR_CHECK(devices >= 1 && m >= static_cast<idx>(devices) * n && n >= 1);
+  // Per-shard block rows: deep-ish local trees, ~8 level-0 blocks per
+  // device, never below the panel width.
+  const idx shard_rows = m / devices;
+  const idx block_rows = std::max<idx>(n, shard_rows / 8 > 0 ? shard_rows / 8
+                                                             : shard_rows);
+
+  struct ScaleCase {
+    double scale;
+    bool mixed;
+  };
+  std::vector<ScaleCase> scale_cases;
+  for (double s : spec.col_scales) {
+    scale_cases.push_back({s, false});
+    if (spec.mixed_columns && s != 1.0) scale_cases.push_back({s, true});
+  }
+
+  StressSummary out;
+  for (double cond : spec.conds) {
+    for (const ScaleCase& sc : scale_cases) {
+      const Matrix<double> a =
+          stress_matrix<double>(m, n, cond, sc.scale, spec.seed, sc.mixed);
+      detail::stress_cell(out, "dist_caqr", cond, sc.scale, sc.mixed, [&] {
+        dist::DeviceGrid grid(devices);
+        dist::DistCaqrOptions dopt;
+        dopt.tsqr.block_rows = std::max(dopt.panel_width, block_rows);
+        auto f = dist::DistCaqrFactorization<double>::factor(
+            grid, dist::DistMatrix<double>::scatter(a.view(), devices), dopt);
+        const Matrix<double> q = f.form_q(grid, n).gather();
+        const Matrix<double> r = f.r();
+        return verify_qr(a.view(), q.view(), r.view(), spec.verify);
+      });
     }
   }
   return out;

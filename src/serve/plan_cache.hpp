@@ -38,23 +38,30 @@
 
 #include "caqr/autotune.hpp"
 #include "caqr/solver.hpp"
+#include "dist/dist_caqr.hpp"
 #include "gpusim/machine_model.hpp"
 
 namespace caqr::serve {
 
-// Cache key. Ordered lexicographically so it can drive a std::map.
+// Cache key. Ordered lexicographically so it can drive a std::map. For
+// multi-device plans, `devices` is the grid size and `model_fingerprint`
+// holds dist::DeviceGrid::fingerprint() — which folds in the interconnect
+// link parameters and the per-device model digests — so changing the link
+// model, the device model, or the device count makes every old entry stop
+// matching and age out of the LRU (no explicit invalidation).
 struct PlanKey {
   idx rows = 0;
   idx cols = 0;
   int scalar_size = 0;                 // sizeof(T): plans are dtype-specific
   QrAlgorithm requested = QrAlgorithm::Auto;
   std::uint64_t model_fingerprint = 0;
+  int devices = 1;                     // 1 = single-device serving path
 
   friend bool operator<(const PlanKey& a, const PlanKey& b) {
     return std::tie(a.rows, a.cols, a.scalar_size, a.requested,
-                    a.model_fingerprint) <
+                    a.model_fingerprint, a.devices) <
            std::tie(b.rows, b.cols, b.scalar_size, b.requested,
-                    b.model_fingerprint);
+                    b.model_fingerprint, b.devices);
   }
 };
 
@@ -70,6 +77,9 @@ struct QrPlan {
   // CAQR options with the tuned block shape applied — what the worker (and
   // the fused batch path) actually runs.
   CaqrOptions caqr;
+  // Multi-device plans (key.devices > 1): the tuned distributed options;
+  // predicted_caqr_seconds then holds the grid-simulated CAQR time.
+  dist::DistCaqrOptions dist_caqr;
 };
 
 // Computes a plan from scratch — the exact work a PlanCache miss performs
@@ -95,6 +105,31 @@ QrPlan make_plan(const gpusim::GpuMachineModel& model, idx m, idx n,
                    ? QrAlgorithm::Caqr
                    : QrAlgorithm::Hybrid;
   }
+  return p;
+}
+
+// Multi-device plan: tunes the per-device block shape on the grid's device
+// model (§IV.F sweep — shards see the same kernels as a lone device), then
+// predicts the end-to-end distributed time with a ModelOnly grid run that
+// includes every modeled link transfer. Pure function of (shape, dtype,
+// grid fingerprint, grid size): equal grids yield equal plans.
+template <typename T>
+QrPlan make_dist_plan(const dist::DeviceGrid& grid, idx m, idx n,
+                      const dist::DistCaqrOptions& base = {}) {
+  QrPlan p;
+  p.key = PlanKey{m, n, static_cast<int>(sizeof(T)), QrAlgorithm::Caqr,
+                  grid.fingerprint(), grid.size()};
+  p.tuned = autotune::autotune_block_size(grid.device(0).model());
+  p.dist_caqr = base;
+  p.dist_caqr.panel_width = p.tuned.panel_width;
+  p.dist_caqr.tsqr.block_rows = p.tuned.block_rows;
+  p.caqr.panel_width = p.tuned.panel_width;
+  p.caqr.tsqr.block_rows = p.tuned.block_rows;
+  p.predicted_caqr_seconds = dist::predict_dist_caqr_seconds<T>(
+      grid.device(0).model(), grid.interconnect(), grid.size(), m, n,
+      p.dist_caqr);
+  p.predicted_hybrid_seconds = 0;  // no distributed hybrid path
+  p.chosen = QrAlgorithm::Caqr;
   return p;
 }
 
@@ -134,6 +169,35 @@ class PlanCache {
     ++misses_;
     auto plan = std::make_shared<const QrPlan>(
         make_plan<T>(model, m, n, algo, base));
+    lru_.push_front(key);
+    entries_[key] = Entry{plan, lru_.begin()};
+    while (entries_.size() > capacity_) {
+      entries_.erase(lru_.back());
+      lru_.pop_back();
+      ++evictions_;
+    }
+    return {plan, false};
+  }
+
+  // Distributed lookup: keyed on the composed grid fingerprint AND device
+  // count, so a changed link model, device model or grid size is a miss and
+  // the stale plan ages out of the LRU. Shares the map/LRU/counters with
+  // single-device plans (devices=1 keys can never collide with grid keys).
+  template <typename T>
+  Lookup lookup_dist(const dist::DeviceGrid& grid, idx m, idx n,
+                     const dist::DistCaqrOptions& base = {}) {
+    const PlanKey key{m, n, static_cast<int>(sizeof(T)), QrAlgorithm::Caqr,
+                      grid.fingerprint(), grid.size()};
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      return {it->second.plan, true};
+    }
+    ++misses_;
+    auto plan = std::make_shared<const QrPlan>(
+        make_dist_plan<T>(grid, m, n, base));
     lru_.push_front(key);
     entries_[key] = Entry{plan, lru_.begin()};
     while (entries_.size() > capacity_) {

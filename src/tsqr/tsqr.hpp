@@ -21,6 +21,7 @@
 // patched — up to FtOptions::max_panel_retries times.
 
 #include <algorithm>
+#include <functional>
 #include <vector>
 
 #include "ft/ft.hpp"
@@ -30,6 +31,28 @@
 #include "numerics/finite_check.hpp"
 
 namespace caqr::tsqr {
+
+// Explicit reduction-tree specification: the level-0 block decomposition
+// plus the grouping of survivors at every tree level, expressed in level-0
+// BLOCK INDICES (not row offsets). The combine arithmetic of a group is a
+// pure function of the stacked R-triangle values, so any two factorizations
+// that run the same spec over the same data produce bit-identical results —
+// this is the seam dist:: uses to make a multi-device factorization (local
+// trees per device + a cross-device tree over the device roots) bitwise
+// reproducible by a single-device run of the merged spec.
+struct TreeSpec {
+  std::vector<idx> offsets;  // nblocks + 1 panel-row offsets, every block
+                             // at least `width` rows tall
+  // levels[l][g] lists the blocks whose surviving R triangles group g of
+  // level l combines; the first listed block's triangle receives the
+  // combined R. Every listed block must be a survivor (level-0 blocks are
+  // all survivors; after a level only each group's first block survives;
+  // blocks not listed in a level pass through unchanged). Singleton groups
+  // are allowed and are no-ops.
+  std::vector<std::vector<std::vector<idx>>> levels;
+
+  idx num_blocks() const { return static_cast<idx>(offsets.size()) - 1; }
+};
 
 struct TsqrOptions {
   idx block_rows = 128;  // H: nominal vertical block height (>= width)
@@ -43,6 +66,11 @@ struct TsqrOptions {
   bool transposed_panels = true;
   // Trailing-matrix tile width for the CAQR update kernels.
   idx tile_cols = 16;
+  // Explicit decomposition override for a (rows, width) panel; null uses
+  // the uniform split_rows + effective_arity construction. The provider
+  // must be deterministic: tsqr_factor may call it more than once (panel
+  // retries) and replay relies on identical specs.
+  std::function<TreeSpec(idx rows, idx width)> tree_spec;
 
   idx effective_arity(idx width) const {
     if (arity >= 2) return arity;
@@ -85,7 +113,69 @@ inline std::vector<idx> split_rows(idx rows, idx block_rows, idx width) {
   return offsets;
 }
 
+// The default decomposition: split_rows level-0 blocks combined by a
+// uniform-arity tree (consecutive runs of `effective_arity` survivors per
+// level, last run possibly smaller, until one survives).
+inline TreeSpec uniform_tree_spec(idx rows, idx width, const TsqrOptions& opt) {
+  TreeSpec spec;
+  spec.offsets = split_rows(rows, opt.block_rows, width);
+  const idx nblocks = spec.num_blocks();
+  const idx arity = opt.effective_arity(width);
+  std::vector<idx> survivors;
+  survivors.reserve(static_cast<std::size_t>(nblocks));
+  for (idx b = 0; b < nblocks; ++b) survivors.push_back(b);
+  while (static_cast<idx>(survivors.size()) > 1) {
+    std::vector<std::vector<idx>> groups;
+    std::vector<idx> next;
+    for (std::size_t g = 0; g < survivors.size();
+         g += static_cast<std::size_t>(arity)) {
+      const std::size_t end =
+          std::min(survivors.size(), g + static_cast<std::size_t>(arity));
+      groups.emplace_back(survivors.begin() + static_cast<std::ptrdiff_t>(g),
+                          survivors.begin() + static_cast<std::ptrdiff_t>(end));
+      next.push_back(survivors[g]);
+    }
+    survivors = std::move(next);
+    spec.levels.push_back(std::move(groups));
+  }
+  return spec;
+}
+
 namespace detail {
+
+// Structural validation of a spec against a (rows, width) panel: well-formed
+// offsets, every block tall enough to hold a W x W triangle, every group
+// member a distinct current survivor.
+inline void check_tree_spec(const TreeSpec& spec, idx rows, idx width) {
+  const idx nblocks = spec.num_blocks();
+  CAQR_CHECK_MSG(nblocks >= 1, "tree spec needs at least one block");
+  CAQR_CHECK(spec.offsets.front() == 0 && spec.offsets.back() == rows);
+  for (idx b = 0; b < nblocks; ++b) {
+    CAQR_CHECK_MSG(spec.offsets[static_cast<std::size_t>(b) + 1] -
+                           spec.offsets[static_cast<std::size_t>(b)] >=
+                       width,
+                   "every level-0 block must be at least `width` rows tall");
+  }
+  std::vector<char> survivor(static_cast<std::size_t>(nblocks), 1);
+  for (const auto& groups : spec.levels) {
+    std::vector<char> used(static_cast<std::size_t>(nblocks), 0);
+    for (const auto& g : groups) {
+      CAQR_CHECK(!g.empty());
+      for (std::size_t i = 0; i < g.size(); ++i) {
+        const idx b = g[i];
+        CAQR_CHECK(b >= 0 && b < nblocks);
+        CAQR_CHECK_MSG(survivor[static_cast<std::size_t>(b)] &&
+                           !used[static_cast<std::size_t>(b)],
+                       "tree spec group member is not a distinct survivor");
+        used[static_cast<std::size_t>(b)] = 1;
+        if (i > 0) survivor[static_cast<std::size_t>(b)] = 0;  // consumed
+      }
+    }
+  }
+  idx remaining = 0;
+  for (const char s : survivor) remaining += s;
+  CAQR_CHECK_MSG(remaining == 1, "tree spec must reduce to a single survivor");
+}
 
 // One factorization attempt; folds every launch's severity into `sev`.
 template <typename T>
@@ -103,7 +193,10 @@ PanelFactor<T> tsqr_factor_attempt(gpusim::Device& dev, gpusim::StreamId stream,
     f.offsets = {0, rows};
     return f;
   }
-  f.offsets = split_rows(rows, opt.block_rows, width);
+  const TreeSpec spec = opt.tree_spec ? opt.tree_spec(rows, width)
+                                      : uniform_tree_spec(rows, width, opt);
+  check_tree_spec(spec, rows, width);
+  f.offsets = spec.offsets;
   const idx nblocks = f.num_blocks();
   f.taus0.assign(static_cast<std::size_t>(nblocks * width), T(0));
 
@@ -126,25 +219,25 @@ PanelFactor<T> tsqr_factor_attempt(gpusim::Device& dev, gpusim::StreamId stream,
                               dev.model().tile_locality_penalty};
   sev = ft::worse(sev, dev.launch(stream, fk, fk.num_blocks()));
 
-  // Reduction tree over the surviving R triangles.
-  std::vector<idx> survivors(f.offsets.begin(), f.offsets.end() - 1);
-  const idx arity = opt.effective_arity(width);
-  while (static_cast<idx>(survivors.size()) > 1) {
+  // Reduction tree over the surviving R triangles, one launch per spec
+  // level; groups are translated from block indices to panel-row offsets
+  // (the replay coordinates PanelFactor records).
+  for (const auto& groups : spec.levels) {
     typename PanelFactor<T>::Level level;
-    std::vector<idx> next;
-    for (std::size_t g = 0; g < survivors.size(); g += static_cast<std::size_t>(arity)) {
-      const std::size_t end =
-          std::min(survivors.size(), g + static_cast<std::size_t>(arity));
-      level.groups.emplace_back(survivors.begin() + static_cast<std::ptrdiff_t>(g),
-                                survivors.begin() + static_cast<std::ptrdiff_t>(end));
-      next.push_back(survivors[g]);
+    level.groups.reserve(groups.size());
+    for (const auto& g : groups) {
+      std::vector<idx> rows_of;
+      rows_of.reserve(g.size());
+      for (const idx b : g) {
+        rows_of.push_back(f.offsets[static_cast<std::size_t>(b)]);
+      }
+      level.groups.push_back(std::move(rows_of));
     }
     level.taus.assign(level.groups.size() * static_cast<std::size_t>(width), T(0));
     kernels::FactorTreeKernel<T> tk{panel, &level.groups, level.taus.data(),
                                     cost, dev.model().uncoalesced_penalty,
                                     dev.model().tile_locality_penalty};
     sev = ft::worse(sev, dev.launch(stream, tk, tk.num_blocks()));
-    survivors = std::move(next);
     f.levels.push_back(std::move(level));
   }
   if (functional) CAQR_GUARD_FINITE(panel, "tsqr_factor:output");

@@ -42,6 +42,43 @@ TEST(MachineModel, PcieTransferTime) {
   EXPECT_NEAR(link.transfer_seconds(5e9), 1.0 + 15e-6, 1e-9);
 }
 
+TEST(MachineModel, PcieTransferEdgeCases) {
+  PcieModel link;
+  // A zero-byte transfer is never free: it still pays the initiation
+  // latency exactly.
+  EXPECT_DOUBLE_EQ(link.transfer_seconds(0), 15e-6);
+  // Small transfers are latency-dominated: 4 KB takes < 1 us of bandwidth
+  // time against 15 us of latency.
+  const double t4k = link.transfer_seconds(4096);
+  EXPECT_GT(t4k, 15e-6);
+  EXPECT_LT(t4k - 15e-6, 1e-6);
+  // Strictly monotone in bytes, even byte by byte.
+  EXPECT_LT(link.transfer_seconds(1), link.transfer_seconds(2));
+  // Custom link parameters: a latency-free link is pure bandwidth.
+  const PcieModel fast{40.0, 0.0};
+  EXPECT_DOUBLE_EQ(fast.transfer_seconds(40e9), 1.0);
+  EXPECT_DOUBLE_EQ(fast.transfer_seconds(0), 0.0);
+}
+
+TEST(Device, WaitUntilAdvancesClockMonotonically) {
+  Device dev(GpuMachineModel::c2050(), ExecMode::ModelOnly);
+  EXPECT_DOUBLE_EQ(dev.wait_until(1e-3), 1e-3);
+  EXPECT_DOUBLE_EQ(dev.elapsed_seconds(), 1e-3);
+  // A rendezvous in the past never rolls the clock back.
+  EXPECT_DOUBLE_EQ(dev.wait_until(1e-6), 1e-3);
+  EXPECT_DOUBLE_EQ(dev.elapsed_seconds(), 1e-3);
+}
+
+TEST(Device, LabeledTransferAccountsUnderLabel) {
+  Device dev(GpuMachineModel::c2050(), ExecMode::ModelOnly);
+  const PcieModel link{40.0, 2.0};
+  dev.transfer(1e9, link, "link_r_triangle");
+  // The op is charged under its label, not the default pcie_transfer.
+  EXPECT_EQ(dev.profile("pcie_transfer"), nullptr);
+  ASSERT_NE(dev.profile("link_r_triangle"), nullptr);
+  EXPECT_NEAR(dev.elapsed_seconds(), 1e9 / 40e9 + 2e-6, 1e-12);
+}
+
 // A compute-bound launch: time = launch overhead + cycles / (SMs * clock).
 TEST(Device, ComputeBoundLaunchTiming) {
   auto model = GpuMachineModel::c2050();
