@@ -130,7 +130,8 @@ int main(int argc, char** argv) {
         dev, Matrix<float>::shape_only(1048576, 192));
     (void)f;
     const char* trace_path = "BENCH_fig8_speedup_trace.json";
-    if (gpusim::write_trace_json(dev, trace_path, verification_other_data())) {
+    if (gpusim::write_trace_json(dev, trace_path, verification_other_data(),
+                                 /*host_profile=*/true)) {
       std::printf("Wrote 1M x 192 look-ahead stream trace to %s\n", trace_path);
     } else {
       std::printf("Failed to write %s\n", trace_path);

@@ -145,7 +145,8 @@ int main(int argc, char** argv) {
                 static_cast<long long>(n), t_serial * 1e3, t_look * 1e3,
                 100.0 * (t_serial - t_look) / t_serial);
     const char* trace_path = "BENCH_table1_skinny_trace.json";
-    if (gpusim::write_trace_json(dlook, trace_path, verification_other_data())) {
+    if (gpusim::write_trace_json(dlook, trace_path, verification_other_data(),
+                                 /*host_profile=*/true)) {
       std::printf("Wrote look-ahead stream trace to %s\n", trace_path);
     }
   }

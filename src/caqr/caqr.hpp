@@ -367,13 +367,12 @@ class CaqrFactorization {
       for (std::size_t l = 0; l < pf.levels.size(); ++l) {
         const auto& level = pf.levels[l];
         const std::string lpre = pre + "l" + std::to_string(l) + ".";
-        std::vector<idx> gsizes, gdata;
-        for (const auto& g : level.groups) {
-          gsizes.push_back(static_cast<idx>(g.size()));
-          gdata.insert(gdata.end(), g.begin(), g.end());
+        std::vector<idx> gsizes;
+        for (idx g = 0; g < level.groups.size(); ++g) {
+          gsizes.push_back(level.groups.group_size(g));
         }
         w.vec(lpre + "gsizes", gsizes);
-        w.vec(lpre + "gdata", gdata);
+        w.vec(lpre + "gdata", level.groups.data);
         w.vec(lpre + "taus", level.taus);
       }
     }
@@ -426,12 +425,11 @@ class CaqrFactorization {
           if (gs < 0 || pos + static_cast<std::size_t>(gs) > gdata.size()) {
             return 0;
           }
-          level.groups.emplace_back(
-              gdata.begin() + static_cast<std::ptrdiff_t>(pos),
-              gdata.begin() + static_cast<std::ptrdiff_t>(pos) + gs);
           pos += static_cast<std::size_t>(gs);
+          level.groups.starts.push_back(static_cast<idx>(pos));
         }
         if (pos != gdata.size()) return 0;
+        level.groups.data = std::move(gdata);
         pf.levels.push_back(std::move(level));
       }
       panels.push_back(std::move(pf));

@@ -5,13 +5,24 @@
 // Matrices and device-memory arenas sit on top of this; 64-byte alignment
 // keeps column starts SIMD-friendly for the vectorized BLAS kernels and
 // avoids false sharing between thread blocks that own adjacent tiles.
+//
+// Size and capacity are tracked separately so hot paths that repeatedly
+// resize a scratch buffer (per-request arenas, staging areas) reuse the
+// existing allocation: reset()/reserve() only touch the allocator when the
+// requested count exceeds the current capacity. Contents are NEVER
+// preserved across a growing reset/reserve — this is scratch storage, not a
+// container — and newly exposed memory is uninitialized.
+//
+// Allocations are routed through prof::detail::counted_alloc/counted_free
+// so the host profiling layer (common/profile.hpp) sees matrix and arena
+// traffic alongside operator-new traffic.
 
 #include <cstddef>
-#include <cstdlib>
 #include <new>
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/profile.hpp"
 
 namespace caqr {
 
@@ -22,35 +33,64 @@ class AlignedBuffer {
  public:
   AlignedBuffer() = default;
 
-  explicit AlignedBuffer(std::size_t count) { allocate(count); }
+  explicit AlignedBuffer(std::size_t count) { reset(count); }
 
   AlignedBuffer(const AlignedBuffer&) = delete;
   AlignedBuffer& operator=(const AlignedBuffer&) = delete;
 
   AlignedBuffer(AlignedBuffer&& other) noexcept
       : data_(std::exchange(other.data_, nullptr)),
-        count_(std::exchange(other.count_, 0)) {}
+        count_(std::exchange(other.count_, 0)),
+        capacity_(std::exchange(other.capacity_, 0)) {}
 
   AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
     if (this != &other) {
       release();
       data_ = std::exchange(other.data_, nullptr);
       count_ = std::exchange(other.count_, 0);
+      capacity_ = std::exchange(other.capacity_, 0);
     }
     return *this;
   }
 
   ~AlignedBuffer() { release(); }
 
-  // Discards contents; newly allocated memory is uninitialized.
+  // Sets size to `count`, reusing the existing allocation when it is large
+  // enough. Contents are discarded; grown memory is uninitialized.
   void reset(std::size_t count) {
+    reserve(count);
+    count_ = count;
+  }
+
+  // Ensures capacity for `count` elements without changing size. Growing
+  // discards contents (scratch semantics — no copy-over).
+  void reserve(std::size_t count) {
+    if (count <= capacity_) return;
     release();
-    allocate(count);
+    const std::size_t bytes =
+        (count * sizeof(T) + kCacheLineBytes - 1) / kCacheLineBytes *
+        kCacheLineBytes;
+    void* p = prof::detail::counted_alloc(bytes, kCacheLineBytes);
+    if (p == nullptr) throw std::bad_alloc();
+    data_ = static_cast<T*>(p);
+    capacity_ = bytes / sizeof(T);
+  }
+
+  // Size to zero; capacity (and the allocation) retained.
+  void clear() noexcept { count_ = 0; }
+
+  // Frees the allocation (capacity drops to zero).
+  void release() noexcept {
+    prof::detail::counted_free(data_);
+    data_ = nullptr;
+    count_ = 0;
+    capacity_ = 0;
   }
 
   T* data() noexcept { return data_; }
   const T* data() const noexcept { return data_; }
   std::size_t size() const noexcept { return count_; }
+  std::size_t capacity() const noexcept { return capacity_; }
   bool empty() const noexcept { return count_ == 0; }
 
   T& operator[](std::size_t i) noexcept {
@@ -63,25 +103,9 @@ class AlignedBuffer {
   }
 
  private:
-  void allocate(std::size_t count) {
-    if (count == 0) return;
-    const std::size_t bytes =
-        (count * sizeof(T) + kCacheLineBytes - 1) / kCacheLineBytes *
-        kCacheLineBytes;
-    void* p = std::aligned_alloc(kCacheLineBytes, bytes);
-    if (p == nullptr) throw std::bad_alloc();
-    data_ = static_cast<T*>(p);
-    count_ = count;
-  }
-
-  void release() noexcept {
-    std::free(data_);
-    data_ = nullptr;
-    count_ = 0;
-  }
-
   T* data_ = nullptr;
-  std::size_t count_ = 0;
+  std::size_t count_ = 0;     // current logical size
+  std::size_t capacity_ = 0;  // allocated element capacity
 };
 
 }  // namespace caqr

@@ -1,0 +1,163 @@
+#pragma once
+
+// Grow-only bump arena for per-request / per-launch scratch memory.
+//
+// The serving hot path allocates the same small temporaries over and over:
+// per-block stacked triangles in the TSQR tree kernels, gather/scatter
+// scratch in the reduction combine, staging tiles for the cache-blocked
+// panel kernels. Heap-allocating those per block is the dominant host cost
+// the profiling layer exposed. An Arena replaces them with pointer bumps
+// into a buffer that survives across requests:
+//
+//   * alloc<T>(n)      — cache-line-aligned uninitialized T[n]; O(1) bump.
+//   * mark()/rewind(m) — stack discipline for per-block scratch: take a
+//     mark, allocate freely, rewind when the block is done. Memory is
+//     reused by the next block without touching the allocator.
+//   * reset()          — rewind to empty, KEEPING the high-water capacity
+//     (AlignedBuffer::clear), so steady-state requests allocate nothing.
+//
+// Growth: when a chunk fills, the arena adds a chunk at least double the
+// last size (geometric, so total waste is bounded); previously returned
+// pointers stay valid until reset()/rewind() passes them. After a reset the
+// arena serves from its existing chunks — the allocator is only visited
+// while the high-water mark is still rising.
+//
+// Thread safety: NONE — an Arena belongs to one thread. For kernel
+// run_block bodies executing on the functional thread pool, use
+// Arena::thread_scratch(), a thread_local arena each pool worker owns.
+// Scoped use there MUST follow mark/rewind discipline (ArenaScope) so
+// nested users compose.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+#include "common/check.hpp"
+
+namespace caqr {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t initial_bytes = 0) {
+    if (initial_bytes > 0) add_chunk(initial_bytes);
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Uninitialized storage for `count` T's, kCacheLineBytes-aligned.
+  template <typename T>
+  T* alloc(std::size_t count) {
+    return static_cast<T*>(alloc_bytes(count * sizeof(T)));
+  }
+
+  void* alloc_bytes(std::size_t bytes) {
+    const std::size_t need =
+        (bytes + kCacheLineBytes - 1) / kCacheLineBytes * kCacheLineBytes;
+    if (chunk_ >= chunks_.size() ||
+        used_ + need > chunks_[chunk_].size()) {
+      next_chunk(need);
+    }
+    void* p = chunks_[chunk_].data() + used_;
+    used_ += need;
+    return p;
+  }
+
+  // Position marker: (chunk index, bytes used in it). rewind() frees every
+  // allocation made after the mark, in O(1).
+  struct Mark {
+    std::size_t chunk = 0;
+    std::size_t used = 0;
+  };
+
+  Mark mark() const { return {chunk_, used_}; }
+
+  void rewind(Mark m) {
+    CAQR_DCHECK(m.chunk < chunks_.size() || chunks_.empty());
+    chunk_ = m.chunk;
+    used_ = m.used;
+  }
+
+  // Empties the arena, keeping every chunk for reuse.
+  void reset() {
+    chunk_ = 0;
+    used_ = 0;
+  }
+
+  // Frees all chunks (capacity drops to zero).
+  void release() {
+    chunks_.clear();
+    chunk_ = 0;
+    used_ = 0;
+  }
+
+  // Total bytes owned across chunks — the high-water footprint.
+  std::size_t capacity_bytes() const {
+    std::size_t total = 0;
+    for (const auto& c : chunks_) total += c.size();
+    return total;
+  }
+
+  // The per-thread scratch arena kernel run_block bodies use. Thread-local:
+  // each functional thread-pool worker (and the calling thread) owns one.
+  // Callers MUST bracket use with mark()/rewind() — see ArenaScope.
+  static Arena& thread_scratch() {
+    static thread_local Arena arena;
+    return arena;
+  }
+
+ private:
+  void next_chunk(std::size_t need) {
+    // Advance through existing chunks first (they are live allocations
+    // above the current mark only until a rewind passes them — after
+    // reset() they are all free).
+    while (chunk_ + 1 < chunks_.size()) {
+      ++chunk_;
+      used_ = 0;
+      if (need <= chunks_[chunk_].size()) return;
+    }
+    add_chunk(need);
+  }
+
+  void add_chunk(std::size_t need) {
+    const std::size_t last = chunks_.empty() ? 0 : chunks_.back().size();
+    std::size_t size = last * 2;
+    if (size < kMinChunkBytes) size = kMinChunkBytes;
+    if (size < need) size = need;
+    AlignedBuffer<std::byte> chunk;
+    chunk.reset(size);
+    chunks_.push_back(std::move(chunk));
+    chunk_ = chunks_.size() - 1;
+    used_ = 0;
+  }
+
+  static constexpr std::size_t kMinChunkBytes = 64 * 1024;
+
+  std::vector<AlignedBuffer<std::byte>> chunks_;
+  std::size_t chunk_ = 0;  // current chunk index
+  std::size_t used_ = 0;   // bytes used in current chunk
+};
+
+// RAII mark/rewind bracket for scoped arena use (per-block scratch).
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& a) : arena_(a), mark_(a.mark()) {}
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+  ~ArenaScope() { arena_.rewind(mark_); }
+
+  Arena& arena() { return arena_; }
+
+  template <typename T>
+  T* alloc(std::size_t count) {
+    return arena_.alloc<T>(count);
+  }
+
+ private:
+  Arena& arena_;
+  Arena::Mark mark_;
+};
+
+}  // namespace caqr

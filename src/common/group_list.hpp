@@ -1,0 +1,77 @@
+#pragma once
+
+// Flat CSR-style list of index groups.
+//
+// The TSQR reduction tree's per-level metadata is "groups of block/row
+// indices": hundreds of tiny groups per level, thousands per request at the
+// paper's serving shape. As a vector<vector<idx>> that is one heap
+// allocation per group, rebuilt per request — the single largest
+// steady-state allocation source the profiling layer found. GroupList
+// stores the same structure in two flat arrays (concatenated members +
+// group start offsets), so a whole level is TWO allocations regardless of
+// group count, copies are two memcpys, and iteration is a contiguous walk.
+//
+// Group g is the half-open slice data[starts[g]..starts[g+1]); accessors
+// return std::span, so call sites read like the nested form: `for (idx r :
+// groups[g])`.
+
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "linalg/matrix.hpp"  // idx
+
+namespace caqr {
+
+struct GroupList {
+  std::vector<idx> data;        // concatenated group members
+  std::vector<idx> starts{0};   // size()+1 offsets into data
+
+  idx size() const { return static_cast<idx>(starts.size()) - 1; }
+  bool empty() const { return size() == 0; }
+
+  std::span<const idx> operator[](idx g) const {
+    CAQR_DCHECK(g >= 0 && g < size());
+    const auto b = static_cast<std::size_t>(starts[static_cast<std::size_t>(g)]);
+    const auto e =
+        static_cast<std::size_t>(starts[static_cast<std::size_t>(g) + 1]);
+    return {data.data() + b, e - b};
+  }
+
+  idx group_size(idx g) const {
+    return starts[static_cast<std::size_t>(g) + 1] -
+           starts[static_cast<std::size_t>(g)];
+  }
+
+  void reserve(idx groups, idx members) {
+    starts.reserve(static_cast<std::size_t>(groups) + 1);
+    data.reserve(static_cast<std::size_t>(members));
+  }
+
+  void clear() {
+    data.clear();
+    starts.assign(1, 0);
+  }
+
+  template <typename It>
+  void push_group(It first, It last) {
+    data.insert(data.end(), first, last);
+    starts.push_back(static_cast<idx>(data.size()));
+  }
+
+  void push_group(std::span<const idx> g) { push_group(g.begin(), g.end()); }
+  void push_group(std::initializer_list<idx> g) {
+    push_group(g.begin(), g.end());
+  }
+
+  // Incremental building: append members, then close the group.
+  void append(idx v) { data.push_back(v); }
+  void close_group() { starts.push_back(static_cast<idx>(data.size())); }
+
+  friend bool operator==(const GroupList& a, const GroupList& b) {
+    return a.data == b.data && a.starts == b.starts;
+  }
+};
+
+}  // namespace caqr

@@ -1,0 +1,204 @@
+// Profiling registry + process-wide allocation instrumentation.
+//
+// The replaced global operator new/delete pairs below forward to
+// malloc/free and bump relaxed atomics. They are always on: the cost is two
+// relaxed fetch_adds per allocation, far below malloc itself, and having
+// them unconditionally means every bench and test can report allocation
+// behavior without a special build. The counters deliberately do NOT track
+// live bytes (sized deletes are unreliable through ABI boundaries); they
+// track cumulative allocation traffic, which is the quantity the arena work
+// is judged on.
+
+#include "common/profile.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string_view>
+
+namespace caqr::prof {
+
+namespace {
+
+struct Node {
+  Counter counter;
+  Node* next;
+  explicit Node(const char* name) : counter(name), next(nullptr) {}
+};
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+Node*& registry_head() {
+  static Node* head = nullptr;
+  return head;
+}
+
+std::atomic<long long> g_alloc_count{0};
+std::atomic<long long> g_alloc_bytes{0};
+std::atomic<long long> g_free_count{0};
+
+}  // namespace
+
+Counter& counter(const char* name) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  for (Node* n = registry_head(); n != nullptr; n = n->next) {
+    if (std::string_view(n->counter.name) == name) return n->counter;
+  }
+  // Leaked by design: counters live for the process.
+  Node* n = new Node(name);
+  n->next = registry_head();
+  registry_head() = n;
+  return n->counter;
+}
+
+std::vector<Sample> snapshot() {
+  std::vector<Sample> out;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    for (Node* n = registry_head(); n != nullptr; n = n->next) {
+      Sample s;
+      s.name = n->counter.name;
+      s.count = n->counter.count.load(std::memory_order_relaxed);
+      s.value = n->counter.value.load(std::memory_order_relaxed);
+      out.push_back(std::move(s));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Sample& a, const Sample& b) { return a.name < b.name; });
+  return out;
+}
+
+void reset() {
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    for (Node* n = registry_head(); n != nullptr; n = n->next) {
+      n->counter.count.store(0, std::memory_order_relaxed);
+      n->counter.value.store(0, std::memory_order_relaxed);
+    }
+  }
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_alloc_bytes.store(0, std::memory_order_relaxed);
+  g_free_count.store(0, std::memory_order_relaxed);
+}
+
+long long allocation_count() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+long long allocation_bytes() {
+  return g_alloc_bytes.load(std::memory_order_relaxed);
+}
+long long free_count() {
+  return g_free_count.load(std::memory_order_relaxed);
+}
+
+std::string to_json() {
+  std::string json = "{\"counters\":{";
+  char buf[256];
+  const auto rows = snapshot();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s\"%s\":{\"count\":%lld,\"value\":%lld}", i ? "," : "",
+                  rows[i].name.c_str(), rows[i].count, rows[i].value);
+    json += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "},\"allocations\":{\"count\":%lld,\"bytes\":%lld,"
+                "\"frees\":%lld}}",
+                allocation_count(), allocation_bytes(), free_count());
+  json += buf;
+  return json;
+}
+
+namespace detail {
+
+void* counted_alloc(std::size_t size, std::size_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(static_cast<long long>(size),
+                          std::memory_order_relaxed);
+  if (align > alignof(std::max_align_t)) {
+    const std::size_t bytes = (size + align - 1) / align * align;
+    return std::aligned_alloc(align, bytes);
+  }
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void counted_free(void* p) {
+  if (p != nullptr) g_free_count.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+}  // namespace detail
+
+}  // namespace caqr::prof
+
+// Process-wide replacement of the replaceable allocation functions
+// ([new.delete]); aligned and nothrow forms included so every allocation in
+// the process is counted.
+
+void* operator new(std::size_t size) {
+  void* p = caqr::prof::detail::counted_alloc(size, 0);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = caqr::prof::detail::counted_alloc(size, 0);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = caqr::prof::detail::counted_alloc(
+      size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = caqr::prof::detail::counted_alloc(
+      size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return caqr::prof::detail::counted_alloc(size, 0);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return caqr::prof::detail::counted_alloc(size, 0);
+}
+
+void operator delete(void* p) noexcept { caqr::prof::detail::counted_free(p); }
+void operator delete[](void* p) noexcept {
+  caqr::prof::detail::counted_free(p);
+}
+void operator delete(void* p, std::size_t) noexcept {
+  caqr::prof::detail::counted_free(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  caqr::prof::detail::counted_free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  caqr::prof::detail::counted_free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  caqr::prof::detail::counted_free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  caqr::prof::detail::counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  caqr::prof::detail::counted_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  caqr::prof::detail::counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  caqr::prof::detail::counted_free(p);
+}

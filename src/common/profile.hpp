@@ -1,0 +1,159 @@
+#pragma once
+
+// Host-side profiling: named counters, scoped wall timers, and process-wide
+// allocation instrumentation.
+//
+// The serving benches run ModelOnly at paper scale, where the *simulated*
+// timeline is pure bookkeeping: every second of measured wall time is host
+// work — schedule metadata construction, launch cost accounting, queue and
+// cache locking. This registry makes that host work a reported artifact
+// instead of a guess:
+//
+//   * Counter    — a named (count, value) pair of relaxed atomics. `count`
+//     is events; `value` is the unit the site chooses (nanoseconds for
+//     timers and lock waits, bytes for copies).
+//   * ScopedTimer / CAQR_PROF_SCOPE — accumulates wall nanoseconds of a
+//     scope into a Counter. Cost is two steady_clock reads; use it per
+//     request / per launch, never per block.
+//   * timed_lock — std::lock_guard that charges the nanoseconds spent
+//     *waiting* for a contended mutex to a Counter (the uncontended
+//     try_lock fast path charges nothing but one relaxed increment).
+//   * allocation_count()/allocation_bytes() — process-wide operator
+//     new/delete counts (common/profile.cpp replaces the global operators),
+//     the direct measurement behind the arena work: steady-state requests
+//     should allocate ~nothing.
+//
+// Counters register themselves on first use (function-local static) into an
+// intrusive global list; registration takes a mutex, the hot-path updates
+// are lock-free relaxed atomics. snapshot()/to_json() read the live values
+// (racy reads are fine: every field is monotonic and independently atomic).
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace caqr::prof {
+
+struct Counter {
+  const char* name;
+  std::atomic<long long> count{0};
+  std::atomic<long long> value{0};  // site-defined unit: ns or bytes
+
+  explicit Counter(const char* n) : name(n) {}
+
+  void add(long long events = 1, long long v = 0) {
+    count.fetch_add(events, std::memory_order_relaxed);
+    if (v != 0) value.fetch_add(v, std::memory_order_relaxed);
+  }
+};
+
+// Returns the process-wide counter registered under `name`, creating it on
+// first use. The returned reference is valid for the process lifetime.
+// Call sites should cache it in a function-local static.
+Counter& counter(const char* name);
+
+// One sampled (name, count, value) row; ns-unit counters also carry seconds.
+struct Sample {
+  std::string name;
+  long long count = 0;
+  long long value = 0;
+};
+
+// Every registered counter, sorted by name.
+std::vector<Sample> snapshot();
+
+// Zeroes every registered counter AND the allocation counters — the bench
+// hook for measuring a steady-state window.
+void reset();
+
+// Process-wide allocation instrumentation (global operator new/delete).
+long long allocation_count();
+long long allocation_bytes();
+long long free_count();
+
+namespace detail {
+// Counting malloc/aligned_alloc + free wrappers the replaced global
+// operator new/delete (common/profile.cpp) and AlignedBuffer route through,
+// so matrix/arena traffic and operator-new traffic share one count.
+void* counted_alloc(std::size_t size, std::size_t align);
+void counted_free(void* p);
+}  // namespace detail
+
+// {"counters":{name:{"count":..,"value":..},...},"allocations":{...}}
+std::string to_json();
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Counter& c)
+      : c_(c), t0_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0_)
+                        .count();
+    c_.add(1, static_cast<long long>(ns));
+  }
+
+ private:
+  Counter& c_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+#define CAQR_PROF_CONCAT2(a, b) a##b
+#define CAQR_PROF_CONCAT(a, b) CAQR_PROF_CONCAT2(a, b)
+
+// Accumulates the enclosing scope's wall time under `name_literal`.
+#define CAQR_PROF_SCOPE(name_literal)                              \
+  static ::caqr::prof::Counter& CAQR_PROF_CONCAT(caqr_prof_c_,     \
+                                                 __LINE__) =       \
+      ::caqr::prof::counter(name_literal);                         \
+  ::caqr::prof::ScopedTimer CAQR_PROF_CONCAT(caqr_prof_t_,         \
+                                             __LINE__)(            \
+      CAQR_PROF_CONCAT(caqr_prof_c_, __LINE__))
+
+// Acquires a deferred/unlocked Lockable, attributing contended-acquire wait
+// time to `wait`. For std::unique_lock call sites that go on to cv-wait.
+template <typename Lock>
+void lock_timed(Lock& lk, Counter& wait) {
+  if (lk.try_lock()) {
+    wait.add(1, 0);
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  lk.lock();
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  wait.add(1, static_cast<long long>(ns));
+}
+
+// lock_guard that attributes contended-acquire wait time to `wait`.
+template <typename M>
+class timed_lock {
+ public:
+  timed_lock(M& m, Counter& wait) : m_(m) {
+    if (m_.try_lock()) {
+      wait.add(1, 0);
+      return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    m_.lock();
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    wait.add(1, static_cast<long long>(ns));
+  }
+  timed_lock(const timed_lock&) = delete;
+  timed_lock& operator=(const timed_lock&) = delete;
+  ~timed_lock() { m_.unlock(); }
+
+ private:
+  M& m_;
+};
+
+}  // namespace caqr::prof

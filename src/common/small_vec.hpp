@@ -1,0 +1,152 @@
+#pragma once
+
+// Fixed-inline-capacity vector with heap spill.
+//
+// The ModelOnly cost path calls kernel::stats_summary() once per launch —
+// ~10^2 launches per serving request — and the summaries hold only a
+// handful of equivalence classes (full blocks vs the ragged tail, one or
+// two tree fan-ins). Returning std::vector (plus the std::map used to
+// deduplicate classes) made that path allocate per launch; SmallVec keeps
+// up to N elements in the object itself so the common case touches the
+// heap zero times, while still growing transparently past N for unusual
+// shapes.
+//
+// Deliberately minimal: push_back/emplace_back, random access, iteration,
+// copy/move. Elements must be copyable; capacity never shrinks.
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace caqr {
+
+template <typename T, std::size_t N>
+class SmallVec {
+ public:
+  SmallVec() = default;
+
+  SmallVec(const SmallVec& other) { append_from(other); }
+
+  SmallVec(SmallVec&& other) noexcept {
+    if (other.heap_ != nullptr) {
+      heap_ = other.heap_;
+      cap_ = other.cap_;
+      size_ = other.size_;
+      other.heap_ = nullptr;
+      other.cap_ = N;
+      other.size_ = 0;
+    } else {
+      append_from(other);
+      other.clear();
+    }
+  }
+
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) {
+      clear();
+      append_from(other);
+    }
+    return *this;
+  }
+
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      clear();
+      if (other.heap_ != nullptr) {
+        release_heap();
+        heap_ = other.heap_;
+        cap_ = other.cap_;
+        size_ = other.size_;
+        other.heap_ = nullptr;
+        other.cap_ = N;
+        other.size_ = 0;
+      } else {
+        append_from(other);
+        other.clear();
+      }
+    }
+    return *this;
+  }
+
+  ~SmallVec() {
+    clear();
+    release_heap();
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == cap_) grow(cap_ * 2);
+    T* p = new (data() + size_) T(std::forward<Args>(args)...);
+    ++size_;
+    return *p;
+  }
+
+  void clear() {
+    for (std::size_t i = 0; i < size_; ++i) data()[i].~T();
+    size_ = 0;
+  }
+
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+  T& operator[](std::size_t i) { return data()[i]; }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+  T& front() { return data()[0]; }
+  const T& front() const { return data()[0]; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return cap_; }
+
+ private:
+  T* data() {
+    return heap_ != nullptr ? heap_ : std::launder(reinterpret_cast<T*>(inline_));
+  }
+  const T* data() const {
+    return heap_ != nullptr ? heap_
+                            : std::launder(reinterpret_cast<const T*>(inline_));
+  }
+
+  void append_from(const SmallVec& other) {
+    if (other.size_ > cap_) grow(other.size_);
+    for (std::size_t i = 0; i < other.size_; ++i) {
+      new (data() + size_) T(other.data()[i]);
+      ++size_;
+    }
+  }
+
+  void grow(std::size_t new_cap) {
+    if (new_cap < size_ + 1) new_cap = size_ + 1;
+    T* fresh = static_cast<T*>(::operator new(new_cap * sizeof(T),
+                                              std::align_val_t{alignof(T)}));
+    for (std::size_t i = 0; i < size_; ++i) {
+      new (fresh + i) T(std::move(data()[i]));
+      data()[i].~T();
+    }
+    release_heap();
+    heap_ = fresh;
+    cap_ = new_cap;
+  }
+
+  void release_heap() {
+    if (heap_ != nullptr) {
+      ::operator delete(heap_, std::align_val_t{alignof(T)});
+      heap_ = nullptr;
+      cap_ = N;
+    }
+  }
+
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+  T* heap_ = nullptr;
+  std::size_t cap_ = N;
+  std::size_t size_ = 0;
+};
+
+}  // namespace caqr

@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "caqr/caqr.hpp"
+#include "common/group_list.hpp"
 #include "common/thread_pool.hpp"
 #include "dist/device_grid.hpp"
 #include "dist/dist_matrix.hpp"
@@ -132,27 +133,30 @@ inline std::function<tsqr::TreeSpec(idx, idx)> dist_tree_spec(
     std::size_t max_local = 0;
     for (const auto& ls : locals) max_local = std::max(max_local, ls.levels.size());
     for (std::size_t l = 0; l < max_local; ++l) {
-      std::vector<std::vector<idx>> groups;
+      GroupList groups;
       for (int d = 0; d < n; ++d) {
         const auto& ls = locals[static_cast<std::size_t>(d)];
         if (l >= ls.levels.size()) continue;  // local root passes through
-        for (const auto& g : ls.levels[l]) {
-          std::vector<idx> shifted;
-          shifted.reserve(g.size());
-          for (const idx b : g) {
-            shifted.push_back(roots[static_cast<std::size_t>(d)] + b);
+        const auto& lgl = ls.levels[l];
+        for (idx gi = 0; gi < lgl.size(); ++gi) {
+          for (const idx b : lgl[gi]) {
+            groups.append(roots[static_cast<std::size_t>(d)] + b);
           }
-          groups.push_back(std::move(shifted));
+          groups.close_group();
         }
       }
       spec.levels.push_back(std::move(groups));
     }
     std::vector<idx> survivors = roots;
     while (survivors.size() > 1) {
-      auto groups = detail::group_consecutive(survivors, cross_arity);
+      const auto consec = detail::group_consecutive(survivors, cross_arity);
+      GroupList groups;
       std::vector<idx> next;
-      next.reserve(groups.size());
-      for (const auto& g : groups) next.push_back(g.front());
+      next.reserve(consec.size());
+      for (const auto& g : consec) {
+        next.push_back(g.front());
+        groups.push_group(g.begin(), g.end());
+      }
       spec.levels.push_back(std::move(groups));
       survivors = std::move(next);
     }
@@ -332,8 +336,8 @@ class DistCaqrFactorization {
           }
         }
         cg.taus.assign(static_cast<std::size_t>(w), T(0));
-        const std::vector<std::vector<idx>> stack_groups = {
-            stage_offsets(k, w)};
+        GroupList stack_groups;
+        stack_groups.push_group(stage_offsets(k, w));
         gpusim::Device& dev = grid.device(owner);
         kernels::FactorTreeKernel<T> tk{cg.stage.view(), &stack_groups,
                                         cg.taus.data(), cost,
@@ -414,7 +418,8 @@ class DistCaqrFactorization {
               .copy_from(c_view(d).as_const().block(0, 0, w, nc));
         }
       }
-      const std::vector<std::vector<idx>> stack_groups = {stage_offsets(k, w)};
+      GroupList stack_groups;
+      stack_groups.push_group(stage_offsets(k, w));
       gpusim::Device& dev = grid.device(owner);
       kernels::ApplyQtTreeKernel<T> ak{cg.stage.view(),
                                        &stack_groups,

@@ -239,8 +239,8 @@ template <typename T>
 std::vector<char> tree_covered_rows(const kernels::FactorTreeKernel<T>& k) {
   std::vector<char> covered(static_cast<std::size_t>(k.panel.rows()), 0);
   const idx w = k.panel.cols();
-  for (const auto& rows : *k.groups) {
-    for (idx r : rows) {
+  for (idx g = 0; g < k.groups->size(); ++g) {
+    for (idx r : (*k.groups)[g]) {
       for (idx i = 0; i < w; ++i) covered[static_cast<std::size_t>(r + i)] = 1;
     }
   }
@@ -272,7 +272,7 @@ void abft_verify(const kernels::FactorTreeKernel<T>& k, const TreeCert<T>& cert,
   const auto panel = k.panel.as_const();
   const auto want = cert.expected.as_const();
   for (idx g = 0; g < ng; ++g) {
-    const auto& rows = (*k.groups)[static_cast<std::size_t>(g)];
+    const auto rows = (*k.groups)[g];
     bool ok =
         std::memcmp(k.taus + g * w,
                     cert.expected_taus.data() + static_cast<std::size_t>(g * w),
@@ -299,7 +299,7 @@ void abft_restore(const kernels::FactorTreeKernel<T>& k,
                   bool bystander) {
   const idx w = k.panel.cols();
   for (idx g : bad) {
-    const auto& rows = (*k.groups)[static_cast<std::size_t>(g)];
+    const auto rows = (*k.groups)[g];
     for (idx r : rows) {
       k.panel.block(r, 0, w, w).copy_from(snap.block(r, 0, w, w));
     }
@@ -325,8 +325,8 @@ gpusim::BlockStats abft_stats(const kernels::FactorTreeKernel<T>& k,
   gpusim::BlockStats s;
   const idx w = k.panel.cols();
   double replay = 0.0;  // encode re-executes every combining group
-  for (const auto& rows : *k.groups) {
-    const idx kk = static_cast<idx>(rows.size());
+  for (idx g = 0; g < k.groups->size(); ++g) {
+    const idx kk = k.groups->group_size(g);
     if (kk >= 2) replay += kernels::stacked_geqr2_flops(w, kk);
   }
   const double surface =
@@ -498,9 +498,9 @@ std::vector<char> apply_tree_covered_rows(
     const kernels::ApplyQtTreeKernel<T>& k) {
   std::vector<char> covered(static_cast<std::size_t>(k.trailing.rows()), 0);
   const idx w = k.panel.cols();
-  for (const auto& rows : *k.groups) {
-    if (rows.size() < 2) continue;  // pass-through rows hashed separately
-    for (idx r : rows) {
+  for (idx g = 0; g < k.groups->size(); ++g) {
+    if (k.groups->group_size(g) < 2) continue;  // pass-through hashed apart
+    for (idx r : (*k.groups)[g]) {
       for (idx i = 0; i < w; ++i) covered[static_cast<std::size_t>(r + i)] = 1;
     }
   }
@@ -521,7 +521,7 @@ ApplyTreeCert<T> abft_encode(const kernels::ApplyQtTreeKernel<T>& k) {
   cert.sums.resize(static_cast<std::size_t>(ng));
   cert.untouched.assign(static_cast<std::size_t>(ng), detail::kFnvOffset);
   for (idx g = 0; g < ng; ++g) {
-    const auto& rows = (*k.groups)[static_cast<std::size_t>(g)];
+    const auto rows = (*k.groups)[g];
     const idx kk = static_cast<idx>(rows.size());
     if (kk < 2) {
       std::uint64_t h = detail::kFnvOffset;
@@ -572,7 +572,7 @@ void abft_verify(const kernels::ApplyQtTreeKernel<T>& k,
   const double eps = static_cast<double>(std::numeric_limits<T>::epsilon());
   const auto c = k.trailing.as_const();
   for (idx g = 0; g < ng; ++g) {
-    const auto& rows = (*k.groups)[static_cast<std::size_t>(g)];
+    const auto rows = (*k.groups)[g];
     const idx kk = static_cast<idx>(rows.size());
     if (kk < 2) {
       std::uint64_t h = detail::kFnvOffset;
@@ -641,7 +641,7 @@ void abft_restore(const kernels::ApplyQtTreeKernel<T>& k,
   const idx tiles = k.num_col_tiles();
   const idx w = k.panel.cols();
   for (idx b : bad) {
-    const auto& rows = (*k.groups)[static_cast<std::size_t>(b / tiles)];
+    const auto rows = (*k.groups)[b / tiles];
     const idx c0 = (b % tiles) * k.tile_cols;
     const idx nc = std::min(k.tile_cols, k.trailing.cols() - c0);
     for (idx r : rows) {
@@ -670,8 +670,8 @@ gpusim::BlockStats abft_stats(const kernels::ApplyQtTreeKernel<T>& k,
   const idx tiles = k.num_col_tiles();
   const idx w = k.panel.cols();
   double covered = 0.0, transform = 0.0;
-  for (const auto& rows : *k.groups) {
-    const idx kk = static_cast<idx>(rows.size());
+  for (idx g = 0; g < k.groups->size(); ++g) {
+    const idx kk = k.groups->group_size(g);
     covered += static_cast<double>(kk) * w * k.trailing.cols();
     if (kk >= 2) transform += kernels::stacked_apply_qt_flops(w, kk, tiles);
   }

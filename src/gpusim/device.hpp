@@ -66,13 +66,14 @@
 #include <algorithm>
 #include <concepts>
 #include <cstdint>
-#include <deque>
+#include <iterator>
 #include <map>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/profile.hpp"
 #include "common/thread_pool.hpp"
 #include "ft/abft.hpp"
 #include "ft/ft.hpp"
@@ -98,9 +99,12 @@ inline constexpr StreamId kDefaultStream = 0;
 // the ragged tail, full tiles vs the last tile) can expose an aggregated
 // view (StatsClass, gpusim/stats.hpp) so paper-scale ModelOnly launches
 // cost O(classes), not O(blocks).
+// Any iterable of StatsClass qualifies — kernels return an inline-storage
+// SmallVec so the per-launch cost path stays off the heap.
 template <typename K>
 concept HasStatsSummary = requires(const K& k) {
-  { k.stats_summary() } -> std::convertible_to<std::vector<StatsClass>>;
+  { *std::begin(k.stats_summary()) } -> std::convertible_to<StatsClass>;
+  { std::end(k.stats_summary()) };
 };
 
 // Kernels that expose their writable output surface (a MatrixView) are
@@ -301,6 +305,45 @@ class Device {
     EventId event = -1;       // Record / Wait payload
   };
 
+  // FIFO over a flat vector with a consumed-prefix cursor. The pending
+  // queues fill and fully drain on every timeline resolve; a std::deque
+  // hands its blocks back to the heap each drain, so steady-state serving
+  // paid ~tens of allocations per request just re-growing them. The vector
+  // keeps its capacity across the fill/drain cycle.
+  struct OpQueue {
+    std::vector<PendingOp> ops;
+    std::size_t head = 0;
+
+    bool empty() const { return head == ops.size(); }
+    PendingOp& front() { return ops[head]; }
+    void push_back(PendingOp&& op) {
+      if (empty() && head != 0) {
+        ops.clear();
+        head = 0;
+      }
+      ops.push_back(std::move(op));
+    }
+    void pop_front() {
+      ++head;
+      if (head == ops.size()) {
+        ops.clear();
+        head = 0;
+      }
+    }
+    void clear() {
+      ops.clear();
+      head = 0;
+    }
+  };
+
+  // One admitted kernel inside resolve_pending's event loop.
+  struct Running {
+    StreamId stream;
+    PendingOp op;
+    double start = 0;
+    double remaining = 0;  // solo-seconds of work left
+  };
+
   double t_compute_unfloored(double sum_cycles) const {
     return sum_cycles / model_.num_sms / model_.clock_hz();
   }
@@ -348,6 +391,7 @@ class Device {
   template <typename Kernel>
   void enqueue_launch_cost(StreamId stream, const Kernel& kernel,
                            idx num_blocks) {
+    CAQR_PROF_SCOPE("device.enqueue_cost_ns");
     CostAccum a;
     if constexpr (HasStatsSummary<Kernel>) {
       idx covered = 0;
@@ -513,14 +557,13 @@ class Device {
   // stream id / admission order; no dependence on host time.
   void resolve_pending() const {
     if (num_pending_ == 0) return;
+    CAQR_PROF_SCOPE("device.resolve_ns");
 
-    struct Running {
-      StreamId stream;
-      PendingOp op;
-      double start = 0;
-      double remaining = 0;  // solo-seconds of work left
-    };
-    std::vector<Running> running;
+    // Member scratch: resolve runs on every timeline query, and the running
+    // set is tiny (<= max_concurrent_kernels), so reuse one buffer instead
+    // of reallocating per call.
+    auto& running = running_scratch_;
+    running.clear();
     const std::size_t cap = static_cast<std::size_t>(
         std::max(1, model_.max_concurrent_kernels));
     auto stream_running = [&](StreamId s) {
@@ -676,13 +719,14 @@ class Device {
   long long launch_ordinal_ = 0;
   // Timeline state is logically part of the observable simulated clock;
   // resolution is forced from const accessors, hence mutable.
-  mutable std::map<StreamId, std::deque<PendingOp>> pending_;
+  mutable std::map<StreamId, OpQueue> pending_;
   mutable std::size_t num_pending_ = 0;
   mutable std::map<StreamId, double> stream_time_;  // absolute, per stream
   mutable std::map<EventId, double> event_time_;    // recorded events
   mutable double base_ = 0;  // device-wide floor (last full join)
   mutable std::map<std::string, KernelProfile> profiles_;
   mutable std::vector<TraceEvent> trace_;
+  mutable std::vector<Running> running_scratch_;  // reused by resolve_pending
 };
 
 }  // namespace caqr::gpusim

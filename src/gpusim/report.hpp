@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <string>
 
+#include "common/profile.hpp"
 #include "common/table.hpp"
 #include "gpusim/device.hpp"
 
@@ -47,8 +48,16 @@ inline void print_profile(const Device& dev) { profile_table(dev).print(); }
 // the trace-format "otherData" key (tooling ignores unknown top-level keys),
 // which is where the benches attach their Verifier reports so every
 // BENCH_*.json artifact carries the residuals of the run it timed.
+//
+// `host_profile` additionally embeds a point-in-time snapshot of the host
+// profiling registry (common/profile.hpp: per-stage host nanoseconds, lock
+// waits, process-wide allocation counts) under a "hostProfile" key, so a
+// trace of a simulated timeline also records the host cost of producing it.
+// Off by default: the snapshot is live data, so two calls would not be
+// byte-identical.
 inline std::string trace_json(const Device& dev,
-                              const std::string& other_data = "") {
+                              const std::string& other_data = "",
+                              bool host_profile = false) {
   auto escaped = [](const std::string& s) {
     std::string out;
     out.reserve(s.size());
@@ -78,15 +87,20 @@ inline std::string trace_json(const Device& dev,
     out += ",\"otherData\":";
     out += other_data;
   }
+  if (host_profile) {
+    out += ",\"hostProfile\":";
+    out += prof::to_json();
+  }
   out += "}";
   return out;
 }
 
 inline bool write_trace_json(const Device& dev, const std::string& path,
-                             const std::string& other_data = "") {
+                             const std::string& other_data = "",
+                             bool host_profile = false) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
-  const std::string json = trace_json(dev, other_data);
+  const std::string json = trace_json(dev, other_data, host_profile);
   const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
   return std::fclose(f) == 0 && ok;
 }

@@ -11,10 +11,13 @@
 
 #include <algorithm>
 #include <cstddef>
-#include <map>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "common/arena.hpp"
+#include "common/group_list.hpp"
+#include "common/small_vec.hpp"
 #include "gpusim/stats.hpp"
 #include "kernels/block_ops.hpp"
 #include "kernels/cost_params.hpp"
@@ -25,6 +28,26 @@ namespace caqr::kernels {
 using gpusim::BlockStats;
 
 namespace detail {
+
+// stats_summary return type: launch summaries hold a handful of classes
+// (block heights x tile kinds), so inline storage keeps the per-launch
+// ModelOnly cost path off the heap entirely.
+using StatsSummary = SmallVec<gpusim::StatsClass, 8>;
+
+// Class dedup by linear scan over inline storage — the keys are block
+// heights or tree fan-ins, of which real launches have one or two; a
+// std::map here costs a node allocation per class per launch.
+using ClassCounts = SmallVec<std::pair<idx, idx>, 8>;
+
+inline void bump_class(ClassCounts& counts, idx key, idx by = 1) {
+  for (auto& [k, c] : counts) {
+    if (k == key) {
+      c += by;
+      return;
+    }
+  }
+  counts.push_back({key, by});
+}
 
 // Shared cost model for the Householder-core kernels: `flops` of useful
 // arithmetic plus `staged_elems` block-staging element moves, under a given
@@ -87,14 +110,52 @@ struct FactorKernel {
   void run_block(idx b) const {
     const idx r0 = (*offsets)[static_cast<std::size_t>(b)];
     const idx r1 = (*offsets)[static_cast<std::size_t>(b) + 1];
-    block_geqr2(panel.block(r0, 0, r1 - r0, panel.cols()),
-                taus + b * panel.cols());
+    const idx h = r1 - r0;
+    const idx w = panel.cols();
+    auto blk = panel.block(r0, 0, h, w);
+    if (blk.ld() != h) {
+      // Tall-panel block: columns sit a full panel stride apart, so the
+      // factorization's column sweeps thrash cache lines and TLB entries.
+      // Stage the block contiguously (the host-side analogue of the
+      // kernel's fast-memory tile), factor, and copy back. Same scalar
+      // operations on the same values — bit-identical results.
+      ArenaScope scope(Arena::thread_scratch());
+      T* buf = scope.alloc<T>(h * w);
+      MatrixView<T> s(buf, h, w, h);
+      s.copy_from(blk.as_const());
+      block_geqr2(s, taus + b * w);
+      blk.copy_from(s.as_const());
+    } else {
+      block_geqr2(blk, taus + b * w);
+    }
   }
 
   BlockStats block_stats(idx b) const {
     const idx r0 = (*offsets)[static_cast<std::size_t>(b)];
     const idx r1 = (*offsets)[static_cast<std::size_t>(b) + 1];
-    const idx h = r1 - r0;
+    return stats_for(r1 - r0);
+  }
+
+  // Paper-scale panels split into thousands of uniform blocks plus one
+  // remainder: a handful of height classes covers the whole grid, so
+  // ModelOnly cost accounting is O(classes) instead of O(blocks).
+  detail::StatsSummary stats_summary() const {
+    detail::ClassCounts height_counts;
+    const idx nb = num_blocks();
+    for (idx b = 0; b < nb; ++b) {
+      detail::bump_class(height_counts,
+                         (*offsets)[static_cast<std::size_t>(b) + 1] -
+                             (*offsets)[static_cast<std::size_t>(b)]);
+    }
+    detail::StatsSummary out;
+    for (const auto& [h, count] : height_counts) {
+      out.push_back({stats_for(h), count});
+    }
+    return out;
+  }
+
+ private:
+  BlockStats stats_for(idx h) const {
     const idx w = panel.cols();
     const double elems = static_cast<double>(h) * static_cast<double>(w);
     const double bytes =
@@ -115,7 +176,7 @@ struct FactorTreeKernel {
   MatrixView<T> panel;  // the panel holding the R triangles being combined
   // groups[g] lists the panel-row offsets of the W x W triangles in group g;
   // the first entry receives the combined R.
-  const std::vector<std::vector<idx>>* groups;
+  const GroupList* groups;
   T* taus;  // w scalars per group, contiguous
   KernelCostParams cost;
   double uncoalesced_penalty = 8.0;
@@ -125,22 +186,29 @@ struct FactorTreeKernel {
   static constexpr bool kAbftSupported = std::is_floating_point_v<T>;
 
   const char* name() const { return "factor_tree"; }
-  idx num_blocks() const { return static_cast<idx>(groups->size()); }
+  idx num_blocks() const { return groups->size(); }
   MatrixView<T> fault_surface() const { return panel; }
 
   void run_block(idx g) const {
-    const auto& rows = (*groups)[static_cast<std::size_t>(g)];
+    const auto rows = (*groups)[g];
     const idx k = static_cast<idx>(rows.size());
     const idx w = panel.cols();
     if (k < 2) return;  // singleton group passes through
-    // Gather the stacked triangles, factor, scatter back in place.
-    Matrix<T> stack(k * w, w);
+    // Gather the stacked triangles, factor, scatter back in place. The
+    // stack and the combine scratch come from the per-thread arena — same
+    // column-major layout a freshly allocated Matrix would have, so the
+    // arithmetic (and its result bits) are unchanged; every element is
+    // written before it is read.
+    ArenaScope scope(Arena::thread_scratch());
+    T* sbuf = scope.alloc<T>(static_cast<std::size_t>(k * w) *
+                             static_cast<std::size_t>(w));
+    MatrixView<T> stack(sbuf, k * w, w, k * w);
     for (idx b = 0; b < k; ++b) {
       stack.block(b * w, 0, w, w)
           .copy_from(panel.as_const().block(rows[static_cast<std::size_t>(b)], 0, w, w));
     }
-    std::vector<T> scratch(static_cast<std::size_t>(1 + (k - 1) * w));
-    stacked_geqr2(stack.view(), w, k, taus + g * w, scratch.data());
+    T* scratch = scope.alloc<T>(static_cast<std::size_t>(1 + (k - 1) * w));
+    stacked_geqr2(stack, w, k, taus + g * w, scratch);
     for (idx b = 0; b < k; ++b) {
       panel.block(rows[static_cast<std::size_t>(b)], 0, w, w)
           .copy_from(stack.as_const().block(b * w, 0, w, w));
@@ -148,8 +216,26 @@ struct FactorTreeKernel {
   }
 
   BlockStats block_stats(idx g) const {
-    const auto& rows = (*groups)[static_cast<std::size_t>(g)];
-    const idx k = static_cast<idx>(rows.size());
+    return stats_for(groups->group_size(g));
+  }
+
+  // Uniform-arity trees have one or two distinct fan-ins per level: O(1)
+  // classes for paper-scale ModelOnly accounting.
+  detail::StatsSummary stats_summary() const {
+    detail::ClassCounts fanin_counts;
+    const idx ng = groups->size();
+    for (idx g = 0; g < ng; ++g) {
+      detail::bump_class(fanin_counts, groups->group_size(g));
+    }
+    detail::StatsSummary out;
+    for (const auto& [k, count] : fanin_counts) {
+      out.push_back({stats_for(k), count});
+    }
+    return out;
+  }
+
+ private:
+  BlockStats stats_for(idx k) const {
     const idx w = panel.cols();
     if (k < 2) return BlockStats{};
     // Triangles are gathered from k distinct panel locations: the loads are
@@ -197,14 +283,35 @@ struct ApplyQtHKernel {
     const idx ct = b % num_col_tiles();
     const idx r0 = (*offsets)[static_cast<std::size_t>(rb)];
     const idx r1 = (*offsets)[static_cast<std::size_t>(rb) + 1];
+    const idx h = r1 - r0;
+    const idx w = panel.cols();
     const idx c0 = ct * tile_cols;
     const idx nc = std::min(tile_cols, trailing.cols() - c0);
-    const auto v = panel.block(r0, 0, r1 - r0, panel.cols());
-    const auto c = trailing.block(r0, c0, r1 - r0, nc);
-    if (transpose_q) {
-      block_apply_qt(v, taus + rb * panel.cols(), c);
+    auto v = panel.block(r0, 0, h, w);
+    auto c = trailing.block(r0, c0, h, nc);
+    if (v.ld() != h || c.ld() != h) {
+      // Both operands stride by the full panel height between columns;
+      // the reflector sweep re-reads v for every trailing column, so
+      // stage both contiguously (the fast-memory tile of the simulated
+      // kernel), apply, and copy the tile back. Bit-identical: the same
+      // scalar operations run on the same values in the same order.
+      ArenaScope scope(Arena::thread_scratch());
+      T* vbuf = scope.alloc<T>(h * w);
+      T* cbuf = scope.alloc<T>(h * nc);
+      MatrixView<T> vs(vbuf, h, w, h);
+      MatrixView<T> cs(cbuf, h, nc, h);
+      vs.copy_from(v);
+      cs.copy_from(c.as_const());
+      if (transpose_q) {
+        block_apply_qt(vs.as_const(), taus + rb * w, cs);
+      } else {
+        block_apply_q(vs.as_const(), taus + rb * w, cs);
+      }
+      c.copy_from(cs.as_const());
+    } else if (transpose_q) {
+      block_apply_qt(v, taus + rb * w, c);
     } else {
-      block_apply_q(v, taus + rb * panel.cols(), c);
+      block_apply_q(v, taus + rb * w, c);
     }
   }
 
@@ -220,17 +327,17 @@ struct ApplyQtHKernel {
   // Blocks fall into (distinct row-block heights) x (full tile, last tile)
   // classes; paper-scale launches have millions of blocks but only a
   // handful of classes.
-  std::vector<gpusim::StatsClass> stats_summary() const {
-    std::map<idx, idx> height_counts;
+  detail::StatsSummary stats_summary() const {
+    detail::ClassCounts height_counts;
     const idx nrb = num_row_blocks();
     for (idx rb = 0; rb < nrb; ++rb) {
-      const idx h = (*offsets)[static_cast<std::size_t>(rb) + 1] -
-                    (*offsets)[static_cast<std::size_t>(rb)];
-      ++height_counts[h];
+      detail::bump_class(height_counts,
+                         (*offsets)[static_cast<std::size_t>(rb) + 1] -
+                             (*offsets)[static_cast<std::size_t>(rb)]);
     }
     const idx tiles = num_col_tiles();
     const idx last_nc = trailing.cols() - (tiles - 1) * tile_cols;
-    std::vector<gpusim::StatsClass> out;
+    detail::StatsSummary out;
     for (const auto& [h, count] : height_counts) {
       if (tiles > 1) {
         out.push_back({stats_for(h, tile_cols), count * (tiles - 1)});
@@ -268,7 +375,7 @@ struct ApplyQtHKernel {
 template <typename T>
 struct ApplyQtTreeKernel {
   ConstMatrixView<T> panel;  // factored panel holding the tree-level U's
-  const std::vector<std::vector<idx>>* groups;
+  const GroupList* groups;
   const T* taus;           // w scalars per group
   MatrixView<T> trailing;  // same row space as panel
   idx tile_cols = 16;
@@ -287,23 +394,29 @@ struct ApplyQtTreeKernel {
   idx num_col_tiles() const {
     return (trailing.cols() + tile_cols - 1) / tile_cols;
   }
-  idx num_blocks() const {
-    return static_cast<idx>(groups->size()) * num_col_tiles();
-  }
+  idx num_blocks() const { return groups->size() * num_col_tiles(); }
 
   void run_block(idx b) const {
     const idx g = b / num_col_tiles();
     const idx ct = b % num_col_tiles();
-    const auto& rows = (*groups)[static_cast<std::size_t>(g)];
+    const auto rows = (*groups)[g];
     const idx k = static_cast<idx>(rows.size());
     if (k < 2) return;
     const idx w = panel.cols();
     const idx c0 = ct * tile_cols;
     const idx nc = std::min(tile_cols, trailing.cols() - c0);
 
-    // Gather the distributed U triangles and trailing row groups.
-    Matrix<T> u(k * w, w);
-    Matrix<T> c(k * w, nc);
+    // Gather the distributed U triangles and trailing row groups into
+    // arena-backed stacks (same layout a fresh Matrix would have — the
+    // combine arithmetic and its result bits are unchanged; every element
+    // is written by the gather before it is read).
+    ArenaScope scope(Arena::thread_scratch());
+    T* ubuf = scope.alloc<T>(static_cast<std::size_t>(k * w) *
+                             static_cast<std::size_t>(w));
+    T* cbuf = scope.alloc<T>(static_cast<std::size_t>(k * w) *
+                             static_cast<std::size_t>(nc));
+    MatrixView<T> u(ubuf, k * w, w, k * w);
+    MatrixView<T> c(cbuf, k * w, nc, k * w);
     for (idx blk = 0; blk < k; ++blk) {
       const idx r = rows[static_cast<std::size_t>(blk)];
       u.block(blk * w, 0, w, w).copy_from(panel.block(r, 0, w, w));
@@ -311,9 +424,9 @@ struct ApplyQtTreeKernel {
           .copy_from(trailing.as_const().block(r, c0, w, nc));
     }
     if (transpose_q) {
-      stacked_apply_qt(u.as_const(), w, k, taus + g * w, c.view());
+      stacked_apply_qt(u.as_const(), w, k, taus + g * w, c);
     } else {
-      stacked_apply_q(u.as_const(), w, k, taus + g * w, c.view());
+      stacked_apply_q(u.as_const(), w, k, taus + g * w, c);
     }
     for (idx blk = 0; blk < k; ++blk) {
       const idx r = rows[static_cast<std::size_t>(blk)];
@@ -324,21 +437,21 @@ struct ApplyQtTreeKernel {
   BlockStats block_stats(idx b) const {
     const idx g = b / num_col_tiles();
     const idx ct = b % num_col_tiles();
-    const idx k =
-        static_cast<idx>((*groups)[static_cast<std::size_t>(g)].size());
+    const idx k = groups->group_size(g);
     const idx nc = std::min(tile_cols, trailing.cols() - ct * tile_cols);
     return stats_for(k, nc);
   }
 
   // Classes: (distinct group fan-ins k) x (full tile, last tile).
-  std::vector<gpusim::StatsClass> stats_summary() const {
-    std::map<idx, idx> fanin_counts;
-    for (const auto& rows : *groups) {
-      ++fanin_counts[static_cast<idx>(rows.size())];
+  detail::StatsSummary stats_summary() const {
+    detail::ClassCounts fanin_counts;
+    const idx ng = groups->size();
+    for (idx g = 0; g < ng; ++g) {
+      detail::bump_class(fanin_counts, groups->group_size(g));
     }
     const idx tiles = num_col_tiles();
     const idx last_nc = trailing.cols() - (tiles - 1) * tile_cols;
-    std::vector<gpusim::StatsClass> out;
+    detail::StatsSummary out;
     for (const auto& [k, count] : fanin_counts) {
       if (tiles > 1) {
         out.push_back({stats_for(k, tile_cols), count * (tiles - 1)});
@@ -386,7 +499,26 @@ struct TransposeKernel {
 
   BlockStats block_stats(idx b) const {
     const idx r0 = b * block_rows;
-    const idx h = std::min(block_rows, rows - r0);
+    return stats_for(std::min(block_rows, rows - r0));
+  }
+
+  // Every block is block_rows tall except a possible remainder: at most two
+  // classes regardless of panel height.
+  detail::StatsSummary stats_summary() const {
+    const idx nb = num_blocks();
+    const idx last_h = rows - (nb - 1) * block_rows;
+    detail::StatsSummary out;
+    if (nb > 1 && last_h != block_rows) {
+      out.push_back({stats_for(block_rows), nb - 1});
+      out.push_back({stats_for(last_h), 1});
+    } else {
+      out.push_back({stats_for(std::min(block_rows, rows)), nb});
+    }
+    return out;
+  }
+
+ private:
+  BlockStats stats_for(idx h) const {
     BlockStats s;
     const double elems = static_cast<double>(h) * cols;
     // Staged through shared memory to keep both sides coalesced.

@@ -39,6 +39,8 @@
 #include <vector>
 
 #include "caqr/solver.hpp"
+#include "common/group_list.hpp"
+#include "common/profile.hpp"
 #include "gpusim/device.hpp"
 #include "kernels/kernels.hpp"
 #include "tsqr/tsqr.hpp"
@@ -76,14 +78,16 @@ struct FusedKernel {
     return parts[p].block_stats(b - prefix[p]);
   }
 
-  std::vector<gpusim::StatsClass> stats_summary() const
+  auto stats_summary() const
     requires gpusim::HasStatsSummary<K>
   {
-    std::vector<gpusim::StatsClass> out;
-    for (const K& part : parts) {
-      const auto s = part.stats_summary();
-      out.insert(out.end(), s.begin(), s.end());
-    }
+    // Same-shape parts have identical summaries (block stats depend on
+    // shapes and cost parameters, never on data): summarize part 0 once and
+    // scale the class counts by the part count instead of concatenating k
+    // identical copies.
+    auto out = parts.front().stats_summary();
+    const idx k = static_cast<idx>(parts.size());
+    for (auto& c : out) c.count *= k;
     return out;
   }
 
@@ -140,48 +144,65 @@ void fused_tsqr_factor(gpusim::Device& dev,
   // Same shape => same block decomposition for every problem.
   const std::vector<idx> offsets = tsqr::split_rows(len, topt.block_rows, w);
   const idx nblocks = static_cast<idx>(offsets.size()) - 1;
+  // taus are only read by functional run_block/apply; ModelOnly skips them.
+  const bool functional = dev.mode() == gpusim::ExecMode::Functional;
 
   FusedKernel<kernels::FactorKernel<T>> fk;
-  for (auto& pr : probs) {
-    pr.panels.emplace_back();
-    auto& pf = pr.panels.back();
-    pf.rows = len;
-    pf.width = w;
-    pf.offsets = offsets;
-    pf.taus0.assign(static_cast<std::size_t>(nblocks * w), T(0));
-    fk.add(kernels::FactorKernel<T>{pr.a.block(c0, c0, len, w), &pf.offsets,
-                                    pf.taus0.data(), cost, pen, tile_pen});
+  {
+    CAQR_PROF_SCOPE("serve.batch_stage_ns");
+    for (auto& pr : probs) {
+      pr.panels.emplace_back();
+      auto& pf = pr.panels.back();
+      pf.rows = len;
+      pf.width = w;
+      pf.offsets = offsets;
+      if (functional) {
+        pf.taus0.assign(static_cast<std::size_t>(nblocks * w), T(0));
+      }
+      fk.add(kernels::FactorKernel<T>{pr.a.block(c0, c0, len, w), &pf.offsets,
+                                      pf.taus0.data(), cost, pen, tile_pen});
+    }
   }
   dev.launch(fk, fk.num_blocks());
   ++fused_launches;
 
   // Reduction tree: identical group structure across problems, fused per
   // level. Level metadata must live in the PanelFactor BEFORE the kernel
-  // takes pointers into it.
+  // takes pointers into it. The shared per-level GroupList is built once;
+  // each problem's copy is two flat array copies, not one allocation per
+  // group.
   std::vector<idx> survivors(offsets.begin(), offsets.end() - 1);
   const idx arity = topt.effective_arity(w);
   while (static_cast<idx>(survivors.size()) > 1) {
-    std::vector<std::vector<idx>> groups;
+    GroupList groups;
     std::vector<idx> next;
     for (std::size_t g = 0; g < survivors.size();
          g += static_cast<std::size_t>(arity)) {
       const std::size_t end =
           std::min(survivors.size(), g + static_cast<std::size_t>(arity));
-      groups.emplace_back(survivors.begin() + static_cast<std::ptrdiff_t>(g),
-                          survivors.begin() + static_cast<std::ptrdiff_t>(end));
+      groups.push_group(survivors.begin() + static_cast<std::ptrdiff_t>(g),
+                        survivors.begin() + static_cast<std::ptrdiff_t>(end));
       next.push_back(survivors[g]);
     }
     FusedKernel<kernels::FactorTreeKernel<T>> tk;
-    for (auto& pr : probs) {
-      auto& pf = pr.panels.back();
-      typename tsqr::PanelFactor<T>::Level level;
-      level.groups = groups;
-      level.taus.assign(groups.size() * static_cast<std::size_t>(w), T(0));
-      pf.levels.push_back(std::move(level));
-      tk.add(kernels::FactorTreeKernel<T>{pr.a.block(c0, c0, len, w),
-                                          &pf.levels.back().groups,
-                                          pf.levels.back().taus.data(), cost,
-                                          pen, tile_pen});
+    {
+      CAQR_PROF_SCOPE("serve.batch_stage_ns");
+      for (auto& pr : probs) {
+        auto& pf = pr.panels.back();
+        typename tsqr::PanelFactor<T>::Level level;
+        level.groups = groups;
+        if (functional) {
+          level.taus.assign(
+              static_cast<std::size_t>(groups.size()) *
+                  static_cast<std::size_t>(w),
+              T(0));
+        }
+        pf.levels.push_back(std::move(level));
+        tk.add(kernels::FactorTreeKernel<T>{pr.a.block(c0, c0, len, w),
+                                            &pf.levels.back().groups,
+                                            pf.levels.back().taus.data(), cost,
+                                            pen, tile_pen});
+      }
     }
     dev.launch(tk, tk.num_blocks());
     ++fused_launches;

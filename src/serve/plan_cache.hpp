@@ -19,15 +19,22 @@
 // out of the LRU.
 //
 // Thread safety: every public member is safe to call concurrently; one
-// mutex guards the map, the LRU list and the counters. Misses compute the
-// plan UNDER the lock — planning is milliseconds of ModelOnly simulation,
-// and serializing misses guarantees one plan per key (no duplicate sweeps,
-// deterministic counters). Steady-state traffic is hits, which only touch
-// the LRU list. Determinism: plans are pure functions of the key, so cache
-// hit vs miss can never change a request's numerical result — only how fast
-// the options were obtained. Entries are returned as shared_ptr<const>
-// snapshots, valid even after eviction.
+// mutex guards the map, the LRU list and the counters, and is held only for
+// the map/LRU bookkeeping — never while planning. Misses compute the plan
+// OUTSIDE the lock with per-key once semantics: the first requester of a
+// key publishes a slot under the lock, releases it, and plans into the slot
+// via std::call_once; concurrent requesters of the same key find the slot
+// and block in call_once until the plan is published (exactly one planning
+// sweep per key — see plans_computed()), while requesters of OTHER keys
+// proceed untouched. Planning is milliseconds of ModelOnly simulation, so
+// holding the lock across it would serialize every worker behind each cold
+// shape. Steady-state traffic is hits, which only touch the LRU list.
+// Determinism: plans are pure functions of the key, so cache hit vs miss
+// can never change a request's numerical result — only how fast the options
+// were obtained. Entries are returned as shared_ptr<const> snapshots, valid
+// even after eviction.
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <map>
@@ -38,6 +45,7 @@
 
 #include "caqr/autotune.hpp"
 #include "caqr/solver.hpp"
+#include "common/profile.hpp"
 #include "dist/dist_caqr.hpp"
 #include "gpusim/machine_model.hpp"
 
@@ -90,6 +98,7 @@ template <typename T>
 QrPlan make_plan(const gpusim::GpuMachineModel& model, idx m, idx n,
                  QrAlgorithm algo = QrAlgorithm::Auto,
                  const CaqrOptions& base = {}) {
+  CAQR_PROF_SCOPE("plan_cache.plan_build_ns");
   QrPlan p;
   p.key = PlanKey{m, n, static_cast<int>(sizeof(T)), algo,
                   model.fingerprint()};
@@ -159,24 +168,8 @@ class PlanCache {
                 const CaqrOptions& base = {}) {
     const PlanKey key{m, n, static_cast<int>(sizeof(T)), algo,
                       model.fingerprint()};
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = entries_.find(key);
-    if (it != entries_.end()) {
-      ++hits_;
-      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-      return {it->second.plan, true};
-    }
-    ++misses_;
-    auto plan = std::make_shared<const QrPlan>(
-        make_plan<T>(model, m, n, algo, base));
-    lru_.push_front(key);
-    entries_[key] = Entry{plan, lru_.begin()};
-    while (entries_.size() > capacity_) {
-      entries_.erase(lru_.back());
-      lru_.pop_back();
-      ++evictions_;
-    }
-    return {plan, false};
+    return lookup_impl(key, [&] { return make_plan<T>(model, m, n, algo,
+                                                      base); });
   }
 
   // Distributed lookup: keyed on the composed grid fingerprint AND device
@@ -188,24 +181,8 @@ class PlanCache {
                      const dist::DistCaqrOptions& base = {}) {
     const PlanKey key{m, n, static_cast<int>(sizeof(T)), QrAlgorithm::Caqr,
                       grid.fingerprint(), grid.size()};
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = entries_.find(key);
-    if (it != entries_.end()) {
-      ++hits_;
-      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-      return {it->second.plan, true};
-    }
-    ++misses_;
-    auto plan = std::make_shared<const QrPlan>(
-        make_dist_plan<T>(grid, m, n, base));
-    lru_.push_front(key);
-    entries_[key] = Entry{plan, lru_.begin()};
-    while (entries_.size() > capacity_) {
-      entries_.erase(lru_.back());
-      lru_.pop_back();
-      ++evictions_;
-    }
-    return {plan, false};
+    return lookup_impl(key, [&] { return make_dist_plan<T>(grid, m, n,
+                                                           base); });
   }
 
   template <typename T>
@@ -217,10 +194,17 @@ class PlanCache {
   }
 
   // Monotonic counters (never reset by eviction); size() is the resident
-  // entry count.
+  // entry count. plans_computed() counts planning sweeps actually executed —
+  // with a nonzero capacity it equals the number of distinct keys planned,
+  // which is what the concurrency tests assert (no duplicate sweeps when
+  // many workers miss the same cold key at once). Capacity 0 evicts slots
+  // immediately, so repeated lookups of one key legitimately re-plan.
   long long hits() const { return locked(hits_); }
   long long misses() const { return locked(misses_); }
   long long evictions() const { return locked(evictions_); }
+  long long plans_computed() const {
+    return plans_computed_.load(std::memory_order_relaxed);
+  }
   std::size_t size() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return entries_.size();
@@ -233,10 +217,52 @@ class PlanCache {
   }
 
  private:
-  struct Entry {
+  // One cached key's plan slot. The first requester publishes the slot in
+  // the map, then plans into it through `once`; later requesters share the
+  // slot (keeping it alive past eviction) and call_once blocks them until
+  // `plan` is set. After call_once returns, reading `plan` is synchronized.
+  struct Slot {
+    std::once_flag once;
     std::shared_ptr<const QrPlan> plan;
+  };
+  struct Entry {
+    std::shared_ptr<Slot> slot;
     std::list<PlanKey>::iterator lru_pos;
   };
+
+  template <typename ComputeFn>
+  Lookup lookup_impl(const PlanKey& key, ComputeFn&& compute) {
+    static prof::Counter& wait = prof::counter("plan_cache.lock_wait_ns");
+    std::shared_ptr<Slot> slot;
+    bool hit = false;
+    {
+      prof::timed_lock<std::mutex> lock(mutex_, wait);
+      const auto it = entries_.find(key);
+      if (it != entries_.end()) {
+        ++hits_;
+        hit = true;
+        lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+        slot = it->second.slot;
+      } else {
+        ++misses_;
+        slot = std::make_shared<Slot>();
+        lru_.push_front(key);
+        entries_[key] = Entry{slot, lru_.begin()};
+        while (entries_.size() > capacity_) {
+          entries_.erase(lru_.back());
+          lru_.pop_back();
+          ++evictions_;
+        }
+      }
+    }
+    // Planning happens here, outside the cache lock: one winner per slot,
+    // same-key latecomers wait inside call_once, other keys never block.
+    std::call_once(slot->once, [&] {
+      slot->plan = std::make_shared<const QrPlan>(compute());
+      plans_computed_.fetch_add(1, std::memory_order_relaxed);
+    });
+    return {slot->plan, hit};
+  }
 
   long long locked(const long long& v) const {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -250,6 +276,7 @@ class PlanCache {
   long long hits_ = 0;
   long long misses_ = 0;
   long long evictions_ = 0;
+  std::atomic<long long> plans_computed_{0};
 };
 
 }  // namespace caqr::serve

@@ -57,6 +57,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/profile.hpp"
 #include "serve/batch.hpp"
 #include "serve/plan_cache.hpp"
 #include "svd/tall_skinny_svd.hpp"
@@ -301,6 +302,7 @@ class SolverPool {
   template <typename T>
   void run_one(gpusim::Device& dev, Matrix<T>& a, const RequestOptions& req,
                QrResponse<T>& resp) {
+    CAQR_PROF_SCOPE("serve.request_ns");
     const idx m = a.rows(), n = a.cols();
     QrAlgorithm algo;
     CaqrOptions opts;
@@ -350,6 +352,7 @@ class SolverPool {
   template <typename T>
   void resolve_plan(idx m, idx n, const RequestOptions& req,
                     QrAlgorithm& algo, CaqrOptions& opts, bool& cache_hit) {
+    CAQR_PROF_SCOPE("serve.plan_resolve_ns");
     algo = req.algo;
     opts = req.caqr;
     cache_hit = false;
@@ -384,7 +387,9 @@ class SolverPool {
                              std::chrono::duration<double>(
                                  req.deadline_seconds));
     }
-    std::unique_lock<std::mutex> lock(mutex_);
+    static prof::Counter& wait = prof::counter("serve.pool_lock_wait_ns");
+    std::unique_lock<std::mutex> lock(mutex_, std::defer_lock);
+    prof::lock_timed(lock, wait);
     if (blocking) {
       cv_space_.wait(lock, [&] {
         return stopping_ || queue_.size() < opts_.queue_capacity;
@@ -407,38 +412,53 @@ class SolverPool {
     for (;;) {
       Job job;
       {
-        std::unique_lock<std::mutex> lock(mutex_);
+        static prof::Counter& wait =
+            prof::counter("serve.pool_lock_wait_ns");
+        std::unique_lock<std::mutex> lock(mutex_, std::defer_lock);
+        prof::lock_timed(lock, wait);
         cv_work_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
         if (queue_.empty()) return;  // stopping and drained
         auto it = queue_.begin();
         job = std::move(it->second);
         queue_.erase(it);
         ++active_;
-        cv_space_.notify_all();
       }
+      // One slot freed admits one blocked producer; notify_all here was a
+      // thundering herd that serialized every producer through the mutex
+      // on each dequeue.
+      cv_space_.notify_one();
       if (job.has_deadline && Clock::now() > job.deadline) {
         // Count before fulfilling the promise: a waiter woken by the
         // response future must already see the stat it implies.
+        bool drained;
         {
           std::lock_guard<std::mutex> lock(mutex_);
           ++expired_;
           --active_;
+          drained = queue_.empty() && active_ == 0;
         }
         job.finish(RequestStatus::DeadlineExpired);
-        cv_drain_.notify_all();
+        if (drained) cv_drain_.notify_all();
         continue;
       }
       // Fresh timeline per request: simulated_seconds is the request's own
       // device time, and results cannot depend on what ran before.
       dev.reset_timeline();
       job.run(dev);
+      bool drained;
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        static prof::Counter& wait =
+            prof::counter("serve.pool_lock_wait_ns");
+        prof::timed_lock<std::mutex> lock(mutex_, wait);
         busy_sim_[static_cast<std::size_t>(widx)] += dev.elapsed_seconds();
         ++completed_;
         --active_;
-        cv_drain_.notify_all();
+        drained = queue_.empty() && active_ == 0;
       }
+      // wait_drain's predicate is "queue empty and nothing active": waking
+      // its waiters on EVERY completion stampeded them through the mutex
+      // per request. Notify only at the drained edge they wait for.
+      if (drained) cv_drain_.notify_all();
     }
   }
 

@@ -21,9 +21,13 @@
 // patched — up to FtOptions::max_panel_retries times.
 
 #include <algorithm>
+#include <array>
 #include <functional>
+#include <map>
 #include <vector>
 
+#include "common/group_list.hpp"
+#include "common/profile.hpp"
 #include "ft/ft.hpp"
 #include "gpusim/device.hpp"
 #include "kernels/kernels.hpp"
@@ -48,8 +52,10 @@ struct TreeSpec {
   // combined R. Every listed block must be a survivor (level-0 blocks are
   // all survivors; after a level only each group's first block survives;
   // blocks not listed in a level pass through unchanged). Singleton groups
-  // are allowed and are no-ops.
-  std::vector<std::vector<std::vector<idx>>> levels;
+  // are allowed and are no-ops. Each level is a flat GroupList (two arrays
+  // per level, not one heap vector per group — this metadata is rebuilt per
+  // panel on the serving hot path).
+  std::vector<GroupList> levels;
 
   idx num_blocks() const { return static_cast<idx>(offsets.size()) - 1; }
 };
@@ -91,8 +97,10 @@ struct PanelFactor {
     // groups[g] lists panel-row offsets of the R triangles combined by
     // group g (first entry holds the surviving R). Singleton groups are
     // pass-throughs and carry zero taus.
-    std::vector<std::vector<idx>> groups;
-    std::vector<T> taus;  // width scalars per group
+    GroupList groups;
+    // width scalars per group. Functional factorizations only: ModelOnly
+    // runs never execute blocks, so the taus are left unallocated.
+    std::vector<T> taus;
   };
   std::vector<Level> levels;
 
@@ -125,14 +133,19 @@ inline TreeSpec uniform_tree_spec(idx rows, idx width, const TsqrOptions& opt) {
   survivors.reserve(static_cast<std::size_t>(nblocks));
   for (idx b = 0; b < nblocks; ++b) survivors.push_back(b);
   while (static_cast<idx>(survivors.size()) > 1) {
-    std::vector<std::vector<idx>> groups;
+    GroupList groups;
+    groups.reserve(
+        static_cast<idx>((survivors.size() + static_cast<std::size_t>(arity) -
+                          1) /
+                         static_cast<std::size_t>(arity)),
+        static_cast<idx>(survivors.size()));
     std::vector<idx> next;
     for (std::size_t g = 0; g < survivors.size();
          g += static_cast<std::size_t>(arity)) {
       const std::size_t end =
           std::min(survivors.size(), g + static_cast<std::size_t>(arity));
-      groups.emplace_back(survivors.begin() + static_cast<std::ptrdiff_t>(g),
-                          survivors.begin() + static_cast<std::ptrdiff_t>(end));
+      groups.push_group(survivors.begin() + static_cast<std::ptrdiff_t>(g),
+                        survivors.begin() + static_cast<std::ptrdiff_t>(end));
       next.push_back(survivors[g]);
     }
     survivors = std::move(next);
@@ -142,6 +155,30 @@ inline TreeSpec uniform_tree_spec(idx rows, idx width, const TsqrOptions& opt) {
 }
 
 namespace detail {
+
+inline void check_tree_spec(const TreeSpec& spec, idx rows, idx width);
+
+// The uniform spec is a pure function of (rows, width, block_rows, arity):
+// serving replays the same few panel shapes per request, so rebuilding (and
+// re-validating) the spec every time was the largest steady-state
+// allocation source after the GroupList flattening. Memoize per thread —
+// std::map node stability lets callers hold the reference across
+// insertions, and worker threads each serve a handful of shapes, so the
+// map stays tiny. Wiped wholesale if it ever grows past a bound (a serving
+// mix cycling through >256 shapes per thread re-plans, it doesn't leak).
+inline const TreeSpec& cached_uniform_spec(idx rows, idx width,
+                                           const TsqrOptions& opt) {
+  using Key = std::array<idx, 4>;
+  thread_local std::map<Key, TreeSpec> cache;
+  const idx arity = opt.effective_arity(width);
+  const Key key{rows, width, opt.block_rows, arity};
+  const auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  if (cache.size() >= 256) cache.clear();
+  TreeSpec spec = uniform_tree_spec(rows, width, opt);
+  check_tree_spec(spec, rows, width);
+  return cache.emplace(key, std::move(spec)).first->second;
+}
 
 // Structural validation of a spec against a (rows, width) panel: well-formed
 // offsets, every block tall enough to hold a W x W triangle, every group
@@ -159,7 +196,8 @@ inline void check_tree_spec(const TreeSpec& spec, idx rows, idx width) {
   std::vector<char> survivor(static_cast<std::size_t>(nblocks), 1);
   for (const auto& groups : spec.levels) {
     std::vector<char> used(static_cast<std::size_t>(nblocks), 0);
-    for (const auto& g : groups) {
+    for (idx gi = 0; gi < groups.size(); ++gi) {
+      const auto g = groups[gi];
       CAQR_CHECK(!g.empty());
       for (std::size_t i = 0; i < g.size(); ++i) {
         const idx b = g[i];
@@ -193,17 +231,36 @@ PanelFactor<T> tsqr_factor_attempt(gpusim::Device& dev, gpusim::StreamId stream,
     f.offsets = {0, rows};
     return f;
   }
-  const TreeSpec spec = opt.tree_spec ? opt.tree_spec(rows, width)
-                                      : uniform_tree_spec(rows, width, opt);
-  check_tree_spec(spec, rows, width);
+  // Custom providers are built (and validated) per call; the uniform
+  // default comes from the per-thread memo and allocates nothing when warm.
+  TreeSpec custom;
+  const TreeSpec* spec_ptr;
+  {
+    CAQR_PROF_SCOPE("tsqr.meta_build_ns");
+    if (opt.tree_spec) {
+      custom = opt.tree_spec(rows, width);
+      check_tree_spec(custom, rows, width);
+      spec_ptr = &custom;
+    } else {
+      spec_ptr = &cached_uniform_spec(rows, width, opt);
+    }
+  }
+  const TreeSpec& spec = *spec_ptr;
   f.offsets = spec.offsets;
   const idx nblocks = f.num_blocks();
-  f.taus0.assign(static_cast<std::size_t>(nblocks * width), T(0));
 
   // Boundary guards only see data in Functional mode: ModelOnly panels are
   // storage-free placeholders.
   const bool functional = dev.mode() == gpusim::ExecMode::Functional;
   if (functional) CAQR_GUARD_FINITE(panel, "tsqr_factor:input");
+
+  // Taus are written by run_block and read by apply — both functional-only.
+  // ModelOnly requests skip the allocation (and its zero-fill): ~100 KB per
+  // paper-scale panel that would never be touched. The kernels receive
+  // data() == nullptr, which no ModelOnly path dereferences.
+  if (functional) {
+    f.taus0.assign(static_cast<std::size_t>(nblocks * width), T(0));
+  }
 
   const auto cost = kernels::cost_params(opt.variant);
   const bool charge_transpose =
@@ -221,19 +278,26 @@ PanelFactor<T> tsqr_factor_attempt(gpusim::Device& dev, gpusim::StreamId stream,
 
   // Reduction tree over the surviving R triangles, one launch per spec
   // level; groups are translated from block indices to panel-row offsets
-  // (the replay coordinates PanelFactor records).
+  // (the replay coordinates PanelFactor records). Both sides are flat
+  // GroupLists with the SAME group structure, so translation is one flat
+  // map over the member array plus a copy of the start offsets.
   for (const auto& groups : spec.levels) {
     typename PanelFactor<T>::Level level;
-    level.groups.reserve(groups.size());
-    for (const auto& g : groups) {
-      std::vector<idx> rows_of;
-      rows_of.reserve(g.size());
-      for (const idx b : g) {
-        rows_of.push_back(f.offsets[static_cast<std::size_t>(b)]);
+    {
+      CAQR_PROF_SCOPE("tsqr.meta_build_ns");
+      level.groups.starts = groups.starts;
+      level.groups.data.resize(groups.data.size());
+      for (std::size_t i = 0; i < groups.data.size(); ++i) {
+        level.groups.data[i] =
+            f.offsets[static_cast<std::size_t>(groups.data[i])];
       }
-      level.groups.push_back(std::move(rows_of));
     }
-    level.taus.assign(level.groups.size() * static_cast<std::size_t>(width), T(0));
+    if (functional) {
+      level.taus.assign(
+          static_cast<std::size_t>(level.groups.size()) *
+              static_cast<std::size_t>(width),
+          T(0));
+    }
     kernels::FactorTreeKernel<T> tk{panel, &level.groups, level.taus.data(),
                                     cost, dev.model().uncoalesced_penalty,
                                     dev.model().tile_locality_penalty};

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstdint>
+#include <memory>
 #include <numeric>
 #include <mutex>
 #include <set>
@@ -12,7 +15,10 @@
 #include <vector>
 
 #include "common/aligned_buffer.hpp"
+#include "common/arena.hpp"
 #include "common/cli.hpp"
+#include "common/group_list.hpp"
+#include "common/profile.hpp"
 #include "common/prng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -275,6 +281,192 @@ TEST(Cli, IntegerRangeAndSuffixChecks) {
   const char* ok[] = {"prog", "--k=-42"};
   CliArgs args_ok(2, const_cast<char**>(ok));
   EXPECT_EQ(args_ok.get_int("k", 0), -42);
+}
+
+// ------------------------------------------------------------ AlignedBuffer
+
+TEST(AlignedBuffer, ReserveReusesCapacityAndClearKeepsIt) {
+  AlignedBuffer<double> buf(100);
+  EXPECT_EQ(buf.size(), 100u);
+  EXPECT_GE(buf.capacity(), 100u);
+  double* p = buf.data();
+  buf.clear();
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.data(), p);  // clear never frees
+  buf.reset(50);             // within capacity: no reallocation
+  EXPECT_EQ(buf.size(), 50u);
+  EXPECT_EQ(buf.data(), p);
+  buf.reset(100);
+  EXPECT_EQ(buf.data(), p);
+  const std::size_t cap = buf.capacity();
+  buf.reset(cap + 1);  // growth reallocates
+  EXPECT_GE(buf.capacity(), cap + 1);
+  EXPECT_EQ(buf.size(), cap + 1);
+}
+
+TEST(AlignedBuffer, AllocationsAreCacheLineAlignedAndCounted) {
+  const long long before = prof::allocation_count();
+  AlignedBuffer<float> buf(37);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % 64, 0u);
+  EXPECT_GT(prof::allocation_count(), before);
+}
+
+// ------------------------------------------------------------------- Arena
+
+TEST(Arena, SteadyStateAllocatesNothing) {
+  Arena arena;
+  // Warm: first pass grows chunks.
+  {
+    ArenaScope scope(arena);
+    (void)scope.alloc<double>(1000);
+    (void)scope.alloc<float>(5000);
+  }
+  const long long before = prof::allocation_count();
+  for (int iter = 0; iter < 100; ++iter) {
+    ArenaScope scope(arena);
+    double* a = scope.alloc<double>(1000);
+    float* b = scope.alloc<float>(5000);
+    a[0] = 1.0;
+    b[4999] = 2.0f;
+  }
+  EXPECT_EQ(prof::allocation_count(), before)
+      << "warm arena must not touch the heap";
+}
+
+TEST(Arena, AlignmentAndDistinctRegions) {
+  Arena arena;
+  ArenaScope scope(arena);
+  char* a = scope.alloc<char>(3);
+  double* b = scope.alloc<double>(4);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 64, 0u);
+  EXPECT_NE(static_cast<void*>(a), static_cast<void*>(b));
+}
+
+TEST(Arena, RewindReusesMemoryAndGrowthSpansChunks) {
+  Arena arena;
+  void* first = nullptr;
+  {
+    ArenaScope scope(arena);
+    first = scope.alloc<double>(100);
+  }
+  {
+    ArenaScope scope(arena);
+    EXPECT_EQ(static_cast<void*>(scope.alloc<double>(100)), first);
+  }
+  // Oversized request exceeds the first chunk: arena adds one, stays valid.
+  ArenaScope scope(arena);
+  double* big = scope.alloc<double>(1 << 20);
+  big[0] = 1.0;
+  big[(1 << 20) - 1] = 2.0;
+  EXPECT_GT(arena.capacity_bytes(), (std::size_t{1} << 23));
+}
+
+TEST(Arena, ThreadScratchIsPerThread) {
+  void* main_p = Arena::thread_scratch().alloc<char>(1);
+  void* other_p = nullptr;
+  std::thread t([&] { other_p = Arena::thread_scratch().alloc<char>(1); });
+  t.join();
+  EXPECT_NE(main_p, nullptr);
+  // Distinct arenas: the other thread's first chunk is its own.
+  EXPECT_NE(main_p, other_p);
+}
+
+// --------------------------------------------------------------- GroupList
+
+TEST(GroupList, PushIterateAndEquality) {
+  GroupList g;
+  EXPECT_TRUE(g.empty());
+  g.push_group({0, 64, 128});
+  g.push_group({192});
+  std::vector<idx> tail = {256, 320};
+  g.push_group(tail.begin(), tail.end());
+  ASSERT_EQ(g.size(), 3);
+  EXPECT_EQ(g.group_size(0), 3);
+  EXPECT_EQ(g.group_size(1), 1);
+  EXPECT_EQ(g.group_size(2), 2);
+  EXPECT_EQ(g[0][2], 128);
+  EXPECT_EQ(g[1][0], 192);
+  EXPECT_EQ(g[2][1], 320);
+
+  GroupList h;
+  h.append(0);
+  h.append(64);
+  h.append(128);
+  h.close_group();
+  h.push_group({192});
+  h.push_group(tail.begin(), tail.end());
+  EXPECT_EQ(g, h);  // incremental building reaches the same flat form
+
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_NE(g, h);
+}
+
+TEST(GroupList, WholeLevelIsTwoAllocationsCopied) {
+  GroupList src;
+  for (idx g = 0; g < 500; ++g) src.push_group({g * 4, g * 4 + 1, g * 4 + 2});
+  const long long before = prof::allocation_count();
+  GroupList copy = src;
+  EXPECT_LE(prof::allocation_count() - before, 2)
+      << "a GroupList copy is two flat vector copies";
+  EXPECT_EQ(copy, src);
+}
+
+// ----------------------------------------------------------------- profile
+
+TEST(Profile, CountersAccumulateAndSnapshotFinds) {
+  auto& c = prof::counter("test.counter_ns");
+  c.add(3, 42);
+  c.add(1, 8);
+  bool found = false;
+  for (const auto& s : prof::snapshot()) {
+    if (s.name == "test.counter_ns") {
+      found = true;
+      EXPECT_GE(s.count, 4);
+      EXPECT_GE(s.value, 50);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Profile, ScopedTimerChargesItsCounter) {
+  auto& c = prof::counter("test.scope_ns");
+  const auto before_count = c.count.load();
+  {
+    CAQR_PROF_SCOPE("test.scope_ns");
+  }
+  EXPECT_EQ(c.count.load(), before_count + 1);
+}
+
+TEST(Profile, OperatorNewIsCounted) {
+  const long long allocs = prof::allocation_count();
+  const long long bytes = prof::allocation_bytes();
+  auto p = std::make_unique<double[]>(1000);
+  p[0] = 1.0;
+  EXPECT_GT(prof::allocation_count(), allocs);
+  EXPECT_GE(prof::allocation_bytes() - bytes, 8000);
+}
+
+TEST(Profile, TimedLockChargesWaitTimeOnlyWhenContended) {
+  std::mutex m;
+  auto& wait = prof::counter("test.lock_wait_ns");
+  const auto count0 = wait.count.load();
+  const auto value0 = wait.value.load();
+  {
+    prof::timed_lock<std::mutex> lock(m, wait);  // uncontended: try_lock wins
+  }
+  EXPECT_EQ(wait.count.load(), count0 + 1);
+  EXPECT_EQ(wait.value.load(), value0);  // zero wait nanoseconds charged
+  std::unique_lock<std::mutex> holder(m);
+  std::thread t([&] {
+    prof::timed_lock<std::mutex> lock(m, wait);  // contended: wait timed
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  holder.unlock();
+  t.join();
+  EXPECT_EQ(wait.count.load(), count0 + 2);
+  EXPECT_GT(wait.value.load(), value0);
 }
 
 }  // namespace

@@ -119,6 +119,27 @@ TEST(FtAbft, CleanResultBitIdenticalToUnguardedRun) {
   expect_bit_identical(plain.q, guarded.q);
 }
 
+// Regression guard for the arena-backed, contiguity-staged kernels: across
+// the stress sweep's 1e±300 column scalings, a run that recovers from block
+// drops through ABFT retries must land on EXACTLY the bits of the fault-free
+// unguarded run — drops are always above detection tolerance, recovery
+// replays the same deterministic kernels on restored inputs, and staging
+// changes layout, not arithmetic. (Bitflips are excluded: a flip below the
+// checksum tolerance is legitimately left in place.)
+TEST(FtRecovery, RecoveredResultBitIdenticalToFaultFreeAcrossScales) {
+  for (double scale : {1e-300, 1.0, 1e300}) {
+    Matrix<double> a = stress_matrix<double>(128, 16, 1e8, scale, 97, false);
+    const CaqrOptions copt = small_caqr(CaqrSchedule::Serial);
+    const CaqrRun clean = run_caqr(a, copt, ft::FtOptions{}, FaultOptions{});
+    const CaqrRun rec =
+        run_caqr(a, copt, abft_on(), inject(0.08, 0.0, 4243));
+    EXPECT_GT(rec.faults, 0u) << "scale " << scale;
+    EXPECT_TRUE(rec.status.ok()) << "scale " << scale;
+    expect_bit_identical(clean.r, rec.r);
+    expect_bit_identical(clean.q, rec.q);
+  }
+}
+
 // ---- Detection and recovery ------------------------------------------------
 
 TEST(FtRecovery, DetectionOnlyReportsSameSeedRecoversWithRetries) {

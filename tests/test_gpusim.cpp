@@ -272,9 +272,12 @@ TEST(StatsSummary, TreeKernelMixedFanins) {
   auto panel = Matrix<float>::shape_only(2000, 16);
   auto trailing = Matrix<float>::shape_only(2000, 50);
   // Mixed group sizes including a singleton (pass-through).
-  std::vector<std::vector<idx>> groups = {
-      {0, 64, 128, 192}, {256, 320, 384, 448}, {512, 576}, {640}};
-  std::vector<float> taus(groups.size() * 16, 0.5f);
+  GroupList groups;
+  groups.push_group({0, 64, 128, 192});
+  groups.push_group({256, 320, 384, 448});
+  groups.push_group({512, 576});
+  groups.push_group({640});
+  std::vector<float> taus(static_cast<std::size_t>(groups.size()) * 16, 0.5f);
   kernels::ApplyQtTreeKernel<float> k{panel.view(),
                                       &groups,
                                       taus.data(),

@@ -367,5 +367,106 @@ TEST(CostParams, VariantNames) {
                "smem_parallel_reduction");
 }
 
+// ---------------------------------------------------------------------------
+// Contiguity staging: FactorKernel / ApplyQtHKernel stage strided tall-panel
+// tiles into contiguous arena buffers before the reflector sweeps. The
+// staged path must be BIT-identical to running the numerical core directly
+// on the strided view — same scalar operations, same order — including on
+// ill-scaled data that trips the xLARFG rescue path.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+Matrix<T> scaled_panel(idx m, idx n, int seed, double scale) {
+  auto a = gaussian_matrix<T>(m, n, seed);
+  for (idx j = 0; j < n; ++j) {
+    // Alternate extreme column scalings: underflow-adjacent, 1, overflow-
+    // adjacent — the stress sweep's 1e±300 shapes.
+    const double s = j % 3 == 0 ? scale : (j % 3 == 1 ? 1.0 : 1.0 / scale);
+    for (idx i = 0; i < m; ++i) {
+      a(i, j) = static_cast<T>(static_cast<double>(a(i, j)) * s);
+    }
+  }
+  return a;
+}
+
+TEST(StagedKernels, FactorBitIdenticalToUnstagedOnStridedPanel) {
+  for (const double scale : {1.0, 1e300, 1e-300}) {
+    const idx m = 256, w = 12;
+    auto panel = scaled_panel<double>(m, w, 7, scale);
+    auto ref = Matrix<double>::from(panel.view().as_const());
+
+    const std::vector<idx> offsets = {0, 64, 128, 192, m};
+    std::vector<double> taus(4 * static_cast<std::size_t>(w), 0.0);
+    kernels::FactorKernel<double> k{panel.view(), &offsets, taus.data(),
+                                    kernels::cost_params(
+                                        kernels::ReductionVariant::
+                                            RegisterSerialTransposed),
+                                    8.0, 1.0};
+    for (idx b = 0; b < k.num_blocks(); ++b) k.run_block(b);  // staged path
+
+    // Reference: the raw numerical core on each strided block view.
+    std::vector<double> rtaus(4 * static_cast<std::size_t>(w), 0.0);
+    for (idx b = 0; b < 4; ++b) {
+      block_geqr2(ref.view().block(offsets[static_cast<std::size_t>(b)], 0,
+                                   offsets[static_cast<std::size_t>(b) + 1] -
+                                       offsets[static_cast<std::size_t>(b)],
+                                   w),
+                  rtaus.data() + b * w);
+    }
+    for (idx j = 0; j < w; ++j) {
+      for (idx i = 0; i < m; ++i) {
+        ASSERT_EQ(panel(i, j), ref(i, j))
+            << "scale " << scale << " at (" << i << "," << j << ")";
+      }
+    }
+    for (std::size_t t = 0; t < taus.size(); ++t) {
+      ASSERT_EQ(taus[t], rtaus[t]) << "tau " << t << " scale " << scale;
+    }
+  }
+}
+
+TEST(StagedKernels, ApplyQtBitIdenticalToUnstagedOnStridedTrailing) {
+  for (const double scale : {1.0, 1e300, 1e-300}) {
+    const idx m = 192, w = 8, nc = 20;
+    auto panel = scaled_panel<double>(m, w, 11, scale);
+    const std::vector<idx> offsets = {0, 96, m};
+    std::vector<double> taus(2 * static_cast<std::size_t>(w), 0.0);
+    kernels::FactorKernel<double> fk{panel.view(), &offsets, taus.data(),
+                                     kernels::cost_params(
+                                         kernels::ReductionVariant::
+                                             RegisterSerialTransposed),
+                                     8.0, 1.0};
+    for (idx b = 0; b < fk.num_blocks(); ++b) fk.run_block(b);
+
+    auto trailing = scaled_panel<double>(m, nc, 13, scale);
+    auto ref = Matrix<double>::from(trailing.view().as_const());
+
+    kernels::ApplyQtHKernel<double> ak{panel.view().as_const(), &offsets,
+                                       taus.data(), trailing.view(), 16,
+                                       kernels::cost_params(
+                                           kernels::ReductionVariant::
+                                               RegisterSerialTransposed),
+                                       8.0, 1.0, false, true};
+    for (idx b = 0; b < ak.num_blocks(); ++b) ak.run_block(b);  // staged
+
+    // Reference: raw core on the strided views, same tile decomposition.
+    for (idx b = 0; b < 2; ++b) {
+      const idx r0 = offsets[static_cast<std::size_t>(b)];
+      const idx h = offsets[static_cast<std::size_t>(b) + 1] - r0;
+      for (idx c0 = 0; c0 < nc; c0 += 16) {
+        const idx tc = std::min<idx>(16, nc - c0);
+        block_apply_qt(panel.view().as_const().block(r0, 0, h, w),
+                       taus.data() + b * w, ref.view().block(r0, c0, h, tc));
+      }
+    }
+    for (idx j = 0; j < nc; ++j) {
+      for (idx i = 0; i < m; ++i) {
+        ASSERT_EQ(trailing(i, j), ref(i, j))
+            << "scale " << scale << " at (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace caqr

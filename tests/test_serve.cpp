@@ -8,7 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -103,6 +105,46 @@ TEST(PlanCache, PlanMatchesAutotuneAndPrediction) {
   EXPECT_DOUBLE_EQ(
       p.predicted_caqr_seconds,
       predict_caqr_seconds<float>(model, 110592, 100, p.caqr));
+}
+
+// Many threads hammer a cold cache with a small key set: every key must be
+// planned exactly once (misses publish a slot, planning runs outside the
+// lock under per-key call_once; same-key racers wait on the slot instead of
+// re-planning), and every returned plan for a key must be the same object.
+TEST(PlanCache, ConcurrentMissesPlanEachKeyExactlyOnce) {
+  PlanCache cache(64);
+  const auto model = GpuMachineModel::c2050();
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 5;
+  constexpr int kRounds = 40;
+  std::vector<std::array<std::shared_ptr<const QrPlan>, kKeys>> seen(
+      kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        const int k = (t + r) % kKeys;
+        auto got = cache.lookup<float>(model, 1024 + 512 * k, 32);
+        ASSERT_NE(got.plan, nullptr);
+        EXPECT_EQ(got.plan->key.rows, 1024 + 512 * k);
+        seen[static_cast<std::size_t>(t)][static_cast<std::size_t>(k)] =
+            got.plan;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(cache.plans_computed(), kKeys)
+      << "duplicate planning sweeps under concurrent misses";
+  EXPECT_EQ(cache.misses() + cache.hits(),
+            static_cast<long long>(kThreads) * kRounds);
+  EXPECT_EQ(cache.size(), static_cast<std::size_t>(kKeys));
+  for (int k = 0; k < kKeys; ++k) {
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(seen[static_cast<std::size_t>(t)][static_cast<std::size_t>(k)],
+                seen[0][static_cast<std::size_t>(k)])
+          << "threads observed different plan objects for one key";
+    }
+  }
 }
 
 // --------------------------------------------------------------- SolverPool
