@@ -33,7 +33,8 @@ Run run_tsqr(idx m, idx w, idx arity) {
   opt.block_rows = 64;
   opt.arity = arity;
   auto f = tsqr::tsqr_factor(dev, panel.view(), opt);
-  return {dev.elapsed_seconds() * 1e3, f.levels.size()};
+  return {dev.elapsed_seconds() * 1e3,
+          static_cast<std::size_t>(f.num_levels())};
 }
 
 }  // namespace

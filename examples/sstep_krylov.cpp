@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
 
   std::printf("TSQR simulated time: %.3f ms (tree arity %lld, %zu levels)\n",
               t_tsqr * 1e3, static_cast<long long>(opt.effective_arity(n)),
-              f.meta.levels.size());
+              static_cast<std::size_t>(f.meta.num_levels()));
   std::printf("||Q^T Q - I||_F = %.2e\n", orthogonality_error(q.view()));
   std::printf("||K - Q R||_F / ||K||_F = %.2e\n",
               factorization_residual(k.view(), q.view(), f.r().view()));

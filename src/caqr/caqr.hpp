@@ -52,6 +52,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -361,19 +362,19 @@ class CaqrFactorization {
       const std::string pre = "p" + std::to_string(p) + ".";
       w.scalar(pre + "rows", static_cast<std::int64_t>(pf.rows));
       w.scalar(pre + "width", static_cast<std::int64_t>(pf.width));
-      w.vec(pre + "offsets", pf.offsets);
+      w.vec(pre + "offsets", pf.offsets());
       w.vec(pre + "taus0", pf.taus0);
-      w.scalar(pre + "nlevels", static_cast<std::int64_t>(pf.levels.size()));
-      for (std::size_t l = 0; l < pf.levels.size(); ++l) {
-        const auto& level = pf.levels[l];
+      w.scalar(pre + "nlevels", static_cast<std::int64_t>(pf.num_levels()));
+      for (idx l = 0; l < pf.num_levels(); ++l) {
+        const auto& groups = pf.level_groups(l);
         const std::string lpre = pre + "l" + std::to_string(l) + ".";
         std::vector<idx> gsizes;
-        for (idx g = 0; g < level.groups.size(); ++g) {
-          gsizes.push_back(level.groups.group_size(g));
+        for (idx g = 0; g < groups.size(); ++g) {
+          gsizes.push_back(groups.group_size(g));
         }
         w.vec(lpre + "gsizes", gsizes);
-        w.vec(lpre + "gdata", level.groups.data);
-        w.vec(lpre + "taus", level.taus);
+        w.vec(lpre + "gdata", groups.data);
+        w.vec(lpre + "taus", pf.taus[static_cast<std::size_t>(l)]);
       }
     }
     w.write(opt_.checkpoint_path);
@@ -402,22 +403,26 @@ class CaqrFactorization {
       tsqr::PanelFactor<T> pf;
       const std::string pre = "p" + std::to_string(p) + ".";
       std::int64_t prows = 0, pwidth = 0, nlev = 0;
+      // The replay structure is rebuilt as a fresh ReplayMeta owned by this
+      // resume (the checkpoint stores panel-row coordinates, the same
+      // representation ReplayMeta holds).
+      auto meta = std::make_shared<tsqr::ReplayMeta>();
       if (!r->scalar(pre + "rows", prows) ||
           !r->scalar(pre + "width", pwidth) ||
           !r->scalar(pre + "nlevels", nlev) || nlev < 0 ||
-          !r->vec(pre + "offsets", pf.offsets) ||
+          !r->vec(pre + "offsets", meta->offsets) ||
           !r->vec(pre + "taus0", pf.taus0)) {
         return 0;
       }
       pf.rows = static_cast<idx>(prows);
       pf.width = static_cast<idx>(pwidth);
       for (std::int64_t l = 0; l < nlev; ++l) {
-        typename tsqr::PanelFactor<T>::Level level;
+        GroupList groups;
+        std::vector<T> taus;
         const std::string lpre = pre + "l" + std::to_string(l) + ".";
         std::vector<idx> gsizes, gdata;
         if (!r->vec(lpre + "gsizes", gsizes) ||
-            !r->vec(lpre + "gdata", gdata) ||
-            !r->vec(lpre + "taus", level.taus)) {
+            !r->vec(lpre + "gdata", gdata) || !r->vec(lpre + "taus", taus)) {
           return 0;
         }
         std::size_t pos = 0;
@@ -426,12 +431,14 @@ class CaqrFactorization {
             return 0;
           }
           pos += static_cast<std::size_t>(gs);
-          level.groups.starts.push_back(static_cast<idx>(pos));
+          groups.starts.push_back(static_cast<idx>(pos));
         }
         if (pos != gdata.size()) return 0;
-        level.groups.data = std::move(gdata);
-        pf.levels.push_back(std::move(level));
+        groups.data = std::move(gdata);
+        meta->levels.push_back(std::move(groups));
+        pf.taus.push_back(std::move(taus));
       }
+      pf.meta = std::move(meta);
       panels.push_back(std::move(pf));
     }
     a_ = std::move(a);

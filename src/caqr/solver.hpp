@@ -28,14 +28,37 @@
 #include "baselines/qr_baselines.hpp"
 #include "caqr/caqr.hpp"
 #include "linalg/norms.hpp"
+#include "tsqr/cholqr.hpp"
 
 namespace caqr {
 
 enum class QrAlgorithm {
-  Auto,     // pick by predicted cost (the paper's suggested framework)
-  Caqr,     // always communication-avoiding QR
-  Hybrid,   // always hybrid blocked Householder (MAGMA-like)
+  Auto,            // pick by predicted cost (the paper's suggested framework)
+  Caqr,            // always communication-avoiding QR
+  Hybrid,          // always hybrid blocked Householder (MAGMA-like)
+  CholeskyQr2,     // Gram + Cholesky, one reorthogonalization pass
+  CholeskyQr3,     // Gram + Cholesky, two reorthogonalization passes
+  CholeskyQr2Mixed,  // CholeskyQR2 with a TF32-rate first Gram pass
 };
+
+inline bool is_cholqr(QrAlgorithm a) {
+  return a == QrAlgorithm::CholeskyQr2 || a == QrAlgorithm::CholeskyQr3 ||
+         a == QrAlgorithm::CholeskyQr2Mixed;
+}
+
+// Maps a CholeskyQR-family algorithm to solver options; the TSQR fallback
+// inherits the CAQR options' decomposition settings.
+inline tsqr::CholQrOptions cholqr_options_for(QrAlgorithm a,
+                                              const CaqrOptions& caqr_opt) {
+  tsqr::CholQrOptions o;
+  o.variant = a == QrAlgorithm::CholeskyQr3 ? tsqr::CholQrVariant::CholQr3
+                                            : tsqr::CholQrVariant::CholQr2;
+  o.precision = a == QrAlgorithm::CholeskyQr2Mixed
+                    ? gpusim::PrecisionPolicy::Tf32Gram
+                    : gpusim::PrecisionPolicy::Native;
+  o.tsqr = caqr_opt.tsqr;
+  return o;
+}
 
 // Explicit factors plus what ran and how long it took (simulated). `used`
 // is never Auto: it records the resolved algorithm.
@@ -45,6 +68,10 @@ struct QrSolveResult {
   Matrix<T> r;  // min(m, n) x n upper triangular
   QrAlgorithm used = QrAlgorithm::Caqr;
   double simulated_seconds = 0;
+  // CholeskyQR runs only: Ok, or Corrected when a detected breakdown was
+  // recovered by the Householder TSQR fallback (cholqr_fallback = true).
+  ft::Severity severity = ft::Severity::Ok;
+  bool cholqr_fallback = false;
 };
 
 // Predicts simulated seconds without touching data: runs the full launch
@@ -94,7 +121,14 @@ QrSolveResult<view_scalar_t<VA>> adaptive_qr(
   const double t0 = dev.elapsed_seconds();
   QrSolveResult<T> out;
   out.used = algo;
-  if (algo == QrAlgorithm::Caqr) {
+  if (is_cholqr(algo)) {
+    auto res =
+        tsqr::cholqr(dev, Matrix<T>::from(a), cholqr_options_for(algo, caqr_opt));
+    out.q = std::move(res.q);
+    out.r = std::move(res.r);
+    out.severity = res.severity;
+    out.cholqr_fallback = res.fell_back;
+  } else if (algo == QrAlgorithm::Caqr) {
     auto f = CaqrFactorization<T>::factor(dev, Matrix<T>::from(a), caqr_opt);
     out.r = f.r();
     out.q = f.form_q(dev, k);

@@ -64,9 +64,11 @@
 // timelines to builds before the subsystem existed.
 
 #include <algorithm>
+#include <cmath>
 #include <concepts>
 #include <cstdint>
 #include <iterator>
+#include <limits>
 #include <map>
 #include <string>
 #include <utility>
@@ -259,10 +261,21 @@ class Device {
   }
 
   void reset_timeline() {
+    // Streams mint fresh ids per request (look-ahead creates two per
+    // factorization), so the per-stream entries cannot be reused by key —
+    // but their op buffers can: park them on a small freelist so the next
+    // request's queues start with warm capacity.
+    for (auto& [s, q] : pending_) {
+      if (spare_queues_.size() < kMaxSpareQueues) {
+        q.clear();
+        spare_queues_.push_back(std::move(q));
+      }
+    }
     pending_.clear();
     num_pending_ = 0;
     stream_time_.clear();
     event_time_.clear();
+    event_base_ = next_event_;
     base_ = 0;
     profiles_.clear();
     trace_.clear();
@@ -520,9 +533,52 @@ class Device {
     return ft::Severity::Unrecovered;
   }
 
+  // Flat sorted-by-stream-id storage for the pending queues. Iteration
+  // order (ascending stream id) matches the std::map it replaced, so
+  // resolution order — and therefore traces — stay bit-identical; lookups
+  // are a binary search over a handful of entries instead of pointer-chasing
+  // map nodes on every timeline-resolve step.
+  OpQueue& queue_for(StreamId s) const {
+    auto it = std::lower_bound(
+        pending_.begin(), pending_.end(), s,
+        [](const std::pair<StreamId, OpQueue>& e, StreamId v) {
+          return e.first < v;
+        });
+    if (it != pending_.end() && it->first == s) return it->second;
+    it = pending_.emplace(it, s, OpQueue{});
+    if (!spare_queues_.empty()) {
+      it->second = std::move(spare_queues_.back());
+      spare_queues_.pop_back();
+    }
+    return it->second;
+  }
+
   void enqueue(StreamId stream, PendingOp op) {
-    pending_[stream].push_back(std::move(op));
+    queue_for(stream).push_back(std::move(op));
     ++num_pending_;
+  }
+
+  // Recorded-event timestamps live in a flat array indexed by
+  // (event id - event_base_); event_base_ advances on reset_timeline so the
+  // array never grows with the lifetime total of minted events, only with
+  // the events of the current timeline epoch. NaN marks a not-yet-recorded
+  // slot (ids below event_base_ are from a previous epoch — by definition
+  // unrecorded, exactly like the cleared map they replace).
+  void set_event_time(EventId e, double t) const {
+    const EventId i = e - event_base_;
+    CAQR_CHECK(i >= 0);
+    if (i >= static_cast<EventId>(event_time_.size())) {
+      event_time_.resize(static_cast<std::size_t>(i) + 1,
+                         std::numeric_limits<double>::quiet_NaN());
+    }
+    event_time_[static_cast<std::size_t>(i)] = t;
+  }
+
+  const double* find_event_time(EventId e) const {
+    const EventId i = e - event_base_;
+    if (i < 0 || i >= static_cast<EventId>(event_time_.size())) return nullptr;
+    const double& v = event_time_[static_cast<std::size_t>(i)];
+    return std::isnan(v) ? nullptr : &v;
   }
 
   double timeline_end() const {
@@ -549,7 +605,13 @@ class Device {
   }
 
   double& stream_clock(StreamId s) const {
-    return stream_time_.try_emplace(s, base_).first->second;
+    // Linear scan: a timeline epoch touches a handful of streams, and the
+    // vector clears (capacity retained) on every sync.
+    for (auto& e : stream_time_) {
+      if (e.first == s) return e.second;
+    }
+    stream_time_.emplace_back(s, base_);
+    return stream_time_.back().second;
   }
 
   // Event-driven resolution of all pending stream work into absolute
@@ -585,12 +647,12 @@ class Device {
           while (!q.empty() && !stream_running(s)) {
             PendingOp& front = q.front();
             if (front.kind == PendingOp::Kind::Record) {
-              event_time_[front.event] = stream_clock(s);
+              set_event_time(front.event, stream_clock(s));
             } else if (front.kind == PendingOp::Kind::Wait) {
-              const auto it = event_time_.find(front.event);
-              if (it == event_time_.end()) break;  // blocked: not yet recorded
+              const double* et = find_event_time(front.event);
+              if (et == nullptr) break;  // blocked: not yet recorded
               double& clk = stream_clock(s);
-              clk = std::max(clk, it->second);
+              clk = std::max(clk, *et);
             } else {
               break;  // launches are admitted by the arrival scan below
             }
@@ -629,7 +691,7 @@ class Device {
           break;
         }
         now = std::max(now, arrival_t);
-        auto& q = pending_[arrival_stream];
+        auto& q = queue_for(arrival_stream);
         Running r{arrival_stream, std::move(q.front()), now, 0};
         r.remaining = r.op.solo_seconds;
         running.push_back(std::move(r));
@@ -662,7 +724,7 @@ class Device {
         const double dt = std::max(0.0, arrival_t - now);
         for (auto& r : running) r.remaining -= dt / share;
         now = std::max(now, arrival_t);
-        auto& q = pending_[arrival_stream];
+        auto& q = queue_for(arrival_stream);
         Running r{arrival_stream, std::move(q.front()), now, 0};
         r.remaining = r.op.solo_seconds;
         running.push_back(std::move(r));
@@ -719,11 +781,20 @@ class Device {
   long long launch_ordinal_ = 0;
   // Timeline state is logically part of the observable simulated clock;
   // resolution is forced from const accessors, hence mutable.
-  mutable std::map<StreamId, OpQueue> pending_;
+  mutable std::vector<std::pair<StreamId, OpQueue>> pending_;  // sorted by id
   mutable std::size_t num_pending_ = 0;
-  mutable std::map<StreamId, double> stream_time_;  // absolute, per stream
-  mutable std::map<EventId, double> event_time_;    // recorded events
+  // Flat per-stream clocks (linear-scanned, cleared on sync) and recorded
+  // events (indexed by id - event_base_, NaN = unrecorded).
+  mutable std::vector<std::pair<StreamId, double>> stream_time_;
+  mutable std::vector<double> event_time_;
+  mutable EventId event_base_ = 0;
   mutable double base_ = 0;  // device-wide floor (last full join)
+  // Retired op buffers from reset_timeline, reused by the next epoch's
+  // queues so steady-state serving stops re-growing them.
+  static constexpr std::size_t kMaxSpareQueues = 8;
+  mutable std::vector<OpQueue> spare_queues_;
+  // profiles() must report sorted by name; stays a map (not on the
+  // per-event resolve path).
   mutable std::map<std::string, KernelProfile> profiles_;
   mutable std::vector<TraceEvent> trace_;
   mutable std::vector<Running> running_scratch_;  // reused by resolve_pending

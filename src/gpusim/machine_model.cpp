@@ -42,6 +42,12 @@ std::uint64_t GpuMachineModel::fingerprint() const {
   mix_double(h, uncoalesced_penalty);
   mix_double(h, tile_locality_penalty);
   mix_double(h, gemm_efficiency);
+  // Precision-policy rates are part of the digest: toggling tensor units on
+  // a model must invalidate every cached plan whose picker saw the old
+  // rates (serve::PlanCache keys on this fingerprint).
+  mix_double(h, tf32_gemm_speedup);
+  mix_double(h, half_gemm_speedup);
+  mix_double(h, tensor_efficiency);
   return h;
 }
 
@@ -61,6 +67,28 @@ GpuMachineModel GpuMachineModel::c2050() {
   m.uncoalesced_penalty = 8.0;
   m.tile_locality_penalty = 3.0;
   m.gemm_efficiency = 0.62;
+  return m;
+}
+
+GpuMachineModel GpuMachineModel::a100() {
+  GpuMachineModel m;
+  m.name = "A100";
+  m.num_sms = 108;
+  m.lanes_per_sm = 64;      // FP32 lanes per SM (Ampere)
+  m.clock_ghz = 1.41;
+  m.fma = true;             // peak = 108*64*1.41e9*2 ~ 19.5 TFLOP/s SP
+  m.dram_bw_gbs = 1555.0;   // HBM2e
+  m.kernel_launch_us = 5.0; // modern launch + dependency path
+  m.max_concurrent_kernels = 128;
+  m.smem_cycles_per_access = 1.0;
+  m.sync_cycles = 8.0;
+  m.issue_stall_factor = 1.25;
+  m.uncoalesced_penalty = 8.0;
+  m.tile_locality_penalty = 2.0;
+  m.gemm_efficiency = 0.80;
+  m.tf32_gemm_speedup = 8.0;   // 156 TFLOP/s TF32 tensor peak
+  m.half_gemm_speedup = 16.0;  // 312 TFLOP/s FP16 tensor peak
+  m.tensor_efficiency = 0.55;
   return m;
 }
 

@@ -46,12 +46,21 @@ struct GpuMachineModel {
   double tile_locality_penalty = 3.0;
   // Fraction of FMA peak a well-tuned SGEMM sustains (Volkov-style).
   double gemm_efficiency = 0.62;
+  // Tensor-core-class reduced-precision GEMM throughput, expressed as a
+  // multiple of the FMA SP peak (A100: TF32 156 / SP 19.5 ~ 8x, FP16 ~16x).
+  // Zero means no tensor units — true for the paper's Fermi-era presets —
+  // and disables the mixed-precision CholeskyQR path in the picker.
+  double tf32_gemm_speedup = 0.0;
+  double half_gemm_speedup = 0.0;
+  // Fraction of tensor peak a tuned reduced-precision GEMM sustains.
+  double tensor_efficiency = 0.55;
 
   // Peak single-precision FLOP/s.
   double peak_flops() const {
     return num_sms * lanes_per_sm * clock_ghz * 1e9 * (fma ? 2.0 : 1.0);
   }
   double clock_hz() const { return clock_ghz * 1e9; }
+  bool has_tensor_cores() const { return tf32_gemm_speedup > 0.0; }
 
   // Stable FNV-1a digest of every calibration constant (including the
   // name). Two models with the same fingerprint produce bit-identical
@@ -63,7 +72,23 @@ struct GpuMachineModel {
 
   static GpuMachineModel c2050();
   static GpuMachineModel gtx480();
+  // Tensor-core-era preset (A100-class) so the mixed-precision CholeskyQR
+  // path has a machine where it can actually win.
+  static GpuMachineModel a100();
 };
+
+// Precision policy for the Gram stage of the CholeskyQR family.
+// Native runs every pass in the working precision T. Tf32Gram computes the
+// FIRST Gram matrix at tensor-core TF32 rates (10-bit mantissa, fp32
+// accumulate) and refines in native precision; it is only admissible for
+// very well-conditioned inputs (cond(A) <~ eps_tf32^-1/2 ~ 5), i.e. the
+// reorthogonalization regime, which is exactly where its speed matters.
+enum class PrecisionPolicy { Native = 0, Tf32Gram = 1 };
+
+// Unit roundoff of the reduced-precision Gram stage (TF32: 2^-11).
+inline double lowp_eps(PrecisionPolicy p) {
+  return p == PrecisionPolicy::Tf32Gram ? 0x1p-11 : 0.0;
+}
 
 struct CpuMachineModel {
   std::string name;

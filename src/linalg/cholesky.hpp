@@ -1,8 +1,12 @@
 #pragma once
 
 // Cholesky factorization (POTRF, upper variant) — the substrate for the
-// CholeskyQR baseline whose instability the paper cites as the reason
-// general-purpose QR uses Householder reflectors.
+// CholeskyQR family. The paper cites CholeskyQR's instability as the reason
+// general-purpose QR uses Householder reflectors; the tsqr/cholqr.hpp
+// solvers built on this routine therefore need a TYPED breakdown result (the
+// first non-positive pivot and its value), not a bare bool, so a failed Gram
+// factorization can be reported and recovered from (fallback to Householder
+// TSQR) instead of silently producing garbage.
 
 #include <cmath>
 
@@ -10,18 +14,48 @@
 
 namespace caqr {
 
+// Outcome of potrf_upper_checked. A breakdown records WHERE the recursion
+// left positive-definite territory: `pivot` is the first diagonal index whose
+// Schur-complement pivot `value` was not a positive finite number. The
+// min/max successful pivots give a cheap lower bound on cond(R) (for
+// triangular R, max_k |r_kk| / min_k |r_kk| <= cond_2(R)), which the
+// CholeskyQR picker and severity reporting use as a conditioning signal.
+struct CholeskyBreakdown {
+  idx pivot = -1;      // -1: no breakdown (factorization completed)
+  double value = 0.0;  // offending pivot d (pre-sqrt) when pivot >= 0
+  double min_pivot = 0.0;  // smallest successful sqrt'd pivot
+  double max_pivot = 0.0;  // largest successful sqrt'd pivot
+
+  bool ok() const { return pivot < 0; }
+  // Lower bound on cond_2(R) from the diagonal extremes.
+  double diag_cond() const {
+    return (min_pivot > 0.0 && max_pivot > 0.0) ? max_pivot / min_pivot : 0.0;
+  }
+};
+
 // In-place upper Cholesky: A = R^T R with R upper triangular in the upper
-// part of a. Returns false if a non-positive pivot is hit (matrix not
-// numerically positive definite), leaving a partially factored.
+// part of a. On success the strictly-lower part is zeroed so the result is
+// usable as R directly. On a non-positive (or non-finite) pivot the returned
+// CholeskyBreakdown identifies it and `a` is left partially factored.
 template <typename T>
-[[nodiscard]] bool potrf_upper(MatrixView<T> a) {
+[[nodiscard]] CholeskyBreakdown potrf_upper_checked(MatrixView<T> a) {
   const idx n = a.rows();
   CAQR_CHECK(a.cols() == n);
+  CholeskyBreakdown out;
   for (idx k = 0; k < n; ++k) {
     T d = a(k, k);
     for (idx p = 0; p < k; ++p) d -= a(p, k) * a(p, k);
-    if (!(d > T(0))) return false;  // also rejects NaN
+    // Rejects d <= 0, NaN, and +inf (an overflowed Gram matrix is just as
+    // unusable as an indefinite one).
+    if (!(d > T(0)) || !std::isfinite(static_cast<double>(d))) {
+      out.pivot = k;
+      out.value = static_cast<double>(d);
+      return out;
+    }
     const T rkk = std::sqrt(d);
+    const double rv = static_cast<double>(rkk);
+    if (k == 0 || rv < out.min_pivot) out.min_pivot = rv;
+    if (k == 0 || rv > out.max_pivot) out.max_pivot = rv;
     a(k, k) = rkk;
     for (idx j = k + 1; j < n; ++j) {
       T s = a(k, j);
@@ -33,7 +67,14 @@ template <typename T>
   for (idx j = 0; j < n; ++j) {
     for (idx i = j + 1; i < n; ++i) a(i, j) = T(0);
   }
-  return true;
+  return out;
+}
+
+// Legacy bool interface (true = success), kept for callers that only need
+// a did-it-factor answer.
+template <typename T>
+[[nodiscard]] bool potrf_upper(MatrixView<T> a) {
+  return potrf_upper_checked(a).ok();
 }
 
 }  // namespace caqr

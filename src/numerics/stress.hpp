@@ -4,8 +4,10 @@
 //
 // Sweeps every QR path in the library — reference blocked Householder,
 // TSQR under several reduction-tree shapes (binary, quad, flat, the paper's
-// derived arity), incremental (streaming) TSQR, and CAQR under both
-// schedules — over matrices with prescribed condition number (log-spaced
+// derived arity), incremental (streaming) TSQR, CAQR under both schedules,
+// and the CholeskyQR2/3 family (with and without its Householder fallback:
+// a CholeskyQR cell must verify OR report a typed breakdown, never return
+// silent garbage) — over matrices with prescribed condition number (log-spaced
 // 1e0..1e14) and uniform column scalings that push the data into the
 // subnormal (1e-300) and near-overflow (1e300) regimes. Every run is checked
 // with the Verifier; the harness returns the full table of reports so tests
@@ -25,6 +27,7 @@
 #include "linalg/qr.hpp"
 #include "linalg/random_matrix.hpp"
 #include "numerics/verifier.hpp"
+#include "tsqr/cholqr.hpp"
 #include "tsqr/incremental.hpp"
 #include "tsqr/tsqr.hpp"
 
@@ -171,6 +174,43 @@ inline StressSummary run_stress(const StressSpec& spec) {
       cell("caqr_serial", [&] { return caqr_cell(CaqrSchedule::Serial); });
       cell("caqr_lookahead",
            [&] { return caqr_cell(CaqrSchedule::LookAhead); });
+
+      // CholeskyQR family: detection-or-accuracy across the whole grid.
+      // With the TSQR fallback armed, every cell must verify (the fallback
+      // absorbs Gram breakdowns at high cond / extreme scales). With it
+      // disarmed, a cell must EITHER verify or report a typed breakdown with
+      // empty factors — a CholeskyQR variant returning unreported garbage
+      // fails the sweep.
+      auto cholqr_cell = [&](tsqr::CholQrVariant variant, bool fallback) {
+        tsqr::CholQrOptions copt;
+        copt.variant = variant;
+        copt.fallback_to_tsqr = fallback;
+        copt.tsqr.block_rows = block_rows;
+        Device dev;
+        auto res =
+            tsqr::cholqr(dev, Matrix<double>::from(a.view()), copt);
+        if (res.breakdown && !res.fell_back) {
+          // Typed refusal: no factors were returned, so there is nothing to
+          // verify — the cell passes as "detected" only if the solver really
+          // withheld the factors and flagged the run unrecovered.
+          VerifyReport rep;
+          rep.tolerance = verify_tolerance<double>(n, spec.verify);
+          rep.has_q = false;
+          rep.pass = res.q.rows() == 0 && res.r.rows() == 0 &&
+                     res.severity == ft::Severity::Unrecovered;
+          return rep;
+        }
+        return verify_qr(a.view(), res.q.view(), res.r.view(), spec.verify);
+      };
+      cell("cholqr2", [&] {
+        return cholqr_cell(tsqr::CholQrVariant::CholQr2, true);
+      });
+      cell("cholqr3", [&] {
+        return cholqr_cell(tsqr::CholQrVariant::CholQr3, true);
+      });
+      cell("cholqr2_strict", [&] {
+        return cholqr_cell(tsqr::CholQrVariant::CholQr2, false);
+      });
     }
   }
   return out;

@@ -34,6 +34,7 @@
 // same rule as every other launch path in the repo.
 
 #include <algorithm>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -141,9 +142,12 @@ void fused_tsqr_factor(gpusim::Device& dev,
     ++fused_launches;
   }
 
-  // Same shape => same block decomposition for every problem.
-  const std::vector<idx> offsets = tsqr::split_rows(len, topt.block_rows, w);
-  const idx nblocks = static_cast<idx>(offsets.size()) - 1;
+  // Same shape => same decomposition for every problem: all k PanelFactors
+  // share ONE memoized ReplayMeta (a shared_ptr copy each) instead of
+  // per-problem offsets + per-level GroupList copies.
+  const std::shared_ptr<const tsqr::ReplayMeta> meta =
+      tsqr::detail::cached_replay_meta(len, w, topt);
+  const idx nblocks = meta->num_blocks();
   // taus are only read by functional run_block/apply; ModelOnly skips them.
   const bool functional = dev.mode() == gpusim::ExecMode::Functional;
 
@@ -155,58 +159,42 @@ void fused_tsqr_factor(gpusim::Device& dev,
       auto& pf = pr.panels.back();
       pf.rows = len;
       pf.width = w;
-      pf.offsets = offsets;
+      pf.meta = meta;
       if (functional) {
         pf.taus0.assign(static_cast<std::size_t>(nblocks * w), T(0));
+        pf.taus.reserve(meta->levels.size());
       }
-      fk.add(kernels::FactorKernel<T>{pr.a.block(c0, c0, len, w), &pf.offsets,
-                                      pf.taus0.data(), cost, pen, tile_pen});
+      fk.add(kernels::FactorKernel<T>{pr.a.block(c0, c0, len, w),
+                                      &meta->offsets, pf.taus0.data(), cost,
+                                      pen, tile_pen});
     }
   }
   dev.launch(fk, fk.num_blocks());
   ++fused_launches;
 
   // Reduction tree: identical group structure across problems, fused per
-  // level. Level metadata must live in the PanelFactor BEFORE the kernel
-  // takes pointers into it. The shared per-level GroupList is built once;
-  // each problem's copy is two flat array copies, not one allocation per
-  // group.
-  std::vector<idx> survivors(offsets.begin(), offsets.end() - 1);
-  const idx arity = topt.effective_arity(w);
-  while (static_cast<idx>(survivors.size()) > 1) {
-    GroupList groups;
-    std::vector<idx> next;
-    for (std::size_t g = 0; g < survivors.size();
-         g += static_cast<std::size_t>(arity)) {
-      const std::size_t end =
-          std::min(survivors.size(), g + static_cast<std::size_t>(arity));
-      groups.push_group(survivors.begin() + static_cast<std::ptrdiff_t>(g),
-                        survivors.begin() + static_cast<std::ptrdiff_t>(end));
-      next.push_back(survivors[g]);
-    }
+  // level; the groups live in the shared ReplayMeta, only each problem's
+  // taus are allocated here.
+  for (const auto& groups : meta->levels) {
     FusedKernel<kernels::FactorTreeKernel<T>> tk;
     {
       CAQR_PROF_SCOPE("serve.batch_stage_ns");
       for (auto& pr : probs) {
         auto& pf = pr.panels.back();
-        typename tsqr::PanelFactor<T>::Level level;
-        level.groups = groups;
+        T* tau_ptr = nullptr;
         if (functional) {
-          level.taus.assign(
-              static_cast<std::size_t>(groups.size()) *
-                  static_cast<std::size_t>(w),
-              T(0));
+          pf.taus.emplace_back(static_cast<std::size_t>(groups.size()) *
+                                   static_cast<std::size_t>(w),
+                               T(0));
+          tau_ptr = pf.taus.back().data();
         }
-        pf.levels.push_back(std::move(level));
         tk.add(kernels::FactorTreeKernel<T>{pr.a.block(c0, c0, len, w),
-                                            &pf.levels.back().groups,
-                                            pf.levels.back().taus.data(), cost,
-                                            pen, tile_pen});
+                                            &groups, tau_ptr, cost, pen,
+                                            tile_pen});
       }
     }
     dev.launch(tk, tk.num_blocks());
     ++fused_launches;
-    survivors = std::move(next);
   }
 }
 
@@ -227,9 +215,9 @@ void fused_apply(gpusim::Device& dev, std::vector<BatchProblem<T>>& probs,
     for (std::size_t i = 0; i < probs.size(); ++i) {
       auto& pf = probs[i].panels[static_cast<std::size_t>(p)];
       k.add(kernels::ApplyQtHKernel<T>{
-          probs[i].a.block(c0, c0, pf.rows, pf.width).as_const(), &pf.offsets,
-          pf.taus0.data(), c_of(i), topt.tile_cols, cost, pen, tile_pen,
-          false, transpose_q});
+          probs[i].a.block(c0, c0, pf.rows, pf.width).as_const(),
+          &pf.offsets(), pf.taus0.data(), c_of(i), topt.tile_cols, cost, pen,
+          tile_pen, false, transpose_q});
     }
     dev.launch(k, k.num_blocks());
     ++fused_launches;
@@ -240,8 +228,9 @@ void fused_apply(gpusim::Device& dev, std::vector<BatchProblem<T>>& probs,
       auto& pf = probs[i].panels[static_cast<std::size_t>(p)];
       k.add(kernels::ApplyQtTreeKernel<T>{
           probs[i].a.block(c0, c0, pf.rows, pf.width).as_const(),
-          &pf.levels[level].groups, pf.levels[level].taus.data(), c_of(i),
-          topt.tile_cols, cost, pen, tile_pen, false, transpose_q});
+          &pf.level_groups(static_cast<idx>(level)),
+          pf.level_taus(static_cast<idx>(level)), c_of(i), topt.tile_cols,
+          cost, pen, tile_pen, false, transpose_q});
     }
     dev.launch(k, k.num_blocks());
     ++fused_launches;
@@ -249,9 +238,12 @@ void fused_apply(gpusim::Device& dev, std::vector<BatchProblem<T>>& probs,
 
   if (transpose_q) {
     launch_h();
-    for (std::size_t l = 0; l < pf0.levels.size(); ++l) launch_tree(l);
+    const std::size_t nlev = static_cast<std::size_t>(pf0.num_levels());
+    for (std::size_t l = 0; l < nlev; ++l) launch_tree(l);
   } else {
-    for (std::size_t l = pf0.levels.size(); l-- > 0;) launch_tree(l);
+    for (std::size_t l = static_cast<std::size_t>(pf0.num_levels()); l-- > 0;) {
+      launch_tree(l);
+    }
     launch_h();
   }
 }
@@ -291,13 +283,16 @@ BatchQrResult<T> factor_batch(gpusim::Device& dev,
   out.used = algo;
   const double t0 = dev.elapsed_seconds();
 
-  if (algo == QrAlgorithm::Hybrid || k == 0) {
+  if (algo != QrAlgorithm::Caqr || k == 0) {
+    // Hybrid models a library call and CholeskyQR is already three BLAS3
+    // launches per pass — neither has a fusable CAQR launch structure, so
+    // they degrade to a per-problem loop.
+    // Empty problems (k == 0) route through the Householder paths, which
+    // handle degenerate shapes; CholeskyQR asserts tall non-empty inputs.
+    const QrAlgorithm per_problem =
+        k == 0 && is_cholqr(algo) ? QrAlgorithm::Caqr : algo;
     for (auto& a : problems) {
-      out.problems.push_back(
-          adaptive_qr(dev, a.as_const(), algo == QrAlgorithm::Hybrid
-                                             ? QrAlgorithm::Hybrid
-                                             : QrAlgorithm::Caqr,
-                      opt));
+      out.problems.push_back(adaptive_qr(dev, a.as_const(), per_problem, opt));
     }
     out.simulated_seconds = dev.elapsed_seconds() - t0;
     return out;

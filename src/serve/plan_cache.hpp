@@ -10,9 +10,21 @@
 // function of (shape, dtype, requested algorithm, machine model). PlanCache
 // memoizes exactly that function, keyed by
 //
-//   (rows, cols, sizeof(scalar), requested algorithm, model fingerprint)
+//   (rows, cols, sizeof(scalar), requested algorithm, model fingerprint,
+//    condition-estimate bucket)
 //
 // so the second request of a shape skips tuning and prediction entirely.
+//
+// The selector is a real adaptive picker over {CAQR, Hybrid, CholeskyQR2,
+// CholeskyQR3, mixed-precision CholeskyQR2}: every candidate's cost is
+// predicted with the machine model, but the CholeskyQR variants are only
+// ADMISSIBLE when the caller supplies a condition estimate under the
+// variant's stability bound (tsqr::cholqr2_max_cond etc. — eps*cond^2
+// squaring makes an unconditional CholeskyQR pick numerically unsafe), and
+// the mixed path additionally requires the model to have tensor cores. No
+// condition hint means Householder candidates only. The hint enters the key
+// as a log10 bucket, so "same shape, very different conditioning" requests
+// get distinct plans while jittery estimates of one workload share an entry.
 // The model fingerprint (GpuMachineModel::fingerprint) folds every
 // calibration constant into the key: deploying a different machine model
 // invalidates nothing explicitly — old entries simply stop matching and age
@@ -34,7 +46,9 @@
 // were obtained. Entries are returned as shared_ptr<const> snapshots, valid
 // even after eviction.
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <list>
 #include <map>
@@ -64,14 +78,33 @@ struct PlanKey {
   QrAlgorithm requested = QrAlgorithm::Auto;
   std::uint64_t model_fingerprint = 0;
   int devices = 1;                     // 1 = single-device serving path
+  // floor(log10(cond estimate)) clamped to [0, 15]; -1 = no estimate. Part
+  // of the key because it changes which algorithms are admissible.
+  int cond_bucket = -1;
 
   friend bool operator<(const PlanKey& a, const PlanKey& b) {
     return std::tie(a.rows, a.cols, a.scalar_size, a.requested,
-                    a.model_fingerprint, a.devices) <
+                    a.model_fingerprint, a.devices, a.cond_bucket) <
            std::tie(b.rows, b.cols, b.scalar_size, b.requested,
-                    b.model_fingerprint, b.devices);
+                    b.model_fingerprint, b.devices, b.cond_bucket);
   }
 };
+
+// Buckets a condition-number estimate for the plan key: floor(log10),
+// clamped to [0, 15]; non-positive (unknown) maps to -1.
+inline int cond_bucket_of(double cond_hint) {
+  if (!(cond_hint > 0)) return -1;
+  const double lg = std::log10(cond_hint);
+  if (lg <= 0) return 0;
+  return lg >= 15 ? 15 : static_cast<int>(lg);
+}
+
+// Representative condition value for a bucket (used to test admissibility
+// deterministically from the bucketed key, not the raw hint): the bucket's
+// upper edge, so admissibility is conservative within the bucket.
+inline double cond_bucket_upper(int bucket) {
+  return bucket < 0 ? 0.0 : std::pow(10.0, bucket + 1);
+}
 
 // Everything a worker needs to run a request without re-planning: the tuned
 // block shape, both cost predictions, and the algorithm the §V.C selector
@@ -81,10 +114,18 @@ struct QrPlan {
   QrAlgorithm chosen = QrAlgorithm::Caqr;
   double predicted_caqr_seconds = 0;
   double predicted_hybrid_seconds = 0;
+  // CholeskyQR-family predictions; 0 when the variant was not admissible
+  // for the key's condition bucket (or, for mixed, the model lacks tensor
+  // cores) and was therefore never a candidate.
+  double predicted_cholqr2_seconds = 0;
+  double predicted_cholqr3_seconds = 0;
+  double predicted_cholqr2_mixed_seconds = 0;
   autotune::TunedBlock tuned;  // §IV.F sweep winner for the model
   // CAQR options with the tuned block shape applied — what the worker (and
   // the fused batch path) actually runs.
   CaqrOptions caqr;
+  // Options for the chosen CholeskyQR variant (valid when is_cholqr(chosen)).
+  tsqr::CholQrOptions cholqr;
   // Multi-device plans (key.devices > 1): the tuned distributed options;
   // predicted_caqr_seconds then holds the grid-simulated CAQR time.
   dist::DistCaqrOptions dist_caqr;
@@ -97,23 +138,66 @@ struct QrPlan {
 template <typename T>
 QrPlan make_plan(const gpusim::GpuMachineModel& model, idx m, idx n,
                  QrAlgorithm algo = QrAlgorithm::Auto,
-                 const CaqrOptions& base = {}) {
+                 const CaqrOptions& base = {}, double cond_hint = 0.0) {
   CAQR_PROF_SCOPE("plan_cache.plan_build_ns");
   QrPlan p;
   p.key = PlanKey{m, n, static_cast<int>(sizeof(T)), algo,
-                  model.fingerprint()};
+                  model.fingerprint(), 1, cond_bucket_of(cond_hint)};
   p.tuned = autotune::autotune_block_size(model);
   p.caqr = base;
   p.caqr.panel_width = p.tuned.panel_width;
   p.caqr.tsqr.block_rows = p.tuned.block_rows;
   p.predicted_caqr_seconds = predict_caqr_seconds<T>(model, m, n, p.caqr);
   p.predicted_hybrid_seconds = predict_hybrid_seconds<T>(model, m, n);
+
+  // CholeskyQR admissibility is decided from the bucket's UPPER edge (not
+  // the raw hint), so every hint in a bucket yields the identical plan. A
+  // variant is a candidate only when the estimated condition is under its
+  // stability bound; m >= n is required (Gram path is tall-skinny only).
+  const double cond = cond_bucket_upper(p.key.cond_bucket);
+  const bool tall = m >= n && n > 0;
+  const bool cqr2_ok = tall && cond > 0 && cond <= tsqr::cholqr2_max_cond<T>();
+  const bool cqr3_ok = tall && cond > 0 && cond <= tsqr::cholqr3_max_cond<T>();
+  const bool mixed_ok =
+      tall && cond > 0 && model.has_tensor_cores() &&
+      cond <= tsqr::cholqr_mixed_max_cond(gpusim::PrecisionPolicy::Tf32Gram);
+  const auto cq_opts = [&](QrAlgorithm a) {
+    return cholqr_options_for(a, p.caqr);
+  };
+  if (cqr2_ok) {
+    p.predicted_cholqr2_seconds = tsqr::predict_cholqr_seconds<T>(
+        model, m, n, cq_opts(QrAlgorithm::CholeskyQr2));
+  }
+  if (cqr3_ok) {
+    p.predicted_cholqr3_seconds = tsqr::predict_cholqr_seconds<T>(
+        model, m, n, cq_opts(QrAlgorithm::CholeskyQr3));
+  }
+  if (mixed_ok) {
+    p.predicted_cholqr2_mixed_seconds = tsqr::predict_cholqr_seconds<T>(
+        model, m, n, cq_opts(QrAlgorithm::CholeskyQr2Mixed));
+  }
+
   p.chosen = algo;
   if (algo == QrAlgorithm::Auto) {
+    // Cheapest admissible candidate; Householder algorithms are always
+    // admissible. Ties break toward the earlier entry (deterministic).
     p.chosen = p.predicted_caqr_seconds <= p.predicted_hybrid_seconds
                    ? QrAlgorithm::Caqr
                    : QrAlgorithm::Hybrid;
+    double best = std::min(p.predicted_caqr_seconds,
+                           p.predicted_hybrid_seconds);
+    const auto consider = [&](bool ok, double t, QrAlgorithm a) {
+      if (ok && t > 0 && t < best) {
+        best = t;
+        p.chosen = a;
+      }
+    };
+    consider(cqr2_ok, p.predicted_cholqr2_seconds, QrAlgorithm::CholeskyQr2);
+    consider(cqr3_ok, p.predicted_cholqr3_seconds, QrAlgorithm::CholeskyQr3);
+    consider(mixed_ok, p.predicted_cholqr2_mixed_seconds,
+             QrAlgorithm::CholeskyQr2Mixed);
   }
+  if (is_cholqr(p.chosen)) p.cholqr = cq_opts(p.chosen);
   return p;
 }
 
@@ -165,11 +249,12 @@ class PlanCache {
   template <typename T>
   Lookup lookup(const gpusim::GpuMachineModel& model, idx m, idx n,
                 QrAlgorithm algo = QrAlgorithm::Auto,
-                const CaqrOptions& base = {}) {
+                const CaqrOptions& base = {}, double cond_hint = 0.0) {
     const PlanKey key{m, n, static_cast<int>(sizeof(T)), algo,
-                      model.fingerprint()};
-    return lookup_impl(key, [&] { return make_plan<T>(model, m, n, algo,
-                                                      base); });
+                      model.fingerprint(), 1, cond_bucket_of(cond_hint)};
+    return lookup_impl(key, [&] {
+      return make_plan<T>(model, m, n, algo, base, cond_hint);
+    });
   }
 
   // Distributed lookup: keyed on the composed grid fingerprint AND device

@@ -95,6 +95,11 @@ struct RequestOptions {
   // an inline adaptive_qr with the same options.
   bool use_plan = true;
   CaqrOptions caqr;
+  // Condition-number estimate for the input, when the caller has one
+  // (iterative workloads like Robust PCA track it across refactorizations).
+  // Gates the CholeskyQR-family candidates in the adaptive picker; <= 0
+  // (unknown) restricts the picker to the Householder algorithms.
+  double cond_estimate = 0;
 };
 
 // Response for a single factorization request.
@@ -319,7 +324,12 @@ class SolverPool {
       // which a shape_only matrix cannot back).
       const idx k = std::min(m, n);
       resp.result.used = algo;
-      if (algo == QrAlgorithm::Caqr) {
+      if (is_cholqr(algo)) {
+        auto res = tsqr::cholqr(dev, Matrix<T>::shape_only(m, n),
+                                cholqr_options_for(algo, opts));
+        resp.result.q = std::move(res.q);
+        resp.result.r = std::move(res.r);
+      } else if (algo == QrAlgorithm::Caqr) {
         auto f = CaqrFactorization<T>::factor(
             dev, Matrix<T>::shape_only(m, n), opts);
         Matrix<T> q = Matrix<T>::shape_only(m, k);
@@ -358,13 +368,14 @@ class SolverPool {
     cache_hit = false;
     if (req.use_plan) {
       if (opts_.use_plan_cache) {
-        const PlanCache::Lookup lk =
-            cache_.lookup<T>(opts_.model, m, n, req.algo, req.caqr);
+        const PlanCache::Lookup lk = cache_.lookup<T>(
+            opts_.model, m, n, req.algo, req.caqr, req.cond_estimate);
         cache_hit = lk.hit;
         algo = lk.plan->chosen;
         opts = lk.plan->caqr;
       } else {
-        const QrPlan p = make_plan<T>(opts_.model, m, n, req.algo, req.caqr);
+        const QrPlan p = make_plan<T>(opts_.model, m, n, req.algo, req.caqr,
+                                      req.cond_estimate);
         algo = p.chosen;
         opts = p.caqr;
       }

@@ -24,6 +24,7 @@
 #include <array>
 #include <functional>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "common/group_list.hpp"
@@ -85,26 +86,71 @@ struct TsqrOptions {
   }
 };
 
-// Metadata describing one panel's TSQR factorization.
+// Immutable replay structure of one panel decomposition, in PANEL-ROW
+// coordinates (a TreeSpec translated through its own offsets): the level-0
+// block offsets plus, per tree level, the row offsets of the R triangles
+// each group combines. This is everything about a factorization that does
+// NOT depend on the data — every panel of the same (rows, width, block_rows,
+// arity) shape replays the identical structure, so PanelFactors share one
+// ReplayMeta by shared_ptr instead of copying offsets + per-level GroupLists
+// per panel (the last per-request metadata copies on the serve hot path).
+struct ReplayMeta {
+  std::vector<idx> offsets;       // nblocks + 1 panel-row offsets
+  std::vector<GroupList> levels;  // per-level groups, panel-row offsets
+
+  idx num_blocks() const { return static_cast<idx>(offsets.size()) - 1; }
+};
+
+// Translates a validated TreeSpec (block indices) into shared panel-row
+// replay metadata.
+inline std::shared_ptr<const ReplayMeta> make_replay_meta(
+    const TreeSpec& spec) {
+  auto meta = std::make_shared<ReplayMeta>();
+  meta->offsets = spec.offsets;
+  meta->levels.reserve(spec.levels.size());
+  for (const auto& groups : spec.levels) {
+    GroupList g;
+    g.starts = groups.starts;
+    g.data.resize(groups.data.size());
+    for (std::size_t i = 0; i < groups.data.size(); ++i) {
+      g.data[i] = meta->offsets[static_cast<std::size_t>(groups.data[i])];
+    }
+    meta->levels.push_back(std::move(g));
+  }
+  return meta;
+}
+
+// Metadata describing one panel's TSQR factorization: the shared immutable
+// replay structure plus this factorization's tau scalars. The kernels take
+// `const std::vector<idx>*` / `const GroupList*`, so they point straight
+// into the shared ReplayMeta.
 template <typename T>
 struct PanelFactor {
   idx rows = 0;   // panel height
   idx width = 0;  // panel width
-  // Level-0 block decomposition: offsets[b]..offsets[b+1] are block b's rows.
-  std::vector<idx> offsets;
-  std::vector<T> taus0;  // width scalars per block
-  struct Level {
-    // groups[g] lists panel-row offsets of the R triangles combined by
-    // group g (first entry holds the surviving R). Singleton groups are
-    // pass-throughs and carry zero taus.
-    GroupList groups;
-    // width scalars per group. Functional factorizations only: ModelOnly
-    // runs never execute blocks, so the taus are left unallocated.
-    std::vector<T> taus;
-  };
-  std::vector<Level> levels;
+  // Shared replay structure; set by every factorization (never null after
+  // tsqr_factor returns).
+  std::shared_ptr<const ReplayMeta> meta;
+  std::vector<T> taus0;  // width scalars per level-0 block
+  // taus[l]: width scalars per group of tree level l. Functional
+  // factorizations only: ModelOnly runs never execute blocks, so the outer
+  // vector is left empty (level_taus returns nullptr, never dereferenced).
+  std::vector<std::vector<T>> taus;
 
-  idx num_blocks() const { return static_cast<idx>(offsets.size()) - 1; }
+  const std::vector<idx>& offsets() const { return meta->offsets; }
+  idx num_blocks() const { return meta ? meta->num_blocks() : 0; }
+  idx num_levels() const {
+    return meta ? static_cast<idx>(meta->levels.size()) : 0;
+  }
+  const GroupList& level_groups(idx l) const {
+    return meta->levels[static_cast<std::size_t>(l)];
+  }
+  T* level_taus(idx l) {
+    return taus.empty() ? nullptr : taus[static_cast<std::size_t>(l)].data();
+  }
+  const T* level_taus(idx l) const {
+    return taus.empty() ? nullptr : taus[static_cast<std::size_t>(l)].data();
+  }
 };
 
 // Splits `rows` into blocks of ~block_rows with every block >= width:
@@ -180,6 +226,23 @@ inline const TreeSpec& cached_uniform_spec(idx rows, idx width,
   return cache.emplace(key, std::move(spec)).first->second;
 }
 
+// Shared replay metadata for the uniform decomposition, memoized alongside
+// the spec with the same key/bound policy. A warm hit is one shared_ptr
+// copy — no allocation, no translation — which is what makes a PanelFactor
+// metadata-free on the serving hot path.
+inline std::shared_ptr<const ReplayMeta> cached_replay_meta(
+    idx rows, idx width, const TsqrOptions& opt) {
+  using Key = std::array<idx, 4>;
+  thread_local std::map<Key, std::shared_ptr<const ReplayMeta>> cache;
+  const idx arity = opt.effective_arity(width);
+  const Key key{rows, width, opt.block_rows, arity};
+  const auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  if (cache.size() >= 256) cache.clear();
+  auto meta = make_replay_meta(cached_uniform_spec(rows, width, opt));
+  return cache.emplace(key, std::move(meta)).first->second;
+}
+
 // Structural validation of a spec against a (rows, width) panel: well-formed
 // offsets, every block tall enough to hold a W x W triangle, every group
 // member a distinct current survivor.
@@ -228,25 +291,25 @@ PanelFactor<T> tsqr_factor_attempt(gpusim::Device& dev, gpusim::StreamId stream,
   f.rows = rows;
   f.width = width;
   if (width == 0) {
-    f.offsets = {0, rows};
+    auto meta = std::make_shared<ReplayMeta>();
+    meta->offsets = {0, rows};
+    f.meta = std::move(meta);
     return f;
   }
-  // Custom providers are built (and validated) per call; the uniform
-  // default comes from the per-thread memo and allocates nothing when warm.
-  TreeSpec custom;
-  const TreeSpec* spec_ptr;
+  // Custom providers are built, validated, and translated per call; the
+  // uniform default comes from the per-thread memo and a warm hit is one
+  // shared_ptr copy.
   {
     CAQR_PROF_SCOPE("tsqr.meta_build_ns");
     if (opt.tree_spec) {
-      custom = opt.tree_spec(rows, width);
+      TreeSpec custom = opt.tree_spec(rows, width);
       check_tree_spec(custom, rows, width);
-      spec_ptr = &custom;
+      f.meta = make_replay_meta(custom);
     } else {
-      spec_ptr = &cached_uniform_spec(rows, width, opt);
+      f.meta = cached_replay_meta(rows, width, opt);
     }
   }
-  const TreeSpec& spec = *spec_ptr;
-  f.offsets = spec.offsets;
+  const ReplayMeta& meta = *f.meta;
   const idx nblocks = f.num_blocks();
 
   // Boundary guards only see data in Functional mode: ModelOnly panels are
@@ -271,38 +334,27 @@ PanelFactor<T> tsqr_factor_attempt(gpusim::Device& dev, gpusim::StreamId stream,
     dev.launch(stream, tk, tk.num_blocks());
   }
 
-  kernels::FactorKernel<T> fk{panel, &f.offsets, f.taus0.data(), cost,
+  kernels::FactorKernel<T> fk{panel, &meta.offsets, f.taus0.data(), cost,
                               dev.model().uncoalesced_penalty,
                               dev.model().tile_locality_penalty};
   sev = ft::worse(sev, dev.launch(stream, fk, fk.num_blocks()));
 
-  // Reduction tree over the surviving R triangles, one launch per spec
-  // level; groups are translated from block indices to panel-row offsets
-  // (the replay coordinates PanelFactor records). Both sides are flat
-  // GroupLists with the SAME group structure, so translation is one flat
-  // map over the member array plus a copy of the start offsets.
-  for (const auto& groups : spec.levels) {
-    typename PanelFactor<T>::Level level;
-    {
-      CAQR_PROF_SCOPE("tsqr.meta_build_ns");
-      level.groups.starts = groups.starts;
-      level.groups.data.resize(groups.data.size());
-      for (std::size_t i = 0; i < groups.data.size(); ++i) {
-        level.groups.data[i] =
-            f.offsets[static_cast<std::size_t>(groups.data[i])];
-      }
-    }
+  // Reduction tree over the surviving R triangles, one launch per level.
+  // The groups are already in panel-row coordinates inside the shared
+  // ReplayMeta; only this factorization's taus are allocated here.
+  if (functional) f.taus.reserve(meta.levels.size());
+  for (const auto& groups : meta.levels) {
+    T* tau_ptr = nullptr;
     if (functional) {
-      level.taus.assign(
-          static_cast<std::size_t>(level.groups.size()) *
-              static_cast<std::size_t>(width),
-          T(0));
+      f.taus.emplace_back(static_cast<std::size_t>(groups.size()) *
+                              static_cast<std::size_t>(width),
+                          T(0));
+      tau_ptr = f.taus.back().data();
     }
-    kernels::FactorTreeKernel<T> tk{panel, &level.groups, level.taus.data(),
-                                    cost, dev.model().uncoalesced_penalty,
+    kernels::FactorTreeKernel<T> tk{panel, &groups, tau_ptr, cost,
+                                    dev.model().uncoalesced_penalty,
                                     dev.model().tile_locality_penalty};
     sev = ft::worse(sev, dev.launch(stream, tk, tk.num_blocks()));
-    f.levels.push_back(std::move(level));
   }
   if (functional) CAQR_GUARD_FINITE(panel, "tsqr_factor:output");
   return f;
@@ -373,27 +425,27 @@ void tsqr_apply(gpusim::Device& dev, gpusim::StreamId stream,
     if (severity_out != nullptr) *severity_out = ft::worse(*severity_out, s);
   };
   auto launch_h = [&] {
-    kernels::ApplyQtHKernel<T> k{panel,         &f.offsets, f.taus0.data(), c,
-                                 opt.tile_cols, cost,       pen,
-                                 tile_pen,      false,      transpose_q};
+    kernels::ApplyQtHKernel<T> k{panel,         &f.offsets(), f.taus0.data(), c,
+                                 opt.tile_cols, cost,         pen,
+                                 tile_pen,      false,        transpose_q};
     note(dev.launch(stream, k, k.num_blocks()));
   };
-  auto launch_tree = [&](const typename PanelFactor<T>::Level& level) {
-    kernels::ApplyQtTreeKernel<T> k{panel,         &level.groups, level.taus.data(), c,
-                                    opt.tile_cols, cost,          pen,
-                                    tile_pen,      false,         transpose_q};
+  auto launch_tree = [&](idx l) {
+    kernels::ApplyQtTreeKernel<T> k{panel,         &f.level_groups(l),
+                                    f.level_taus(l), c,
+                                    opt.tile_cols, cost,
+                                    pen,           tile_pen,
+                                    false,         transpose_q};
     note(dev.launch(stream, k, k.num_blocks()));
   };
 
   if (transpose_q) {
     // Q^T = Q_L^T ... Q_1^T Q_0^T: level 0 first, then up the tree.
     launch_h();
-    for (const auto& level : f.levels) launch_tree(level);
+    for (idx l = 0; l < f.num_levels(); ++l) launch_tree(l);
   } else {
     // Q = Q_0 Q_1 ... Q_L: down the tree, level 0 last.
-    for (auto it = f.levels.rbegin(); it != f.levels.rend(); ++it) {
-      launch_tree(*it);
-    }
+    for (idx l = f.num_levels() - 1; l >= 0; --l) launch_tree(l);
     launch_h();
   }
 }

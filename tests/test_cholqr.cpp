@@ -1,0 +1,315 @@
+// CholeskyQR2/3 solver family: verifier bounds across the conditioning
+// grid, typed breakdown + Householder fallback semantics, mixed-precision
+// gating, the serve-layer adaptive picker, and PlanCache invalidation when
+// precision-policy fields change the machine-model fingerprint.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "caqr/solver.hpp"
+#include "linalg/random_matrix.hpp"
+#include "numerics/stress.hpp"
+#include "numerics/verifier.hpp"
+#include "serve/plan_cache.hpp"
+#include "serve/solver_pool.hpp"
+#include "tsqr/cholqr.hpp"
+
+namespace caqr {
+namespace {
+
+using gpusim::Device;
+using gpusim::ExecMode;
+using gpusim::GpuMachineModel;
+using gpusim::PrecisionPolicy;
+using tsqr::CholQrBreakdown;
+using tsqr::CholQrOptions;
+using tsqr::CholQrVariant;
+
+TEST(CholQr, WellConditionedMeetsVerifierBounds) {
+  const idx m = 512, n = 24;
+  for (const double cond : {1.0, 1e2, 1e4}) {
+    const auto a = matrix_with_condition<double>(m, n, cond, 11);
+    Device dev;
+    auto res = tsqr::cholqr(dev, Matrix<double>::from(a.view()));
+    EXPECT_FALSE(res.breakdown) << "cond " << cond;
+    EXPECT_FALSE(res.fell_back);
+    EXPECT_EQ(res.gram_passes, 2);
+    EXPECT_EQ(res.severity, ft::Severity::Ok);
+    const auto rep = numerics::verify_qr(a.view(), res.q.view(), res.r.view());
+    EXPECT_TRUE(rep.pass) << "cond " << cond << " orthog "
+                          << rep.orthogonality;
+  }
+}
+
+TEST(CholQr, Cqr3SurvivesConditioningCqr2Flags) {
+  // Between the CQR2 and CQR3 admissibility edges (~8e6 vs ~3e7 in double),
+  // the extra pass is what restores orthogonality.
+  const idx m = 512, n = 16;
+  const auto a = matrix_with_condition<double>(m, n, 1e7, 13);
+  Device dev;
+  CholQrOptions o3;
+  o3.variant = CholQrVariant::CholQr3;
+  o3.fallback_to_tsqr = false;
+  auto res = tsqr::cholqr(dev, Matrix<double>::from(a.view()), o3);
+  ASSERT_FALSE(res.breakdown);
+  EXPECT_EQ(res.gram_passes, 3);
+  EXPECT_TRUE(
+      numerics::verify_qr(a.view(), res.q.view(), res.r.view()).pass);
+}
+
+TEST(CholQr, BreakdownTriggersFallback) {
+  // cond 1e12 in double: eps * cond^2 >> 1, the Gram path cannot succeed.
+  const idx m = 512, n = 16;
+  const auto a = matrix_with_condition<double>(m, n, 1e12, 17);
+
+  Device dev;
+  auto res = tsqr::cholqr(dev, Matrix<double>::from(a.view()));
+  EXPECT_TRUE(res.breakdown);
+  EXPECT_NE(res.reason, CholQrBreakdown::None);
+  EXPECT_TRUE(res.fell_back);
+  EXPECT_EQ(res.severity, ft::Severity::Corrected);
+  // The fallback's Householder factors meet the SAME verifier bounds.
+  EXPECT_TRUE(
+      numerics::verify_qr(a.view(), res.q.view(), res.r.view()).pass);
+}
+
+TEST(CholQr, BreakdownWithoutFallbackWithholdsFactors) {
+  const idx m = 512, n = 16;
+  const auto a = matrix_with_condition<double>(m, n, 1e12, 17);
+  Device dev;
+  CholQrOptions opt;
+  opt.fallback_to_tsqr = false;
+  auto res = tsqr::cholqr(dev, Matrix<double>::from(a.view()), opt);
+  EXPECT_TRUE(res.breakdown);
+  EXPECT_FALSE(res.fell_back);
+  EXPECT_EQ(res.severity, ft::Severity::Unrecovered);
+  EXPECT_EQ(res.q.rows(), 0);
+  EXPECT_EQ(res.r.rows(), 0);
+}
+
+TEST(CholQr, ExtremeScalesBreakDownTyped) {
+  // Column scale 1e300: the Gram entries overflow; 1e-300: they vanish.
+  // Either way the run must report a typed breakdown, not return garbage.
+  const idx m = 256, n = 8;
+  for (const double scale : {1e-300, 1e300}) {
+    const auto a = stress_matrix<double>(m, n, 1e2, scale, 19, false);
+    Device dev;
+    CholQrOptions opt;
+    opt.fallback_to_tsqr = false;
+    auto res = tsqr::cholqr(dev, Matrix<double>::from(a.view()), opt);
+    EXPECT_TRUE(res.breakdown) << "scale " << scale;
+    EXPECT_TRUE(res.reason == CholQrBreakdown::GramNotFinite ||
+                res.reason == CholQrBreakdown::GramNotSpd);
+  }
+}
+
+TEST(CholQr, StressGridDetectionOrAccuracy) {
+  // The full cond x scale sweep (numerics/stress.hpp) includes the cholqr2,
+  // cholqr3 and fallback-disarmed cholqr2_strict cells; pass() means no
+  // cell anywhere returned an unreported out-of-bounds factorization.
+  numerics::StressSpec spec;
+  spec.rows = 192;
+  spec.cols = 12;
+  spec.conds = numerics::log_spaced_conds(14.0, 5);
+  const auto summary = numerics::run_stress(spec);
+  bool saw_cholqr = false;
+  for (const auto& row : summary.rows) {
+    if (row.path.rfind("cholqr", 0) == 0) {
+      saw_cholqr = true;
+      EXPECT_TRUE(row.report.pass)
+          << row.path << " cond " << row.cond << " scale " << row.col_scale;
+    }
+  }
+  EXPECT_TRUE(saw_cholqr);
+}
+
+TEST(CholQr, MixedPrecisionPassesWhenWellConditioned) {
+  const idx m = 2048, n = 32;
+  const auto a = matrix_with_condition<double>(m, n, 2.0, 23);
+  Device dev;
+  CholQrOptions opt;
+  opt.precision = PrecisionPolicy::Tf32Gram;
+  auto res = tsqr::cholqr(dev, Matrix<double>::from(a.view()), opt);
+  EXPECT_FALSE(res.breakdown);
+  // The TF32 Gram perturbs pass 1, but the native refinement pass restores
+  // full orthogonality — that is the whole point of the mixed path.
+  EXPECT_TRUE(
+      numerics::verify_qr(a.view(), res.q.view(), res.r.view()).pass);
+}
+
+TEST(CholQr, MixedPrecisionIsFasterOnTensorCoreModel) {
+  const auto a100 = GpuMachineModel::a100();
+  ASSERT_TRUE(a100.has_tensor_cores());
+  CholQrOptions native, mixed;
+  mixed.precision = PrecisionPolicy::Tf32Gram;
+  const double t_native =
+      tsqr::predict_cholqr_seconds<float>(a100, 110592, 100, native);
+  const double t_mixed =
+      tsqr::predict_cholqr_seconds<float>(a100, 110592, 100, mixed);
+  EXPECT_LT(t_mixed, t_native);
+
+  // Without tensor cores the policy is cost-neutral (charged at native
+  // rates — never a free speedup the hardware cannot deliver).
+  const auto c2050 = GpuMachineModel::c2050();
+  EXPECT_DOUBLE_EQ(
+      tsqr::predict_cholqr_seconds<float>(c2050, 110592, 100, mixed),
+      tsqr::predict_cholqr_seconds<float>(c2050, 110592, 100, native));
+}
+
+TEST(CholQr, ModelOnlyMatchesPredictedSeconds) {
+  const auto model = GpuMachineModel::c2050();
+  Device dev(model, ExecMode::ModelOnly);
+  auto res = tsqr::cholqr(dev, Matrix<double>::shape_only(65536, 64));
+  EXPECT_DOUBLE_EQ(dev.elapsed_seconds(),
+                   tsqr::predict_cholqr_seconds<double>(model, 65536, 64));
+  EXPECT_EQ(res.gram_passes, 2);
+}
+
+TEST(CholQrPicker, SelectsCholeskyQr2WithBenignHint) {
+  // Tall-skinny + cond estimate 10 (bucket upper edge 100, inside float's
+  // ~362 bound): CholeskyQR2 is admissible and its three-BLAS3-launch
+  // schedule beats CAQR's tree on predicted time.
+  const auto model = GpuMachineModel::c2050();
+  const auto plan =
+      serve::make_plan<float>(model, 110592, 100, QrAlgorithm::Auto, {}, 10.0);
+  EXPECT_EQ(plan.chosen, QrAlgorithm::CholeskyQr2);
+  EXPECT_GT(plan.predicted_cholqr2_seconds, 0.0);
+  EXPECT_LT(plan.predicted_cholqr2_seconds, plan.predicted_caqr_seconds);
+}
+
+TEST(CholQrPicker, NeverPicksCholQrWithoutHintOrWhenIllConditioned) {
+  const auto model = GpuMachineModel::c2050();
+  for (const double hint : {0.0, 1e12}) {
+    const auto plan = serve::make_plan<double>(model, 110592, 100,
+                                               QrAlgorithm::Auto, {}, hint);
+    EXPECT_FALSE(is_cholqr(plan.chosen)) << "hint " << hint;
+    EXPECT_EQ(plan.predicted_cholqr2_seconds, 0.0) << "hint " << hint;
+  }
+}
+
+TEST(CholQrPicker, MixedRequiresTensorCores) {
+  // Same benign hint: the A100 model may route to the mixed path, the
+  // Fermi-class model must never (no tensor cores).
+  const auto fermi =
+      serve::make_plan<float>(GpuMachineModel::c2050(), 110592, 100,
+                              QrAlgorithm::Auto, {}, 2.0);
+  EXPECT_EQ(fermi.predicted_cholqr2_mixed_seconds, 0.0);
+  EXPECT_NE(fermi.chosen, QrAlgorithm::CholeskyQr2Mixed);
+
+  const auto ampere = serve::make_plan<float>(
+      GpuMachineModel::a100(), 110592, 100, QrAlgorithm::Auto, {}, 2.0);
+  EXPECT_GT(ampere.predicted_cholqr2_mixed_seconds, 0.0);
+  EXPECT_LT(ampere.predicted_cholqr2_mixed_seconds,
+            ampere.predicted_cholqr2_seconds);
+  EXPECT_EQ(ampere.chosen, QrAlgorithm::CholeskyQr2Mixed);
+}
+
+TEST(CholQrPicker, Deterministic) {
+  const auto model = GpuMachineModel::c2050();
+  const auto p1 =
+      serve::make_plan<float>(model, 65536, 64, QrAlgorithm::Auto, {}, 1e3);
+  const auto p2 =
+      serve::make_plan<float>(model, 65536, 64, QrAlgorithm::Auto, {}, 1e3);
+  EXPECT_EQ(p1.chosen, p2.chosen);
+  EXPECT_DOUBLE_EQ(p1.predicted_caqr_seconds, p2.predicted_caqr_seconds);
+  EXPECT_DOUBLE_EQ(p1.predicted_cholqr2_seconds, p2.predicted_cholqr2_seconds);
+  EXPECT_DOUBLE_EQ(p1.predicted_cholqr3_seconds, p2.predicted_cholqr3_seconds);
+  // Hints within one log10 bucket share a plan; crossing a bucket edge (or
+  // dropping the hint) changes the key.
+  EXPECT_EQ(serve::cond_bucket_of(1.5e3), serve::cond_bucket_of(9e3));
+  EXPECT_NE(serve::cond_bucket_of(1e3), serve::cond_bucket_of(1e5));
+  EXPECT_EQ(serve::cond_bucket_of(0.0), -1);
+}
+
+TEST(CholQrPicker, PlanCacheInvalidatesOnPrecisionPolicyFields) {
+  // Adding tensor-core rates changes fingerprint(), so old plans stop
+  // matching — the cache plans twice for what is otherwise the same model.
+  auto base = GpuMachineModel::c2050();
+  auto tensor = base;
+  tensor.tf32_gemm_speedup = 8.0;
+  ASSERT_NE(base.fingerprint(), tensor.fingerprint());
+
+  serve::PlanCache cache(16);
+  (void)cache.lookup<float>(base, 8192, 64, QrAlgorithm::Auto, {}, 2.0);
+  const auto second =
+      cache.lookup<float>(tensor, 8192, 64, QrAlgorithm::Auto, {}, 2.0);
+  EXPECT_FALSE(second.hit);
+  EXPECT_EQ(cache.plans_computed(), 2);
+
+  // Distinct cond buckets are distinct keys on one model...
+  (void)cache.lookup<float>(base, 8192, 64, QrAlgorithm::Auto, {}, 1e6);
+  EXPECT_EQ(cache.plans_computed(), 3);
+  // ...but same-bucket hints hit.
+  const auto again =
+      cache.lookup<float>(base, 8192, 64, QrAlgorithm::Auto, {}, 3.0);
+  EXPECT_TRUE(again.hit);
+  EXPECT_EQ(cache.plans_computed(), 3);
+}
+
+TEST(CholQrServe, PoolRoutesCholQrEndToEnd) {
+  // A Functional pool with a benign cond estimate serves CholeskyQR2 picked
+  // by plan, and the factors meet verifier bounds.
+  serve::PoolOptions popts;
+  popts.workers = 2;
+  serve::SolverPool pool(popts);
+  const auto a = matrix_with_condition<float>(4096, 32, 10.0, 29);
+  serve::RequestOptions req;
+  req.cond_estimate = 10.0;
+  auto resp = pool.submit(Matrix<float>::from(a.view()), req).get();
+  ASSERT_EQ(resp.status, serve::RequestStatus::Done);
+  EXPECT_TRUE(is_cholqr(resp.result.used));
+  EXPECT_TRUE(numerics::verify_qr(a.view(), resp.result.q.view(),
+                                  resp.result.r.view())
+                  .pass);
+}
+
+TEST(CholQrServe, ModelOnlyPoolChargesCholQrSchedule) {
+  serve::PoolOptions popts;
+  popts.workers = 1;
+  popts.mode = ExecMode::ModelOnly;
+  serve::SolverPool pool(popts);
+  serve::RequestOptions req;
+  req.algo = QrAlgorithm::CholeskyQr2;
+  req.cond_estimate = 1e2;
+  auto resp =
+      pool.submit(Matrix<float>::shape_only(110592, 100), req).get();
+  ASSERT_EQ(resp.status, serve::RequestStatus::Done);
+  EXPECT_EQ(resp.result.used, QrAlgorithm::CholeskyQr2);
+  EXPECT_DOUBLE_EQ(
+      resp.simulated_seconds,
+      tsqr::predict_cholqr_seconds<float>(pool.options().model, 110592, 100));
+}
+
+TEST(CholQr, AdmissibilityThresholds) {
+  EXPECT_NEAR(tsqr::cholqr2_max_cond<double>(), 8.38e6, 1e5);
+  EXPECT_NEAR(tsqr::cholqr2_max_cond<float>(), 362.0, 5.0);
+  EXPECT_GT(tsqr::cholqr3_max_cond<double>(),
+            tsqr::cholqr2_max_cond<double>());
+  EXPECT_NEAR(tsqr::cholqr_mixed_max_cond(PrecisionPolicy::Tf32Gram), 22.6,
+              0.1);
+  EXPECT_EQ(tsqr::cholqr_mixed_max_cond(PrecisionPolicy::Native), 0.0);
+}
+
+TEST(CholeskyBreakdownType, ReportsPivotAndPlumbsFt) {
+  // Indefinite 2x2: the checked potrf reports index and value instead of
+  // asserting.
+  Matrix<double> g(2, 2);
+  g(0, 0) = 1.0;
+  g(0, 1) = g(1, 0) = 2.0;
+  g(1, 1) = 1.0;  // second pivot = 1 - 4 < 0
+  const auto bd = potrf_upper_checked(g.view());
+  EXPECT_FALSE(bd.ok());
+  EXPECT_EQ(bd.pivot, 1);
+  EXPECT_LT(bd.value, 0.0);
+  // Severity mapping: detected+recovered folds as Corrected, unrecovered
+  // dominates.
+  EXPECT_EQ(ft::worse(ft::Severity::Ok, ft::Severity::Corrected),
+            ft::Severity::Corrected);
+  EXPECT_EQ(ft::worse(ft::Severity::Corrected, ft::Severity::Unrecovered),
+            ft::Severity::Unrecovered);
+}
+
+}  // namespace
+}  // namespace caqr

@@ -151,7 +151,7 @@ TEST(Degenerate, SingleRowBlockEqualsWidth) {
   opt.block_rows = 8;
   auto res = tsqr::tsqr(dev, a.view(), opt);
   EXPECT_EQ(res.meta.num_blocks(), 1);
-  EXPECT_TRUE(res.meta.levels.empty());
+  EXPECT_EQ(res.meta.num_levels(), 0);
   const auto q = res.form_q(dev, opt);
   EXPECT_TRUE(numerics::verify_qr(a.view(), q.view(), res.r().view()).pass);
 }

@@ -157,7 +157,7 @@ TEST(Tsqr, LevelCountMatchesTreeArity) {
     opt.block_rows = 64;
     opt.arity = arity;
     auto f = tsqr::tsqr(dev, a.view(), opt);
-    return f.meta.levels.size();
+    return static_cast<std::size_t>(f.meta.num_levels());
   };
   EXPECT_EQ(levels_for(2), 6u);   // log2(64)
   EXPECT_EQ(levels_for(4), 3u);   // log4(64)
