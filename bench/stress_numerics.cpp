@@ -99,6 +99,41 @@ int main(int argc, char** argv) {
       rspec.p_block_drop = fp;
       rspec.p_bitflip = fp;
     }
+    const int rdev = static_cast<int>(args.get_int("devices", 0));
+    if (rdev > 0) {
+      // Grid-level chaos sweep: link drops/flips + a scheduled device loss
+      // through the dist/grid_ft.hpp recovery driver.
+      if (rspec.rows < static_cast<idx>(rdev) * rspec.cols) {
+        rspec.rows = static_cast<idx>(rdev) * rspec.cols * 8;
+        std::printf(
+            "(rows raised to %lld so every shard holds >= cols rows)\n",
+            static_cast<long long>(rspec.rows));
+      }
+      std::printf(
+          "Distributed fault-recovery sweep: %lld x %lld on %d devices, %zu "
+          "cond samples\n  link faults: p_drop %.3f / p_flip %.3f, checksums "
+          "+ resend; 1 scheduled device loss per loss/chaos cell\n\n",
+          static_cast<long long>(rspec.rows),
+          static_cast<long long>(rspec.cols), rdev, rspec.conds.size(),
+          rspec.p_block_drop, rspec.p_bitflip);
+      const numerics::RecoverSummary rsum =
+          numerics::run_recover_dist(rspec, rdev);
+      numerics::print_recover(rsum);
+
+      const char* json_path = "BENCH_stress_numerics_recover_dist.json";
+      const std::string json =
+          "{\"devices\":" + std::to_string(rdev) +
+          ",\"recover\":" + numerics::recover_json(rsum) +
+          ",\"total_faults\":" + std::to_string(rsum.total_faults) + "}";
+      if (std::FILE* f = std::fopen(json_path, "w")) {
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("\nWrote %s\n", json_path);
+      }
+      const bool ok = rsum.pass() && rsum.total_faults > 0;
+      std::printf("%s\n", ok ? "DIST RECOVER PASS" : "DIST RECOVER FAIL");
+      return ok ? 0 : 1;
+    }
     std::printf(
         "Fault-recovery sweep: %lld x %lld, %zu cond samples, CAQR both "
         "schedules\n  injection: p_block_drop %.3f / p_bitflip %.3f, ABFT + "

@@ -72,6 +72,11 @@ struct QrSolveResult {
   // recovered by the Householder TSQR fallback (cholqr_fallback = true).
   ft::Severity severity = ft::Severity::Ok;
   bool cholqr_fallback = false;
+  // Full fault-tolerance outcome of the run (retry counts, schedule
+  // fallback, transfer/device-loss counters on distributed paths).
+  // run_status.severity always agrees with `severity` above; serve callers
+  // read it through QrResponse to learn whether their solve was corrected.
+  ft::RunStatus run_status;
 };
 
 // Predicts simulated seconds without touching data: runs the full launch
@@ -128,10 +133,13 @@ QrSolveResult<view_scalar_t<VA>> adaptive_qr(
     out.r = std::move(res.r);
     out.severity = res.severity;
     out.cholqr_fallback = res.fell_back;
+    out.run_status.severity = res.severity;
   } else if (algo == QrAlgorithm::Caqr) {
     auto f = CaqrFactorization<T>::factor(dev, Matrix<T>::from(a), caqr_opt);
     out.r = f.r();
     out.q = f.form_q(dev, k);
+    out.run_status = f.status();
+    out.severity = out.run_status.severity;
   } else {
     auto res = baselines::hybrid_qr(dev, Matrix<T>::from(a), hybrid_opt);
     out.r = extract_r(res.factored.view());

@@ -13,18 +13,46 @@
 // is also appended to a host-side comm log from which comm_stats() reports
 // the volume/time totals the scaling bench plots.
 //
-// Determinism: the grid performs no host-side parallelism of its own and
+// Fault model (ISSUE 8). The grid owns the two failure classes a lone
+// device cannot express:
+//
+//   * link faults — a transfer's payload is dropped or arrives with one
+//     flipped bit (gpusim::LinkFaultPlan, seeded per transfer ordinal).
+//     transfer_payload() detects both with an FNV-1a checksum over the
+//     payload bytes and recovers by bounded resend-with-backoff; every
+//     attempt's link time (and the backoff) is charged to BOTH endpoint
+//     timelines, so recovery traffic is first-class in ModelOnly runs and
+//     chrome traces. A resend ships the sender's intact bytes, so every
+//     recovered transfer is bit-identical to a fault-free one.
+//   * device loss — a device dies at a chosen transfer ordinal (or via
+//     kill_device()). Death is detected at the next rendezvous that touches
+//     the dead peer: the survivor charges rendezvous_timeout_us to its
+//     timeline and the transfer fails TYPED (TransferResult::peer_dead from
+//     the checked API, DeviceLostError from the legacy double-returning
+//     API) instead of waiting forever. Recovery — shard reassignment over
+//     the survivors — lives one layer up in dist/grid_ft.hpp.
+//
+// Determinism: the grid performs no host-side parallelism of its own,
 // every member timeline is resolved by the same pure event simulation as a
-// lone device, so Functional and ModelOnly grids produce bit-identical
-// timelines and comm logs for the same issue sequence (tested in
-// tests/test_dist.cpp).
+// lone device, and every fault decision is a pure function of (seed,
+// transfer ordinal) with resends consuming fresh ordinals — so Functional
+// and ModelOnly grids produce bit-identical timelines, comm logs and fault
+// trajectories for the same issue sequence (tests/test_dist.cpp). The one
+// measure-zero caveat: a ModelOnly grid counts every injected fault as
+// checksum-detected, while a Functional grid compares real checksums — the
+// two can only diverge if a corrupted payload checksums equal to the
+// original (in which case its bytes are equal and nothing was corrupt).
 //
 // fingerprint() composes the member device-model fingerprints, the
-// interconnect fingerprint and the device count into one FNV-1a digest —
-// the key serve::PlanCache uses so cached plans self-invalidate when the
-// link model, the device model, or the grid size changes.
+// interconnect fingerprint, the device count AND the grid-health generation
+// (bumped on every device loss) into one FNV-1a digest — the key
+// serve::PlanCache uses, so cached dist plans self-invalidate when the link
+// model, the device model, the grid size, or the set of live devices
+// changes.
 
+#include <algorithm>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -33,6 +61,7 @@
 #include "dist/interconnect.hpp"
 #include "ft/ft.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/fault.hpp"
 #include "gpusim/report.hpp"
 
 namespace caqr::dist {
@@ -51,6 +80,74 @@ struct CommStats {
   long long transfers = 0;
   double bytes = 0;
   double seconds = 0;  // sum of per-transfer link time (not wall overlap)
+  // Fault/recovery counters (ISSUE 8): resend attempts, transfers whose
+  // retry budget exhausted, detected payload corruptions, injected fault
+  // events by kind, and rendezvous timeouts against dead peers.
+  long long retried_transfers = 0;
+  long long failed_transfers = 0;
+  long long checksum_mismatches = 0;
+  long long injected_drops = 0;
+  long long injected_flips = 0;
+  long long rendezvous_timeouts = 0;
+};
+
+// One injected link-fault event (host-side log, for tests and diagnostics).
+struct LinkFaultEvent {
+  enum class Kind { Drop, Flip };
+  Kind kind = Kind::Drop;
+  long long transfer_ordinal = 0;
+  int src = 0;
+  int dst = 0;
+  std::string label;
+};
+
+// Death of a device at a chosen grid transfer ordinal (the grid-level
+// analogue of FaultOptions::max_faults + only_kernel pinning: fully
+// deterministic, so a test can kill device 2 at exactly the 7th transfer).
+struct DeviceLossPlan {
+  int device = -1;
+  long long at_transfer = 0;
+};
+
+// Grid-level fault-tolerance policy + injection schedule.
+struct GridFtOptions {
+  // Seeded link-fault injection (off by default: both probabilities 0).
+  gpusim::LinkFaultOptions link_faults;
+  // Verify an FNV-1a checksum over every payload transfer. On by default —
+  // with injection off it costs nothing (the compare is skipped entirely).
+  bool checksums = true;
+  // Bounded resend budget per transfer; 0 = detect and report only.
+  int max_transfer_retries = 3;
+  // Backoff before resend attempt k: retry_backoff_us * 2^(k-1), charged to
+  // both endpoint timelines as a "link_backoff" external op.
+  double retry_backoff_us = 25.0;
+  // Simulated seconds a survivor waits before declaring a silent peer dead;
+  // charged to the survivor's timeline as "rendezvous_timeout".
+  double rendezvous_timeout_us = 500.0;
+  // Deterministic device-loss schedule (each entry fires at most once).
+  std::vector<DeviceLossPlan> device_losses;
+};
+
+// Typed outcome of one checked transfer.
+struct TransferResult {
+  ft::Severity severity = ft::Severity::Ok;  // Ok / Corrected / Unrecovered
+  bool peer_dead = false;  // rendezvous timed out against a dead device
+  int dead_device = -1;    // valid when peer_dead
+  int retries = 0;         // resend attempts beyond the first send
+  double completion = 0;   // simulated completion time (last attempt)
+
+  bool ok() const { return !peer_dead && severity != ft::Severity::Unrecovered; }
+};
+
+// Typed failure of the legacy double-returning transfer API against a dead
+// peer — thrown after the rendezvous-timeout charge, never a hang or abort.
+// The grid_ft recovery driver catches it and reassigns the dead shard.
+struct DeviceLostError : std::runtime_error {
+  explicit DeviceLostError(int dev)
+      : std::runtime_error("device " + std::to_string(dev) +
+                           " lost at rendezvous"),
+        device(dev) {}
+  int device = -1;
 };
 
 class DeviceGrid {
@@ -67,6 +164,7 @@ class DeviceGrid {
     for (int d = 0; d < num_devices; ++d) {
       devices_.emplace_back(model, mode);
     }
+    alive_.assign(static_cast<std::size_t>(num_devices), 1);
   }
 
   int size() const { return static_cast<int>(devices_.size()); }
@@ -81,9 +179,46 @@ class DeviceGrid {
   }
   const InterconnectModel& interconnect() const { return interconnect_; }
 
-  // Composed digest: every member device model, the interconnect, and the
-  // device count. Two grids with equal fingerprints produce bit-identical
-  // simulated timelines for the same program.
+  // Grid fault model (injection schedule + recovery policy). Replacing the
+  // options does not resurrect dead devices.
+  void set_fault_tolerance(GridFtOptions opt) { ft_ = std::move(opt); }
+  const GridFtOptions& fault_tolerance() const { return ft_; }
+
+  // ---- device health -------------------------------------------------
+  bool alive(int d) const {
+    CAQR_CHECK(d >= 0 && d < size());
+    return alive_[static_cast<std::size_t>(d)] != 0;
+  }
+  // Marks a device dead and bumps the health generation (fingerprint
+  // change => cached dist plans stop matching). Idempotent per device.
+  void kill_device(int d) {
+    CAQR_CHECK(d >= 0 && d < size());
+    if (alive_[static_cast<std::size_t>(d)] != 0) {
+      alive_[static_cast<std::size_t>(d)] = 0;
+      ++health_generation_;
+    }
+  }
+  int num_alive() const {
+    int n = 0;
+    for (const char a : alive_) n += a != 0;
+    return n;
+  }
+  std::vector<int> live_devices() const {
+    std::vector<int> out;
+    out.reserve(alive_.size());
+    for (int d = 0; d < size(); ++d) {
+      if (alive_[static_cast<std::size_t>(d)] != 0) out.push_back(d);
+    }
+    return out;
+  }
+  // Monotonic counter of device losses since construction; mixed into
+  // fingerprint() so serve::PlanCache entries for the old grid age out.
+  std::uint64_t health_generation() const { return health_generation_; }
+
+  // Composed digest: every member device model, the interconnect, the
+  // device count, and the grid-health state. Two grids with equal
+  // fingerprints produce bit-identical simulated timelines for the same
+  // program on the same live devices.
   std::uint64_t fingerprint() const {
     std::uint64_t h = ft::detail::kFnvOffset;
     for (const auto& dev : devices_) {
@@ -94,6 +229,10 @@ class DeviceGrid {
     h = ft::detail::fnv1a(&link, sizeof(link), h);
     const std::int64_t n = size();
     h = ft::detail::fnv1a(&n, sizeof(n), h);
+    if (health_generation_ != 0) {
+      h = ft::detail::fnv1a(&health_generation_, sizeof(health_generation_), h);
+      h = ft::detail::fnv1a(alive_.data(), alive_.size(), h);
+    }
     return h;
   }
 
@@ -103,29 +242,136 @@ class DeviceGrid {
   // crossed) and charges nothing. Returns the simulated completion time.
   // Moves no data — functional callers copy the host-resident shards
   // themselves; this models when those bytes would have arrived.
+  //
+  // Typed failure: a dead endpoint charges the rendezvous timeout to the
+  // survivor and throws DeviceLostError (never hangs). Injected link faults
+  // apply to this API too (payload-free transfers are judged as a ModelOnly
+  // payload would be); an exhausted retry budget still returns the final
+  // completion time — corruption reporting needs transfer_payload.
   double transfer(int src, int dst, double bytes,
                   const std::string& label = "link_transfer") {
-    CAQR_CHECK(bytes >= 0);
-    gpusim::Device& s = device(src);
-    if (src == dst) return s.sync();
-    gpusim::Device& d = device(dst);
-    const double t_src = s.sync();
-    const double t_dst = d.sync();
-    const double start = t_src > t_dst ? t_src : t_dst;
-    s.wait_until(start);
-    d.wait_until(start);
-    const double t = interconnect_.transfer_seconds(bytes);
-    s.transfer(bytes, interconnect_.link, label);
-    d.transfer(bytes, interconnect_.link, label);
-    comm_log_.push_back(CommRecord{src, dst, bytes, t, start, label});
-    return start + t;
+    if (src == dst) return device(src).sync();
+    const TransferResult r =
+        transfer_payload<double>(src, dst, bytes, label, {}, {});
+    if (r.peer_dead) throw DeviceLostError(r.dead_device);
+    return r.completion;
   }
 
-  // Grid-wide barrier: every device joins at the latest clock. Returns it.
+  // Checked, payload-aware transfer: models the link cost like transfer()
+  // AND moves `sv` into `dv` (when both are backed — ModelOnly callers pass
+  // empty views), with fault injection, FNV checksum detection, and bounded
+  // resend-with-backoff. Never throws on a dead peer: the typed result
+  // carries peer_dead + the dead device id. `bytes` is the modeled wire
+  // size (e.g. a packed triangle), which may be less than the view's bytes.
+  template <typename T>
+  TransferResult transfer_payload(int src, int dst, double bytes,
+                                  const std::string& label,
+                                  ConstMatrixView<T> sv, MatrixView<T> dv) {
+    CAQR_CHECK(bytes >= 0);
+    trigger_scheduled_losses();
+    TransferResult res;
+    const bool functional = sv.data() != nullptr && dv.data() != nullptr;
+    if (src == dst) {
+      // No link crossed: the "transfer" is a local copy, charges nothing.
+      if (functional) dv.copy_from(sv);
+      res.completion = device(src).elapsed_seconds();
+      return res;
+    }
+    if (!alive(src) || !alive(dst)) {
+      return fail_dead_peer(src, dst, label);
+    }
+    gpusim::Device& s = device(src);
+    gpusim::Device& d = device(dst);
+    const bool inject = ft_.link_faults.enabled();
+    const int max_retries = std::max(0, ft_.max_transfer_retries);
+    for (int attempt = 0;; ++attempt) {
+      const long long ordinal = transfer_ordinal_++;
+      const double t_src = s.sync();
+      const double t_dst = d.sync();
+      const double start = t_src > t_dst ? t_src : t_dst;
+      s.wait_until(start);
+      d.wait_until(start);
+      double backoff = 0;
+      if (attempt > 0) {
+        // Exponential backoff before the resend, on both clocks (they are
+        // aligned, so they stay aligned).
+        backoff = ft_.retry_backoff_us * 1e-6 *
+                  static_cast<double>(1 << (attempt - 1));
+        s.add_external_seconds(backoff, "link_backoff");
+        d.add_external_seconds(backoff, "link_backoff");
+      }
+      const std::string lbl = attempt == 0 ? label : label + "_retry";
+      const double t = interconnect_.transfer_seconds(bytes);
+      s.transfer(bytes, interconnect_.link, lbl);
+      d.transfer(bytes, interconnect_.link, lbl);
+      comm_log_.push_back(CommRecord{src, dst, bytes, t, start + backoff, lbl});
+      res.completion = s.elapsed_seconds();
+
+      bool corrupted = false;
+      if (inject) {
+        gpusim::LinkFaultPlan plan(
+            ft_.link_faults, ordinal,
+            ft_.link_faults.budget_left(link_fault_log_.size()));
+        if (plan.drop()) {
+          // The payload never arrives; model the receive buffer as cleared
+          // (deterministic — never garbage from uninitialized storage).
+          if (functional) dv.fill(T(0));
+          link_fault_log_.push_back(
+              {LinkFaultEvent::Kind::Drop, ordinal, src, dst, lbl});
+          ++stats_.injected_drops;
+          corrupted = true;
+        } else {
+          if (functional) dv.copy_from(sv);
+          if (plan.flip()) {
+            if (functional) plan.apply_flip(dv);
+            link_fault_log_.push_back(
+                {LinkFaultEvent::Kind::Flip, ordinal, src, dst, lbl});
+            ++stats_.injected_flips;
+            corrupted = true;
+          }
+        }
+      } else if (functional) {
+        dv.copy_from(sv);
+      }
+
+      // Detection: sender-side FNV over the intact bytes vs receiver-side
+      // FNV over what landed. ModelOnly payloads judge the injected fault
+      // directly (the decisions are identical, so timelines stay in parity
+      // with a Functional twin).
+      bool mismatch = false;
+      if (ft_.checksums && inject) {
+        mismatch = functional ? view_checksum(sv) != view_checksum(dv.as_const())
+                              : corrupted;
+      }
+      if (!mismatch) {
+        res.severity = attempt == 0 ? ft::Severity::Ok : ft::Severity::Corrected;
+        res.retries = attempt;
+        return res;
+      }
+      ++stats_.checksum_mismatches;
+      if (attempt >= max_retries) {
+        // Budget exhausted: deliver the corrupted payload TYPED — the
+        // caller decides whether to escalate. (A final drop leaves the
+        // deterministic zero fill in dv.)
+        ++stats_.failed_transfers;
+        res.severity = ft::Severity::Unrecovered;
+        res.retries = attempt;
+        return res;
+      }
+      ++stats_.retried_transfers;
+    }
+  }
+
+  // Grid-wide barrier over the LIVE devices: every survivor joins at the
+  // latest live clock. Returns it.
   double barrier() {
     double t = 0;
-    for (auto& dev : devices_) t = std::max(t, dev.sync());
-    for (auto& dev : devices_) dev.wait_until(t);
+    for (int d = 0; d < size(); ++d) {
+      if (alive(d)) t = std::max(t, device(d).sync());
+    }
+    for (int d = 0; d < size(); ++d) {
+      if (alive(d)) device(d).wait_until(t);
+    }
     return t;
   }
 
@@ -139,12 +385,19 @@ class DeviceGrid {
   void reset_timelines() {
     for (auto& dev : devices_) dev.reset_timeline();
     comm_log_.clear();
+    link_fault_log_.clear();
+    stats_ = CommStats{};
+    transfer_ordinal_ = 0;
+    for (auto& p : fired_losses_) p = 0;
   }
 
   const std::vector<CommRecord>& comm_log() const { return comm_log_; }
+  const std::vector<LinkFaultEvent>& link_fault_log() const {
+    return link_fault_log_;
+  }
 
   CommStats comm_stats() const {
-    CommStats s;
+    CommStats s = stats_;
     for (const auto& r : comm_log_) {
       ++s.transfers;
       s.bytes += r.bytes;
@@ -154,16 +407,88 @@ class DeviceGrid {
   }
 
  private:
+  template <typename T>
+  static std::uint64_t view_checksum(ConstMatrixView<T> v) {
+    std::uint64_t h = ft::detail::kFnvOffset;
+    for (idx j = 0; j < v.cols(); ++j) {
+      h = ft::detail::fnv1a(v.col(j),
+                            sizeof(T) * static_cast<std::size_t>(v.rows()), h);
+    }
+    return h;
+  }
+
+  // Fires every scheduled loss whose ordinal has been reached (each at most
+  // once, tracked independently of alive_ so kill/option changes compose).
+  void trigger_scheduled_losses() {
+    if (ft_.device_losses.empty()) return;
+    fired_losses_.resize(ft_.device_losses.size(), 0);
+    for (std::size_t i = 0; i < ft_.device_losses.size(); ++i) {
+      const DeviceLossPlan& p = ft_.device_losses[i];
+      if (fired_losses_[i] == 0 && p.device >= 0 && p.device < size() &&
+          transfer_ordinal_ >= p.at_transfer) {
+        fired_losses_[i] = 1;
+        kill_device(p.device);
+      }
+    }
+  }
+
+  // Dead-peer rendezvous: the survivor (if any) waits out the configured
+  // timeout on its own timeline, the failure is typed, nothing hangs.
+  TransferResult fail_dead_peer(int src, int dst, const std::string& label) {
+    TransferResult res;
+    res.peer_dead = true;
+    res.dead_device = !alive(src) ? src : dst;
+    res.severity = ft::Severity::Unrecovered;
+    const int survivor = res.dead_device == src ? dst : src;
+    const double timeout = ft_.rendezvous_timeout_us * 1e-6;
+    if (alive(survivor)) {
+      gpusim::Device& sd = device(survivor);
+      sd.add_external_seconds(timeout, "rendezvous_timeout");
+      res.completion = sd.elapsed_seconds();
+    }
+    ++stats_.rendezvous_timeouts;
+    ++stats_.failed_transfers;
+    comm_log_.push_back(CommRecord{src, dst, 0.0, timeout,
+                                   std::max(0.0, res.completion - timeout),
+                                   label + "_timeout"});
+    return res;
+  }
+
   std::vector<gpusim::Device> devices_;
   InterconnectModel interconnect_;
   gpusim::ExecMode mode_;
   std::vector<CommRecord> comm_log_;
+  std::vector<LinkFaultEvent> link_fault_log_;
+  GridFtOptions ft_;
+  CommStats stats_;  // fault counters only; volume derives from comm_log_
+  std::vector<char> alive_;
+  std::vector<char> fired_losses_;
+  std::uint64_t health_generation_ = 0;
+  long long transfer_ordinal_ = 0;
 };
+
+// JSON object of the grid's comm + recovery counters (embedded in
+// grid_trace_json so a chrome trace carries the recovery-traffic summary).
+inline std::string comm_stats_json(const CommStats& s) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"transfers\":%lld,\"bytes\":%.17g,\"seconds\":%.17g,"
+      "\"retried_transfers\":%lld,\"failed_transfers\":%lld,"
+      "\"checksum_mismatches\":%lld,\"injected_drops\":%lld,"
+      "\"injected_flips\":%lld,\"rendezvous_timeouts\":%lld}",
+      s.transfers, s.bytes, s.seconds, s.retried_transfers,
+      s.failed_transfers, s.checksum_mismatches, s.injected_drops,
+      s.injected_flips, s.rendezvous_timeouts);
+  return buf;
+}
 
 // Combined chrome-trace export: one process ("pid") per device, tid = that
 // device's stream ids — load in chrome://tracing / ui.perfetto.dev to see
-// per-device overlap and the link transfers on both endpoints. `other_data`
-// follows the same contract as gpusim::trace_json.
+// per-device overlap and the link transfers on both endpoints (retry and
+// backoff ops included, so recovery traffic is visible). `other_data`
+// follows the same contract as gpusim::trace_json; the grid's comm/recovery
+// counters are always embedded as "commStats".
 inline std::string grid_trace_json(const DeviceGrid& grid,
                                    const std::string& other_data = "") {
   auto escaped = [](const std::string& s) {
@@ -192,7 +517,8 @@ inline std::string grid_trace_json(const DeviceGrid& grid,
       first = false;
     }
   }
-  out += "]";
+  out += "],\"commStats\":";
+  out += comm_stats_json(grid.comm_stats());
   if (!other_data.empty()) {
     out += ",\"otherData\":";
     out += other_data;

@@ -11,11 +11,11 @@
 //      shard 0 by the partition invariant), the rest are fully active.
 //   2. cross reduction — the devices' surviving w x w R triangles are
 //      combined up a configurable-arity tree: each non-owner ships its
-//      triangle over the interconnect (modeled transfer), the owner stacks
-//      the k triangles into a (k*w x w) staging matrix and launches the
-//      same factor_tree kernel on it, and the root's new R is copied back
-//      into the owner's shard. The stage (stacked reflectors) and taus are
-//      recorded for replay.
+//      triangle over the interconnect (modeled + checked transfer), the
+//      owner stacks the k triangles into a (k*w x w) staging matrix and
+//      launches the same factor_tree kernel on it, and the root's new R is
+//      copied back into the owner's shard. The stage (stacked reflectors)
+//      and taus are recorded for replay.
 //   3. trailing update — local apply_qt_h / apply_qt_tree per device, then
 //      per cross level the w-row C slices of each member round-trip to the
 //      owner, which applies the stacked reflectors (apply_qt_tree on the
@@ -31,15 +31,33 @@
 // read by any later kernel. A single-device CaqrFactorization run with
 // TsqrOptions::tree_spec = dist_tree_spec(partition, ...) therefore
 // reproduces the distributed Q and R bit-for-bit (tests/test_dist.cpp).
+// Cross-device transfers go through DeviceGrid::transfer_payload, whose
+// checksum-verified resends ship the sender's intact bytes — so recovered
+// (Corrected) runs keep the same bit-identity; only an Unrecovered transfer
+// (resend budget exhausted under injection) leaves corrupt bytes behind,
+// and that is reported typed through status().
+//
+// Fault tolerance (ISSUE 8). Every panel record is DEVICE-FREE: local
+// slices and cross-tree members are identified by their GLOBAL row ranges,
+// and the executing device is resolved through the current partition plus
+// the shard->device map (DistCaqrOptions::devices) at apply time. That is
+// what makes recovery cheap (the Demmel-Grigori-Hoemmen-Langou tree
+// property): when a device dies, dist/grid_ft.hpp merges the dead shard's
+// row range into a survivor, re-scatters checkpointed state, and the
+// already-recorded panels replay unchanged on the rebuilt grid — the row
+// blocks and their combine order are properties of the matrix, not of the
+// hardware they ran on. A dead peer discovered at a transfer rendezvous
+// raises DeviceLostError out of factor()/apply; the recovery driver (not
+// this class) owns the reassignment policy.
 //
 // Execution/timing model. Host-side fan-out over devices goes through
 // common/thread_pool (each device's functional launches already
 // parallel_for over blocks; nested parallel_for runs inline). Simulated
 // clocks are per-device, so local phases overlap in simulated time even
 // though the host issues sequentially; transfers rendezvous both endpoints
-// (DeviceGrid::transfer). ModelOnly grids run the identical issue sequence
-// on storage-free shards/stages and produce bit-identical timelines and
-// comm logs.
+// (DeviceGrid::transfer_payload). ModelOnly grids run the identical issue
+// sequence on storage-free shards/stages and produce bit-identical
+// timelines and comm logs.
 
 #include <algorithm>
 #include <functional>
@@ -63,6 +81,11 @@ struct DistCaqrOptions {
   tsqr::TsqrOptions tsqr;
   // Cross-device reduction-tree fan-in: 2 = binary, 4 = quad.
   idx cross_arity = 2;
+  // Shard -> grid-device map. Empty means the identity (shard d on device
+  // d, requiring one shard per grid device). The recovery driver uses this
+  // to run a factorization on a SURVIVOR SUBSET of a grid with dead
+  // members; serve::make_dist_plan fills it with the live devices.
+  std::vector<int> devices;
 
   tsqr::TsqrOptions panel_tsqr() const {
     tsqr::TsqrOptions t = tsqr;
@@ -181,47 +204,87 @@ inline CaqrOptions single_device_equivalent(const DistCaqrOptions& opt,
 template <typename T>
 class DistCaqrFactorization {
  public:
-  // Factors the sharded `a` (consumed) across the grid. Requires the tall
-  // partition invariant (every shard >= cols rows) and one shard per device.
-  static DistCaqrFactorization factor(DeviceGrid& grid, DistMatrix<T> a,
-                                      const DistCaqrOptions& opt = {}) {
-    DistCaqrFactorization f;
-    f.a_ = std::move(a);
-    f.opt_ = opt;
-    CAQR_CHECK(f.a_.num_shards() == grid.size());
-    CAQR_CHECK(opt.panel_width >= 1 && opt.cross_arity >= 2);
-    CAQR_CHECK(opt.tsqr.block_rows >= opt.panel_width);
-    CAQR_CHECK_MSG(!opt.tsqr.tree_spec,
-                   "the distributed driver owns the tree decomposition");
-    const idx m = f.a_.rows(), n = f.a_.cols();
-    if (std::min(m, n) == 0) return f;
-    for (int d = 0; d < f.a_.num_shards(); ++d) {
-      CAQR_CHECK_MSG(f.a_.shard_rows(d) >= n,
-                     "every shard needs at least cols rows (R in shard 0)");
-    }
+  // Replay metadata in GLOBAL row coordinates (device-free; see header
+  // comment). Public so ft/grid_ft checkpointing can serialize it.
+  struct LocalSlice {
+    idx grow0 = 0;   // global row where this slice's panel area starts
+    idx height = 0;  // slice rows (>= panel width)
+    tsqr::PanelFactor<T> f;
+  };
+  // One cross-tree combine group: the owner's staging matrix holds the
+  // stacked reflectors the later applies replay. Members are identified by
+  // the global row of their root triangle (member_rows[0] = owner).
+  struct CrossGroup {
+    std::vector<idx> member_rows;
+    Matrix<T> stage;     // (k*w x w) combined stack
+    std::vector<T> taus;  // w scalars
+  };
+  struct CrossLevel {
+    std::vector<CrossGroup> groups;
+  };
+  struct PanelRecord {
+    idx c0 = 0;
+    idx w = 0;
+    std::vector<LocalSlice> local;  // one per shard active at factor time
+    std::vector<CrossLevel> cross;
+  };
 
-    const tsqr::TsqrOptions topt = opt.panel_tsqr();
-    const idx kmax = std::min(m, n);
-    for (idx c0 = 0; c0 < kmax; c0 += opt.panel_width) {
-      const idx w = std::min(opt.panel_width, kmax - c0);
-      PanelRecord rec;
-      rec.c0 = c0;
-      rec.w = w;
-      f.factor_panel(grid, rec, topt);
-      const idx trailing = n - c0 - w;
-      if (trailing > 0) {
-        f.apply_panel(grid, rec, topt, /*col0=*/c0 + w, trailing,
-                      /*transpose_q=*/true, f.a_);
-      }
-      f.panels_.push_back(std::move(rec));
-    }
+  // Called after each completed panel (factor + trailing update) with the
+  // number of panels done — the grid_ft checkpoint consistency point, and
+  // the deterministic place for tests to kill devices mid-factorization.
+  using PanelHook =
+      std::function<void(const DistCaqrFactorization&, idx /*done*/)>;
+
+  // Factors the sharded `a` (consumed) across the grid. Requires the tall
+  // partition invariant (every shard >= cols rows) and one shard per mapped
+  // device. Throws DeviceLostError if a transfer rendezvous finds a dead
+  // peer — the caller (dist/grid_ft.hpp) owns recovery.
+  static DistCaqrFactorization factor(DeviceGrid& grid, DistMatrix<T> a,
+                                      const DistCaqrOptions& opt = {},
+                                      const PanelHook& after_panel = {}) {
+    DistCaqrFactorization f;
+    f.init(grid, std::move(a), opt);
+    f.run_from(grid, 0, after_panel);
+    return f;
+  }
+
+  // Resumes a factorization whose first `first_panel` panels (records in
+  // `panels`, trailing updates already applied to `a`) were completed by an
+  // earlier run — possibly on a DIFFERENT partition: each recorded row
+  // range only needs to be contiguous inside one current shard, which
+  // shard-merge reassignment preserves. Runs the remaining panels on the
+  // current partition/devices.
+  static DistCaqrFactorization resume(DeviceGrid& grid, DistMatrix<T> a,
+                                      const DistCaqrOptions& opt,
+                                      std::vector<PanelRecord> panels,
+                                      idx first_panel,
+                                      const PanelHook& after_panel = {}) {
+    DistCaqrFactorization f;
+    f.init(grid, std::move(a), opt);
+    CAQR_CHECK(static_cast<idx>(panels.size()) == first_panel);
+    f.panels_ = std::move(panels);
+    f.status_.resumed_from_checkpoint = true;
+    f.status_.resumed_at_panel = first_panel;
+    f.run_from(grid, first_panel, after_panel);
     return f;
   }
 
   idx rows() const { return a_.rows(); }
   idx cols() const { return a_.cols(); }
   const DistMatrix<T>& packed() const { return a_; }
+  DistMatrix<T>& packed() { return a_; }
   const DistCaqrOptions& options() const { return opt_; }
+  const std::vector<PanelRecord>& panels() const { return panels_; }
+
+  // Aggregated fault-tolerance outcome: local launch ABFT severities plus
+  // every cross-device transfer's checked result.
+  const ft::RunStatus& status() const { return status_; }
+
+  // Grid device executing shard s under the configured map.
+  int device_of_shard(int s) const {
+    return opt_.devices.empty() ? s
+                                : opt_.devices[static_cast<std::size_t>(s)];
+  }
 
   // Upper-triangular R (min(m,n) x n), read entirely from shard 0.
   Matrix<T> r() const {
@@ -249,30 +312,75 @@ class DistCaqrFactorization {
   }
 
   // The TsqrOptions::tree_spec provider a single device needs to replay
-  // this factorization bit-for-bit.
+  // this factorization bit-for-bit. Only meaningful for factorizations that
+  // ran start-to-finish on one partition (no mid-run reassignment).
   std::function<tsqr::TreeSpec(idx, idx)> equivalent_tree_spec() const {
     return dist_tree_spec(a_.offsets(), opt_.panel_tsqr(), opt_.cross_arity);
   }
 
  private:
-  // One cross-tree combine group: the owner's staging matrix holds the
-  // stacked reflectors the later applies replay.
-  struct CrossGroup {
-    std::vector<int> members;  // device ids, owner (= members[0]) first
-    Matrix<T> stage;           // (k*w x w) combined stack
-    std::vector<T> taus;       // w scalars
-  };
-  struct CrossLevel {
-    std::vector<CrossGroup> groups;
-  };
-  struct PanelRecord {
-    idx c0 = 0;
-    idx w = 0;
-    std::vector<tsqr::PanelFactor<T>> local;  // one per device
-    std::vector<CrossLevel> cross;
-  };
-
   bool functional() const { return a_.functional(); }
+
+  // ModelOnly shards are storage-free, but block() of a null-data view
+  // yields a non-null offset pointer — so payload views must be emptied
+  // explicitly before they reach the checked transfer, which uses
+  // data() == nullptr as its "model path" signal.
+  ConstMatrixView<T> payload(ConstMatrixView<T> v) const {
+    return functional() ? v : ConstMatrixView<T>{};
+  }
+  MatrixView<T> payload(MatrixView<T> v) const {
+    return functional() ? v : MatrixView<T>{};
+  }
+
+  void init(DeviceGrid& grid, DistMatrix<T> a, const DistCaqrOptions& opt) {
+    a_ = std::move(a);
+    opt_ = opt;
+    const int ns = a_.num_shards();
+    if (opt_.devices.empty()) {
+      CAQR_CHECK(ns == grid.size());
+    } else {
+      CAQR_CHECK(static_cast<int>(opt_.devices.size()) == ns);
+      std::vector<char> seen(static_cast<std::size_t>(grid.size()), 0);
+      for (const int d : opt_.devices) {
+        CAQR_CHECK_MSG(d >= 0 && d < grid.size(), "device map out of range");
+        CAQR_CHECK_MSG(seen[static_cast<std::size_t>(d)] == 0,
+                       "device map must be injective (one shard per device)");
+        seen[static_cast<std::size_t>(d)] = 1;
+      }
+    }
+    CAQR_CHECK(opt_.panel_width >= 1 && opt_.cross_arity >= 2);
+    CAQR_CHECK(opt_.tsqr.block_rows >= opt_.panel_width);
+    CAQR_CHECK_MSG(!opt_.tsqr.tree_spec,
+                   "the distributed driver owns the tree decomposition");
+    const idx n = a_.cols();
+    for (int d = 0; d < ns; ++d) {
+      CAQR_CHECK_MSG(a_.shard_rows(d) >= n,
+                     "every shard needs at least cols rows (R in shard 0)");
+    }
+  }
+
+  void run_from(DeviceGrid& grid, idx first_panel,
+                const PanelHook& after_panel) {
+    const idx m = a_.rows(), n = a_.cols();
+    const idx kmax = std::min(m, n);
+    if (kmax == 0) return;
+    const tsqr::TsqrOptions topt = opt_.panel_tsqr();
+    for (idx c0 = first_panel * opt_.panel_width; c0 < kmax;
+         c0 += opt_.panel_width) {
+      const idx w = std::min(opt_.panel_width, kmax - c0);
+      PanelRecord rec;
+      rec.c0 = c0;
+      rec.w = w;
+      factor_panel(grid, rec, topt);
+      const idx trailing = n - c0 - w;
+      if (trailing > 0) {
+        apply_panel(grid, rec, topt, /*col0=*/c0 + w, trailing,
+                    /*transpose_q=*/true, a_);
+      }
+      panels_.push_back(std::move(rec));
+      if (after_panel) after_panel(*this, static_cast<idx>(panels_.size()));
+    }
+  }
 
   // Local row where the active panel area starts inside shard d.
   idx local_start(int d, idx c0) const { return d == 0 ? c0 : 0; }
@@ -280,37 +388,86 @@ class DistCaqrFactorization {
     return a_.shard_rows(d) - local_start(d, c0);
   }
 
-  // Shard d's slice of the panel at (c0, w).
-  MatrixView<T> panel_view(int d, idx c0, idx w) {
-    return a_.shard(d).block(local_start(d, c0), c0, local_height(d, c0), w);
+  // Shard of the CURRENT partition containing global rows [grow0, grow0+h).
+  // Recorded slices are always contiguous inside one shard: reassignment
+  // only ever MERGES adjacent shards, so old ranges never straddle.
+  int shard_containing(const DistMatrix<T>& mat, idx grow0, idx h) const {
+    const auto& off = mat.offsets();
+    for (int s = 0; s + 1 < static_cast<int>(off.size()); ++s) {
+      if (off[static_cast<std::size_t>(s)] <= grow0 &&
+          grow0 + h <= off[static_cast<std::size_t>(s) + 1]) {
+        return s;
+      }
+    }
+    CAQR_CHECK_MSG(false, "recorded row range straddles the current partition");
+    return -1;
   }
-  ConstMatrixView<T> panel_view(int d, idx c0, idx w) const {
-    return a_.shard(d).block(local_start(d, c0), c0, local_height(d, c0), w);
+
+  // View of global rows [grow0, grow0+h) x cols [col0, col0+nc) of `mat`.
+  MatrixView<T> range_view(DistMatrix<T>& mat, idx grow0, idx h, idx col0,
+                           idx nc) const {
+    const int s = shard_containing(mat, grow0, h);
+    return mat.shard(s).block(grow0 - mat.row0(s), col0, h, nc);
+  }
+
+  // Executing device for a recorded row range: owner of the shard that
+  // currently holds it.
+  int device_of_range(idx grow0, idx h) const {
+    return device_of_shard(shard_containing(a_, grow0, h));
+  }
+
+  // Folds a checked transfer's outcome into the run status; a dead peer
+  // escalates to the recovery driver.
+  void note_transfer(const TransferResult& r) const {
+    if (r.peer_dead) throw DeviceLostError(r.dead_device);
+    status_.severity = ft::worse(status_.severity, r.severity);
+    status_.transfer_retries += r.retries;
+    if (r.severity == ft::Severity::Corrected) ++status_.corrected_transfers;
+    if (r.severity == ft::Severity::Unrecovered) {
+      ++status_.unrecovered_transfers;
+    }
+  }
+
+  void note_launch(ft::Severity sev) const {
+    status_.severity = ft::worse(status_.severity, sev);
+    if (sev == ft::Severity::Corrected) ++status_.corrected_launches;
+    if (sev == ft::Severity::Unrecovered) ++status_.unrecovered_launches;
   }
 
   void factor_panel(DeviceGrid& grid, PanelRecord& rec,
                     const tsqr::TsqrOptions& topt) {
-    const int nd = grid.size();
+    const int ns = a_.num_shards();
     const idx c0 = rec.c0, w = rec.w;
-    rec.local.resize(static_cast<std::size_t>(nd));
+    rec.local.resize(static_cast<std::size_t>(ns));
 
     // 1. Local TSQR per device (host fan-out through the shared pool; each
-    // worker drives only its own device).
+    // worker drives only its own device — the device map is injective).
+    std::vector<ft::Severity> sev(static_cast<std::size_t>(ns),
+                                  ft::Severity::Ok);
+    std::vector<int> redo(static_cast<std::size_t>(ns), 0);
     ThreadPool::global().parallel_for(
-        static_cast<std::size_t>(nd),
+        static_cast<std::size_t>(ns),
         [&](std::size_t d) {
           const int dd = static_cast<int>(d);
-          rec.local[d] = tsqr::tsqr_factor(grid.device(dd),
-                                           gpusim::kDefaultStream,
-                                           panel_view(dd, c0, w), topt);
+          LocalSlice& ls = rec.local[d];
+          ls.grow0 = a_.row0(dd) + local_start(dd, c0);
+          ls.height = local_height(dd, c0);
+          ls.f = tsqr::tsqr_factor(
+              grid.device(device_of_shard(dd)), gpusim::kDefaultStream,
+              a_.shard(dd).block(local_start(dd, c0), c0, ls.height, w), topt,
+              &sev[d], &redo[d]);
         },
         /*grain=*/1);
+    for (int d = 0; d < ns; ++d) {
+      note_launch(sev[static_cast<std::size_t>(d)]);
+      status_.panel_retries += redo[static_cast<std::size_t>(d)];
+    }
 
     // 2. Cross-device reduction over the shard root triangles.
     const auto cost = kernels::cost_params(topt.variant);
     std::vector<int> survivors;
-    survivors.reserve(static_cast<std::size_t>(nd));
-    for (int d = 0; d < nd; ++d) survivors.push_back(d);
+    survivors.reserve(static_cast<std::size_t>(ns));
+    for (int d = 0; d < ns; ++d) survivors.push_back(d);
     while (survivors.size() > 1) {
       CrossLevel level;
       std::vector<int> next;
@@ -321,41 +478,70 @@ class DistCaqrFactorization {
         const idx k = static_cast<idx>(members.size());
         if (k < 2) continue;  // singleton survivor passes through
         CrossGroup cg;
-        cg.members = std::move(members);
         cg.stage = functional() ? Matrix<T>(k * w, w)
                                 : Matrix<T>::shape_only(k * w, w);
+        const int owner_dev = device_of_shard(owner);
         for (idx b = 0; b < k; ++b) {
-          const int d = cg.members[static_cast<std::size_t>(b)];
-          if (d != owner) {
-            grid.transfer(d, owner, detail::triangle_bytes(w, sizeof(T)),
-                          "link_r_triangle");
-          }
-          if (functional()) {
-            cg.stage.block(b * w, 0, w, w)
-                .copy_from(panel_view(d, c0, w).as_const().block(0, 0, w, w));
-          }
+          const int d = members[static_cast<std::size_t>(b)];
+          const LocalSlice& ls = rec.local[static_cast<std::size_t>(d)];
+          cg.member_rows.push_back(ls.grow0);
+          // The member's root triangle (top w x w of its slice) rides the
+          // link to the owner's stage; the checked transfer performs the
+          // functional copy itself and resends on checksum mismatch.
+          note_transfer(grid.transfer_payload<T>(
+              device_of_shard(d), owner_dev,
+              detail::triangle_bytes(w, sizeof(T)), "link_r_triangle",
+              payload(a_.shard(d)
+                          .block(local_start(d, c0), c0, w, w)
+                          .as_const()),
+              payload(cg.stage.block(b * w, 0, w, w))));
         }
         cg.taus.assign(static_cast<std::size_t>(w), T(0));
         GroupList stack_groups;
         stack_groups.push_group(stage_offsets(k, w));
-        gpusim::Device& dev = grid.device(owner);
+        gpusim::Device& dev = grid.device(owner_dev);
         kernels::FactorTreeKernel<T> tk{cg.stage.view(), &stack_groups,
                                         cg.taus.data(), cost,
                                         dev.model().uncoalesced_penalty,
                                         dev.model().tile_locality_penalty};
-        dev.launch(gpusim::kDefaultStream, tk, tk.num_blocks());
+        note_launch(dev.launch(gpusim::kDefaultStream, tk, tk.num_blocks()));
         if (functional()) {
           // The root's new R; the stage keeps the reflector tails the
           // applies replay (the combine never writes below the diagonals,
           // so this is exactly the single-device scatter-back at offset 0).
-          panel_view(owner, c0, w).block(0, 0, w, w).copy_from(
-              cg.stage.as_const().block(0, 0, w, w));
+          a_.shard(owner)
+              .block(local_start(owner, c0), c0, w, w)
+              .copy_from(cg.stage.as_const().block(0, 0, w, w));
         }
         level.groups.push_back(std::move(cg));
       }
       survivors = std::move(next);
       if (!level.groups.empty()) rec.cross.push_back(std::move(level));
     }
+  }
+
+  // Slice indices of `rec` grouped by CURRENT executing device, preserving
+  // slice order — after shard reassignment several recorded slices can land
+  // on one device, and the repo-wide launch rule (one host thread per
+  // device) requires serializing those.
+  std::vector<std::vector<std::size_t>> slices_by_device(
+      const PanelRecord& rec) const {
+    std::vector<std::vector<std::size_t>> groups;
+    std::vector<int> devs;
+    for (std::size_t i = 0; i < rec.local.size(); ++i) {
+      const LocalSlice& ls = rec.local[i];
+      const int dev = device_of_range(ls.grow0, ls.height);
+      std::size_t g = 0;
+      for (; g < devs.size(); ++g) {
+        if (devs[g] == dev) break;
+      }
+      if (g == devs.size()) {
+        devs.push_back(dev);
+        groups.emplace_back();
+      }
+      groups[g].push_back(i);
+    }
+    return groups;
   }
 
   // Applies the panel's Q^T (or Q) to columns [col0, col0 + nc) of `cmat`,
@@ -365,32 +551,40 @@ class DistCaqrFactorization {
                    const tsqr::TsqrOptions& topt, idx col0, idx nc,
                    bool transpose_q, DistMatrix<T>& cmat) const {
     if (nc == 0 || rec.w == 0) return;
-    const int nd = grid.size();
     const idx c0 = rec.c0, w = rec.w;
-    auto c_view = [&](int d) {
-      return cmat.shard(d).block(local_start(d, c0), col0,
-                                 local_height(d, c0), nc);
-    };
     auto local_apply = [&] {
+      const auto groups = slices_by_device(rec);
+      std::vector<ft::Severity> sev(groups.size(), ft::Severity::Ok);
       ThreadPool::global().parallel_for(
-          static_cast<std::size_t>(nd),
-          [&](std::size_t d) {
-            const int dd = static_cast<int>(d);
-            tsqr::tsqr_apply(grid.device(dd), gpusim::kDefaultStream,
-                             panel_view(dd, c0, w), rec.local[d], c_view(dd),
-                             topt, transpose_q);
+          groups.size(),
+          [&](std::size_t g) {
+            for (const std::size_t i : groups[g]) {
+              const LocalSlice& ls = rec.local[i];
+              ft::Severity s = ft::Severity::Ok;
+              tsqr::tsqr_apply(
+                  grid.device(device_of_range(ls.grow0, ls.height)),
+                  gpusim::kDefaultStream,
+                  range_view(const_cast<DistMatrix<T>&>(a_), ls.grow0,
+                             ls.height, c0, w)
+                      .as_const(),
+                  ls.f,
+                  range_view(cmat, ls.grow0, ls.height, col0, nc), topt,
+                  transpose_q, &s);
+              sev[g] = ft::worse(sev[g], s);
+            }
           },
           /*grain=*/1);
+      for (const ft::Severity s : sev) note_launch(s);
     };
 
     if (transpose_q) {
       local_apply();
       for (const CrossLevel& level : rec.cross) {
-        cross_apply(grid, level, topt, w, nc, c_view, /*transpose_q=*/true);
+        cross_apply(grid, level, topt, w, nc, col0, cmat, /*transpose_q=*/true);
       }
     } else {
       for (auto it = rec.cross.rbegin(); it != rec.cross.rend(); ++it) {
-        cross_apply(grid, *it, topt, w, nc, c_view, /*transpose_q=*/false);
+        cross_apply(grid, *it, topt, w, nc, col0, cmat, /*transpose_q=*/false);
       }
       local_apply();
     }
@@ -398,29 +592,27 @@ class DistCaqrFactorization {
 
   // One cross level of the apply: each member's w-row C slice round-trips
   // to the owner, which runs apply_qt_tree against the recorded stage.
-  template <typename CV>
   void cross_apply(DeviceGrid& grid, const CrossLevel& level,
-                   const tsqr::TsqrOptions& topt, idx w, idx nc, CV&& c_view,
-                   bool transpose_q) const {
+                   const tsqr::TsqrOptions& topt, idx w, idx nc, idx col0,
+                   DistMatrix<T>& cmat, bool transpose_q) const {
     const auto cost = kernels::cost_params(topt.variant);
     for (const CrossGroup& cg : level.groups) {
-      const int owner = cg.members.front();
-      const idx k = static_cast<idx>(cg.members.size());
+      const idx k = static_cast<idx>(cg.member_rows.size());
+      const int owner_dev = device_of_range(cg.member_rows.front(), w);
       const double slice_bytes =
           static_cast<double>(w) * static_cast<double>(nc) * sizeof(T);
       Matrix<T> cstack = functional() ? Matrix<T>(k * w, nc)
                                       : Matrix<T>::shape_only(k * w, nc);
       for (idx b = 0; b < k; ++b) {
-        const int d = cg.members[static_cast<std::size_t>(b)];
-        if (d != owner) grid.transfer(d, owner, slice_bytes, "link_c_slice");
-        if (functional()) {
-          cstack.block(b * w, 0, w, nc)
-              .copy_from(c_view(d).as_const().block(0, 0, w, nc));
-        }
+        const idx grow0 = cg.member_rows[static_cast<std::size_t>(b)];
+        note_transfer(grid.transfer_payload<T>(
+            device_of_range(grow0, w), owner_dev, slice_bytes, "link_c_slice",
+            payload(range_view(cmat, grow0, w, col0, nc).as_const()),
+            payload(cstack.block(b * w, 0, w, nc))));
       }
       GroupList stack_groups;
       stack_groups.push_group(stage_offsets(k, w));
-      gpusim::Device& dev = grid.device(owner);
+      gpusim::Device& dev = grid.device(owner_dev);
       kernels::ApplyQtTreeKernel<T> ak{cg.stage.view(),
                                        &stack_groups,
                                        cg.taus.data(),
@@ -431,14 +623,13 @@ class DistCaqrFactorization {
                                        dev.model().tile_locality_penalty,
                                        false,
                                        transpose_q};
-      dev.launch(gpusim::kDefaultStream, ak, ak.num_blocks());
+      note_launch(dev.launch(gpusim::kDefaultStream, ak, ak.num_blocks()));
       for (idx b = 0; b < k; ++b) {
-        const int d = cg.members[static_cast<std::size_t>(b)];
-        if (functional()) {
-          c_view(d).block(0, 0, w, nc).copy_from(
-              cstack.as_const().block(b * w, 0, w, nc));
-        }
-        if (d != owner) grid.transfer(owner, d, slice_bytes, "link_c_slice");
+        const idx grow0 = cg.member_rows[static_cast<std::size_t>(b)];
+        note_transfer(grid.transfer_payload<T>(
+            owner_dev, device_of_range(grow0, w), slice_bytes, "link_c_slice",
+            payload(cstack.as_const().block(b * w, 0, w, nc)),
+            payload(range_view(cmat, grow0, w, col0, nc))));
       }
     }
   }
@@ -473,6 +664,7 @@ class DistCaqrFactorization {
   DistMatrix<T> a_;
   DistCaqrOptions opt_;
   std::vector<PanelRecord> panels_;
+  mutable ft::RunStatus status_;
 };
 
 // ModelOnly cost probe: the full distributed launch + transfer schedule on
@@ -484,8 +676,10 @@ double predict_dist_caqr_seconds(const gpusim::GpuMachineModel& model,
                                  int devices, idx m, idx n,
                                  const DistCaqrOptions& opt = {}) {
   DeviceGrid grid(devices, model, interconnect, gpusim::ExecMode::ModelOnly);
+  DistCaqrOptions probe_opt = opt;
+  probe_opt.devices.clear();  // identity map on the probe grid
   auto f = DistCaqrFactorization<T>::factor(
-      grid, DistMatrix<T>::shape_only(m, n, devices), opt);
+      grid, DistMatrix<T>::shape_only(m, n, devices), probe_opt);
   (void)f;
   return grid.elapsed_seconds();
 }

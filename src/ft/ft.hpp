@@ -121,7 +121,9 @@ struct Summary {
   bool ok() const { return unrecovered_launches == 0; }
 };
 
-// End-to-end outcome of one CAQR factorization (CaqrFactorization::status()).
+// End-to-end outcome of one CAQR factorization (CaqrFactorization::status(),
+// dist::DistCaqrFactorization::status()) — and, via serve::QrResponse, of
+// one served solve. The grid counters stay zero on single-device runs.
 struct RunStatus {
   Severity severity = Severity::Ok;
   long long corrected_launches = 0;
@@ -130,8 +132,28 @@ struct RunStatus {
   bool schedule_fallback = false;  // LookAhead degraded to Serial
   bool resumed_from_checkpoint = false;
   idx resumed_at_panel = 0;
+  // Grid-level (dist/) counters: cross-device transfers recovered by
+  // checksum-detected resend, transfers whose resend budget exhausted, total
+  // resend attempts, and device losses absorbed by shard reassignment.
+  long long corrected_transfers = 0;
+  long long unrecovered_transfers = 0;
+  long long transfer_retries = 0;
+  int device_losses = 0;
 
   bool ok() const { return severity != Severity::Unrecovered; }
+
+  // Pairwise merge (the grid driver folds per-attempt statuses together).
+  void merge(const RunStatus& o) {
+    severity = worse(severity, o.severity);
+    corrected_launches += o.corrected_launches;
+    unrecovered_launches += o.unrecovered_launches;
+    panel_retries += o.panel_retries;
+    schedule_fallback = schedule_fallback || o.schedule_fallback;
+    corrected_transfers += o.corrected_transfers;
+    unrecovered_transfers += o.unrecovered_transfers;
+    transfer_retries += o.transfer_retries;
+    device_losses += o.device_losses;
+  }
 };
 
 }  // namespace caqr::ft

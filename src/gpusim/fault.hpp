@@ -144,4 +144,83 @@ class FaultPlan {
   bool flip_ = false;
 };
 
+// ---------------------------------------------------------------------------
+// Link (interconnect) faults — the grid-level analogue of the launch faults
+// above. A cross-device transfer can fail in two ways a success code never
+// reports: the payload silently never arrives (dropped packet / hung DMA) or
+// arrives with a flipped bit (no end-to-end ECC on the fabric). The grid
+// injects both on DeviceGrid's checked-transfer path; detection is an FNV
+// checksum over the payload bytes and recovery is a bounded resend
+// (dist/device_grid.hpp).
+//
+// Determinism mirrors FaultPlan exactly: every decision is drawn from an Rng
+// keyed by (seed, grid transfer ordinal), resends consume fresh ordinals,
+// and a max_faults budget is consumed in ordinal order — so the whole fault
+// + recovery trajectory is a pure function of the seed, identical between
+// Functional and ModelOnly grids.
+
+struct LinkFaultOptions {
+  double p_drop = 0.0;  // per-transfer probability the payload never arrives
+  double p_flip = 0.0;  // per-transfer probability of one flipped payload bit
+  std::uint64_t seed = 0;
+  // Cap on total injected link-fault events per grid; < 0 means unlimited.
+  long long max_faults = -1;
+
+  bool enabled() const { return p_drop > 0.0 || p_flip > 0.0; }
+  long long budget_left(std::size_t injected_so_far) const {
+    if (max_faults < 0) return -1;  // unlimited
+    const long long used = static_cast<long long>(injected_so_far);
+    return used >= max_faults ? 0 : max_faults - used;
+  }
+};
+
+// Per-transfer fault decision, drawn deterministically at rendezvous time.
+// A drop precludes a flip (a lost payload has no bits to corrupt).
+class LinkFaultPlan {
+ public:
+  LinkFaultPlan(const LinkFaultOptions& opt, long long transfer_ordinal,
+                long long budget = -1)
+      : rng_(opt.seed ^ 0x6C696E6BULL,  // distinct stream from launch faults
+             static_cast<std::uint64_t>(transfer_ordinal)) {
+    auto take = [&budget] {
+      if (budget < 0) return true;
+      if (budget == 0) return false;
+      --budget;
+      return true;
+    };
+    if (opt.p_drop > 0.0 && rng_.next_double() < opt.p_drop) {
+      drop_ = take();
+    }
+    if (!drop_ && opt.p_flip > 0.0 && rng_.next_double() < opt.p_flip) {
+      flip_ = take();
+    }
+  }
+
+  bool drop() const { return drop_; }
+  bool flip() const { return flip_; }
+  bool any() const { return drop_ || flip_; }
+
+  // Flips one bit of one element of the RECEIVED copy (the sender's bytes
+  // stay intact, which is what makes resend-based recovery bit-exact).
+  template <typename T>
+  void apply_flip(MatrixView<T> received) {
+    if (received.empty()) return;
+    const idx i = static_cast<idx>(
+        rng_.next_below(static_cast<std::uint64_t>(received.rows())));
+    const idx j = static_cast<idx>(
+        rng_.next_below(static_cast<std::uint64_t>(received.cols())));
+    const int bit = static_cast<int>(rng_.next_below(8 * sizeof(T)));
+    T& x = received(i, j);
+    unsigned char bytes[sizeof(T)];
+    std::memcpy(bytes, &x, sizeof(T));
+    bytes[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+    std::memcpy(&x, bytes, sizeof(T));
+  }
+
+ private:
+  Rng rng_;
+  bool drop_ = false;
+  bool flip_ = false;
+};
+
 }  // namespace caqr::gpusim

@@ -22,6 +22,7 @@
 
 #include "caqr/caqr.hpp"
 #include "dist/dist_caqr.hpp"
+#include "dist/grid_ft.hpp"
 #include "ft/ft.hpp"
 #include "gpusim/device.hpp"
 #include "linalg/qr.hpp"
@@ -298,8 +299,8 @@ struct RecoverSpec {
 };
 
 struct RecoverRow {
-  std::string path;   // caqr_serial / caqr_lookahead
-  std::string fault;  // "drop" or "flip"
+  std::string path;   // caqr_serial / caqr_lookahead / dist_caqr
+  std::string fault;  // "drop" / "flip" (grid rows: link_* / loss / chaos)
   double cond = 1.0;
   std::uint64_t fault_seed = 0;
   std::size_t faults_injected = 0;
@@ -307,6 +308,11 @@ struct RecoverRow {
   long long unrecovered_launches = 0;
   int panel_retries = 0;
   bool schedule_fallback = false;
+  // Grid-level counters (zero on single-device rows).
+  long long corrected_transfers = 0;
+  long long transfer_retries = 0;
+  int device_losses = 0;
+  int attempts = 1;
   bool recovered = false;  // factor + form_q ended without unrecovered faults
   VerifyReport report;
 
@@ -390,16 +396,158 @@ inline RecoverSummary run_recover(const RecoverSpec& spec) {
   return out;
 }
 
+// Distributed fault-recovery sweep: the kappa sweep run through the grid
+// recovery driver (dist/grid_ft.hpp) under seeded LINK faults and scheduled
+// DEVICE LOSSES instead of launch-level injection. Four fault regimes per
+// condition sample:
+//
+//   link_drop — every cross-device payload dropped with p_block_drop;
+//               checksum-detected, recovered by resend. Must verify against
+//               fault-free bounds (drops are always recoverable).
+//   link_flip — one payload bit flipped with p_bitflip. Resend usually
+//               recovers; a transfer whose whole resend budget is flipped
+//               ends typed Unrecovered — accepted by the sweep as a typed
+//               refusal, like the strict-CholeskyQR cells. Silent corruption
+//               (clean status, failed Verifier) fails the sweep.
+//   loss      — one scheduled device death mid-factorization. The driver
+//               must absorb it (shard merge + snapshot resume or recompute)
+//               and the survivors' result must verify.
+//   chaos     — all three at once, judged like link_flip but additionally
+//               requiring the loss to have been absorbed.
+//
+// Deterministic: matrix seed, link-fault seed, and the loss schedule fix
+// the entire recovery trajectory.
+inline RecoverSummary run_recover_dist(const RecoverSpec& spec, int devices) {
+  const idx m = spec.rows, n = spec.cols;
+  CAQR_CHECK(devices >= 1 && m >= static_cast<idx>(devices) * n && n >= 1);
+  const idx shard_rows = m / devices;
+  const idx block_rows = std::max<idx>(n, shard_rows / 8 > 0 ? shard_rows / 8
+                                                             : shard_rows);
+
+  struct FaultCase {
+    const char* name;
+    double p_drop;
+    double p_flip;
+    bool lose_device;
+    bool typed_unrecovered_ok;  // Unrecovered is a pass if typed
+  };
+  std::vector<FaultCase> cases = {
+      {"link_drop", spec.p_block_drop, 0.0, false, false},
+      {"link_flip", 0.0, spec.p_bitflip, false, true},
+  };
+  if (devices >= 2) {
+    cases.push_back({"loss", 0.0, 0.0, true, false});
+    cases.push_back(
+        {"chaos", spec.p_block_drop, spec.p_bitflip, true, true});
+  }
+
+  RecoverSummary out;
+  std::uint64_t next_seed = spec.fault_seed;
+  for (double cond : spec.conds) {
+    const Matrix<double> a =
+        stress_matrix<double>(m, n, cond, 1.0, spec.seed, false);
+    for (const FaultCase& fc : cases) {
+      RecoverRow row;
+      row.path = "dist_caqr";
+      row.fault = fc.name;
+      row.cond = cond;
+      row.fault_seed = next_seed++;
+
+      dist::DeviceGrid grid(devices);
+      dist::GridFtOptions gft;
+      gft.link_faults.p_drop = fc.p_drop;
+      gft.link_faults.p_flip = fc.p_flip;
+      gft.link_faults.seed = row.fault_seed;
+      if (fc.lose_device) {
+        // Early enough to fire inside the FACTORIZATION (covered by the
+        // recovery driver) in every sweep shape — even 2 devices x 1 panel,
+        // whose reduction performs only a couple of transfers before the
+        // driver hands the completed factorization back.
+        gft.device_losses.push_back({/*device=*/1, /*at_transfer=*/2});
+      }
+      grid.set_fault_tolerance(gft);
+
+      dist::DistCaqrOptions dopt;
+      dopt.tsqr.block_rows = std::max(dopt.panel_width, block_rows);
+      dist::GridRecoveryOptions ropt;
+      ropt.checkpoint_every = 1;
+      auto res =
+          dist::factor_with_recovery<double>(grid, a.view(), dopt, ropt);
+
+      // A scheduled loss can also fire AFTER the factorization completed,
+      // during form_q's apply (a single-panel sweep shape performs its last
+      // cross transfer early). The driver only covers the factorization;
+      // here we do what a serving layer would: kill the dead device and
+      // re-solve on the survivors.
+      Matrix<double> q(0, 0);
+      int extra_losses = 0;
+      for (int redo = 0; redo < 3 && res.f.has_value(); ++redo) {
+        try {
+          q = res.f->form_q(grid, n).gather();
+          break;
+        } catch (const dist::DeviceLostError& e) {
+          grid.kill_device(e.device);
+          ++extra_losses;
+          res = dist::factor_with_recovery<double>(grid, a.view(), dopt,
+                                                   ropt);
+        }
+      }
+      res.status.device_losses += extra_losses;
+
+      row.attempts = res.attempts;
+      if (res.f.has_value() && q.rows() == m) {
+        const Matrix<double> r = res.f->r();
+        // Read the factorization's status AFTER form_q: the apply path's
+        // transfers are injected too, and their outcome belongs to this
+        // cell. res.status already folded the factor phase in, so take the
+        // (now form_q-extended) per-run status and graft on the driver's
+        // cross-attempt severity and loss count instead of re-merging.
+        ft::RunStatus st = res.f->status();
+        st.severity = ft::worse(st.severity, res.status.severity);
+        st.device_losses = res.status.device_losses;
+        row.corrected_transfers = st.corrected_transfers;
+        row.transfer_retries = st.transfer_retries;
+        row.device_losses = st.device_losses;
+        if (!st.ok() && fc.typed_unrecovered_ok) {
+          // Typed refusal: the run reports Unrecovered instead of passing
+          // off corrupt factors as clean. Counts as detected, not verified.
+          row.recovered = true;
+          row.report.tolerance = verify_tolerance<double>(n, spec.verify);
+          row.report.has_q = false;
+          row.report.pass = true;
+        } else {
+          row.recovered =
+              st.ok() && (!fc.lose_device || st.device_losses >= 1);
+          row.report = verify_qr(a.view(), q.view(), r.view(), spec.verify);
+        }
+      } else {
+        row.corrected_transfers = res.status.corrected_transfers;
+        row.transfer_retries = res.status.transfer_retries;
+        row.device_losses = res.status.device_losses;
+        row.recovered = fc.typed_unrecovered_ok && !res.status.ok();
+        row.report.pass = row.recovered;
+        row.report.has_q = false;
+      }
+      const auto cs = grid.comm_stats();
+      row.faults_injected = static_cast<std::size_t>(
+          cs.injected_drops + cs.injected_flips + row.device_losses);
+      out.total_faults += row.faults_injected;
+      out.rows.push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
 inline void print_recover(const RecoverSummary& s, std::FILE* f = stdout) {
-  std::fprintf(f, "%-16s %-5s %-9s %-7s %-9s %-7s %-8s %-12s %s\n", "path",
+  std::fprintf(f, "%-16s %-9s %-9s %-7s %-9s %-7s %-8s %-12s %s\n", "path",
                "fault", "cond", "faults", "corrected", "panels", "fallback",
                "residual", "pass");
   for (const auto& r : s.rows) {
-    std::fprintf(f, "%-16s %-5s %-9.1e %-7zu %-9lld %-7d %-8s %-12.3e %s\n",
+    std::fprintf(f, "%-16s %-9s %-9.1e %-7zu %-9lld %-7d %-8s %-12.3e %s\n",
                  r.path.c_str(), r.fault.c_str(), r.cond, r.faults_injected,
-                 r.corrected_launches, r.panel_retries,
-                 r.schedule_fallback ? "yes" : "no", r.report.residual,
-                 r.pass() ? "ok" : "FAIL");
+                 r.corrected_launches + r.corrected_transfers,
+                 r.panel_retries, r.schedule_fallback ? "yes" : "no",
+                 r.report.residual, r.pass() ? "ok" : "FAIL");
   }
   std::fprintf(f, "%zu runs, %zu faults injected, %lld failures\n",
                s.rows.size(), s.total_faults,
@@ -411,17 +559,20 @@ inline std::string recover_json(const RecoverSummary& s) {
   std::string out = "[";
   for (std::size_t i = 0; i < s.rows.size(); ++i) {
     const auto& r = s.rows[i];
-    char head[320];
+    char head[512];
     std::snprintf(head, sizeof(head),
                   "{\"path\":\"%s\",\"fault\":\"%s\",\"cond\":%.3e,"
                   "\"fault_seed\":%llu,\"faults_injected\":%zu,"
                   "\"corrected_launches\":%lld,\"panel_retries\":%d,"
-                  "\"schedule_fallback\":%s,\"recovered\":%s,\"report\":",
+                  "\"schedule_fallback\":%s,\"corrected_transfers\":%lld,"
+                  "\"transfer_retries\":%lld,\"device_losses\":%d,"
+                  "\"attempts\":%d,\"recovered\":%s,\"report\":",
                   r.path.c_str(), r.fault.c_str(), r.cond,
                   static_cast<unsigned long long>(r.fault_seed),
                   r.faults_injected, r.corrected_launches, r.panel_retries,
                   r.schedule_fallback ? "true" : "false",
-                  r.recovered ? "true" : "false");
+                  r.corrected_transfers, r.transfer_retries, r.device_losses,
+                  r.attempts, r.recovered ? "true" : "false");
     out += head;
     out += verify_json_object(r.report);
     out += i + 1 < s.rows.size() ? "}," : "}";

@@ -205,21 +205,31 @@ QrPlan make_plan(const gpusim::GpuMachineModel& model, idx m, idx n,
 // model (§IV.F sweep — shards see the same kernels as a lone device), then
 // predicts the end-to-end distributed time with a ModelOnly grid run that
 // includes every modeled link transfer. Pure function of (shape, dtype,
-// grid fingerprint, grid size): equal grids yield equal plans.
+// grid fingerprint, LIVE grid size): equal grids yield equal plans, and a
+// grid that lost devices yields a plan degraded to its survivors — the
+// fingerprint mixes the health generation, so PlanCache entries planned
+// against the full grid are invalidated the moment a device dies.
 template <typename T>
 QrPlan make_dist_plan(const dist::DeviceGrid& grid, idx m, idx n,
                       const dist::DistCaqrOptions& base = {}) {
+  const std::vector<int> live = grid.live_devices();
+  CAQR_CHECK_MSG(!live.empty(), "make_dist_plan: no live devices");
+  const int nd = static_cast<int>(live.size());
   QrPlan p;
   p.key = PlanKey{m, n, static_cast<int>(sizeof(T)), QrAlgorithm::Caqr,
-                  grid.fingerprint(), grid.size()};
-  p.tuned = autotune::autotune_block_size(grid.device(0).model());
+                  grid.fingerprint(), nd};
+  p.tuned = autotune::autotune_block_size(grid.device(live.front()).model());
   p.dist_caqr = base;
   p.dist_caqr.panel_width = p.tuned.panel_width;
   p.dist_caqr.tsqr.block_rows = p.tuned.block_rows;
+  // Graceful degradation: route the factorization's shards onto survivors
+  // only. On a healthy grid this is the identity map (live == 0..size-1)
+  // and the plan is unchanged from before the health API existed.
+  p.dist_caqr.devices = live;
   p.caqr.panel_width = p.tuned.panel_width;
   p.caqr.tsqr.block_rows = p.tuned.block_rows;
   p.predicted_caqr_seconds = dist::predict_dist_caqr_seconds<T>(
-      grid.device(0).model(), grid.interconnect(), grid.size(), m, n,
+      grid.device(live.front()).model(), grid.interconnect(), nd, m, n,
       p.dist_caqr);
   p.predicted_hybrid_seconds = 0;  // no distributed hybrid path
   p.chosen = QrAlgorithm::Caqr;

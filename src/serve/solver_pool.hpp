@@ -69,7 +69,18 @@ enum class RequestStatus {
   Done,             // ran to completion; result fields are valid
   Rejected,         // never queued (backpressure or pool shutting down)
   DeadlineExpired,  // queued past its deadline; never ran
+  Shed,             // refused by overload protection (see PoolOptions)
 };
+
+inline const char* request_status_name(RequestStatus s) {
+  switch (s) {
+    case RequestStatus::Done: return "done";
+    case RequestStatus::Rejected: return "rejected";
+    case RequestStatus::DeadlineExpired: return "deadline_expired";
+    case RequestStatus::Shed: return "shed";
+  }
+  return "?";
+}
 
 // Pool-wide configuration, fixed at construction.
 struct PoolOptions {
@@ -79,6 +90,32 @@ struct PoolOptions {
   gpusim::ExecMode mode = gpusim::ExecMode::Functional;
   bool use_plan_cache = true;         // shared PlanCache vs re-plan per request
   std::size_t plan_cache_capacity = 64;
+  // -- Overload protection (both off by default: existing pools keep the
+  //    pure backpressure/deadline semantics documented above). --
+  // Admission bound BELOW queue_capacity: a request arriving while the queue
+  // already holds this many entries is completed as Shed immediately instead
+  // of blocking (submit) or rejecting (try_submit). A shed caller gets a
+  // typed answer in O(1) — under sustained 2x-capacity overload the pool
+  // sheds the excess rather than letting every request's deadline expire in
+  // the queue. 0 disables depth shedding.
+  std::size_t shed_queue_depth = 0;
+  // Deadline feasibility check at admission: estimate this request's
+  // queueing delay as queue_depth * EMA(wall service seconds) / workers and
+  // shed it if the estimate already exceeds its deadline budget — the
+  // request was going to expire anyway, so answer now and save the slot.
+  // Requests without deadlines are never shed by this rule.
+  bool shed_infeasible_deadlines = false;
+  // -- Worker-device fault environment. Every worker constructs its device
+  //    with this injector + recovery policy, so served solves exercise the
+  //    full ft/ ladder (tests and the chaos bench drive Unrecovered solves
+  //    through here). Defaults: no injection, recovery off. --
+  gpusim::FaultOptions fault;
+  ft::FtOptions ft;
+  // A Functional solve that still reports Severity::Unrecovered after the
+  // device-level ladder is re-run on a freshly constructed CLEAN device (no
+  // injector, same model/policy) up to this many times; the retry's
+  // simulated time is charged to the worker's timeline as "solve_retry".
+  int max_solve_retries = 1;
 };
 
 // Per-request knobs.
@@ -110,6 +147,10 @@ struct QrResponse {
   bool plan_cache_hit = false;   // plan served from the shared cache
   double plan_seconds = 0;       // host seconds spent resolving the plan
   double simulated_seconds = 0;  // device time on the worker's simulated GPU
+  // Fault-tolerance outcome of the solve (mirrors result.run_status so
+  // ModelOnly callers and logging see it without touching the factors).
+  ft::RunStatus run_status;
+  int solve_retries = 0;  // fresh-device re-runs of an Unrecovered solve
 };
 
 // Response for a fused same-shape batch request.
@@ -127,6 +168,8 @@ struct PoolStats {
   long long completed = 0;  // ran to Done
   long long rejected = 0;   // refused at admission
   long long expired = 0;    // completed as DeadlineExpired
+  long long shed = 0;       // refused by overload protection
+  long long solve_retries = 0;  // fresh-device re-runs of Unrecovered solves
   // Simulated seconds each worker's device spent running requests. The pool
   // serves on `workers` independent simulated GPUs, so simulated serving
   // throughput is problems / makespan (the busiest device bounds the batch).
@@ -209,10 +252,12 @@ class SolverPool {
       resp.status = s;
       prom->set_value(std::move(resp));
     };
-    if (!enqueue(std::move(job), req, /*blocking=*/true)) {
-      // job.finish was not called by the queue: reject here.
+    const Admit adm = enqueue(std::move(job), req, /*blocking=*/true);
+    if (adm != Admit::Queued) {
+      // job.finish was not called by the queue: answer here.
       BatchResponse<T> resp;
-      resp.status = RequestStatus::Rejected;
+      resp.status = adm == Admit::Shed ? RequestStatus::Shed
+                                       : RequestStatus::Rejected;
       prom->set_value(std::move(resp));
     }
     return fut;
@@ -235,8 +280,10 @@ class SolverPool {
       }
     };
     job.finish = [prom](RequestStatus s) { prom->set_value(s); };
-    if (!enqueue(std::move(job), req, blocking)) {
-      prom->set_value(RequestStatus::Rejected);
+    const Admit adm = enqueue(std::move(job), req, blocking);
+    if (adm != Admit::Queued) {
+      prom->set_value(adm == Admit::Shed ? RequestStatus::Shed
+                                         : RequestStatus::Rejected);
     }
     return fut;
   }
@@ -254,12 +301,17 @@ class SolverPool {
     s.completed = completed_;
     s.rejected = rejected_;
     s.expired = expired_;
+    s.shed = shed_;
+    s.solve_retries = solve_retries_;
     s.worker_busy_simulated_seconds = busy_sim_;
     return s;
   }
 
  private:
   using Clock = std::chrono::steady_clock;
+
+  // Admission outcome: only Queued hands the job to a worker.
+  enum class Admit { Queued, Rejected, Shed };
 
   struct Job {
     std::function<void(gpusim::Device&)> run;
@@ -295,9 +347,11 @@ class SolverPool {
       resp.status = s;
       prom->set_value(std::move(resp));
     };
-    if (!enqueue(std::move(job), req, blocking)) {
+    const Admit adm = enqueue(std::move(job), req, blocking);
+    if (adm != Admit::Queued) {
       QrResponse<T> resp;
-      resp.status = RequestStatus::Rejected;
+      resp.status = adm == Admit::Shed ? RequestStatus::Shed
+                                       : RequestStatus::Rejected;
       prom->set_value(std::move(resp));
     }
     return fut;
@@ -318,6 +372,31 @@ class SolverPool {
     const double t0 = dev.elapsed_seconds();
     if (dev.mode() == gpusim::ExecMode::Functional) {
       resp.result = adaptive_qr(dev, a.view(), algo, opts);
+      // Solve-level retry: an Unrecovered outcome (the device-level ladder
+      // exhausted) is re-run on a freshly constructed CLEAN device — no
+      // injector, same model and recovery policy. The retry's simulated
+      // time is charged to the worker's timeline so simulated_seconds and
+      // busy accounting stay honest.
+      while (resp.result.run_status.severity == ft::Severity::Unrecovered &&
+             resp.solve_retries < opts_.max_solve_retries) {
+        ++resp.solve_retries;
+        gpusim::Device clean(opts_.model, opts_.mode);
+        clean.set_fault_tolerance(opts_.ft);
+        QrSolveResult<T> redo = adaptive_qr(clean, a.view(), algo, opts);
+        dev.add_external_seconds(clean.elapsed_seconds(), "solve_retry");
+        // The failed attempt's counters carry over; its Unrecovered
+        // severity does not — the retry superseded it, so the solve as a
+        // whole is at worst Corrected unless the retry also failed.
+        ft::RunStatus prior = resp.result.run_status;
+        prior.severity = ft::Severity::Corrected;
+        redo.run_status.merge(prior);
+        redo.severity = redo.run_status.severity;
+        resp.result = std::move(redo);
+      }
+      if (resp.solve_retries > 0) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        solve_retries_ += resp.solve_retries;
+      }
     } else {
       // ModelOnly: charge adaptive_qr's exact launch sequence on
       // storage-free placeholders (adaptive_qr itself copies the input,
@@ -344,6 +423,7 @@ class SolverPool {
       resp.result.simulated_seconds = dev.elapsed_seconds() - t0;
     }
     resp.simulated_seconds = dev.elapsed_seconds() - t0;
+    resp.run_status = resp.result.run_status;
   }
 
   template <typename T>
@@ -388,9 +468,9 @@ class SolverPool {
     }
   }
 
-  // Admission. Returns false when the job was NOT queued (caller delivers
-  // the Rejected response — the job's callbacks are untouched).
-  bool enqueue(Job job, const RequestOptions& req, bool blocking) {
+  // Admission. Anything but Queued means the job was NOT queued (caller
+  // delivers the terminal response — the job's callbacks are untouched).
+  Admit enqueue(Job job, const RequestOptions& req, bool blocking) {
     if (req.deadline_seconds > 0) {
       job.has_deadline = true;
       job.deadline =
@@ -401,6 +481,13 @@ class SolverPool {
     static prof::Counter& wait = prof::counter("serve.pool_lock_wait_ns");
     std::unique_lock<std::mutex> lock(mutex_, std::defer_lock);
     prof::lock_timed(lock, wait);
+    // Overload protection runs BEFORE the backpressure wait: a shed caller
+    // gets its typed answer immediately instead of blocking on a queue that
+    // is already past the depth it is willing to serve.
+    if (const Admit shed = shed_decision(req, job); shed != Admit::Queued) {
+      ++shed_;
+      return shed;
+    }
     if (blocking) {
       cv_space_.wait(lock, [&] {
         return stopping_ || queue_.size() < opts_.queue_capacity;
@@ -408,18 +495,42 @@ class SolverPool {
     }
     if (stopping_ || queue_.size() >= opts_.queue_capacity) {
       ++rejected_;
-      return false;
+      return Admit::Rejected;
     }
     queue_.emplace(std::make_pair(req.priority, seq_++), std::move(job));
     ++submitted_;
     lock.unlock();
     cv_work_.notify_one();
-    return true;
+    return Admit::Queued;
+  }
+
+  // Overload-protection policy, called with mutex_ held. Two independent
+  // rules, both opt-in via PoolOptions:
+  //   * depth bound — the queue already holds shed_queue_depth entries;
+  //   * deadline feasibility — the request's estimated queueing delay
+  //     (depth x EMA wall service seconds / workers) exceeds its budget,
+  //     so it would expire in the queue anyway.
+  Admit shed_decision(const RequestOptions& req, const Job& job) const {
+    if (opts_.shed_queue_depth > 0 && !stopping_ &&
+        queue_.size() >= opts_.shed_queue_depth) {
+      return Admit::Shed;
+    }
+    if (opts_.shed_infeasible_deadlines && job.has_deadline &&
+        ema_service_seconds_ > 0) {
+      const double est_wait = static_cast<double>(queue_.size()) *
+                              ema_service_seconds_ /
+                              static_cast<double>(opts_.workers);
+      if (est_wait > req.deadline_seconds) return Admit::Shed;
+    }
+    return Admit::Queued;
   }
 
   void worker_main(int widx) {
-    // One simulated GPU per worker, constructed on the worker thread.
+    // One simulated GPU per worker, constructed on the worker thread, armed
+    // with the pool-wide fault environment (injector + recovery policy).
     gpusim::Device dev(opts_.model, opts_.mode);
+    dev.set_fault_injection(opts_.fault);
+    dev.set_fault_tolerance(opts_.ft);
     for (;;) {
       Job job;
       {
@@ -455,13 +566,20 @@ class SolverPool {
       // Fresh timeline per request: simulated_seconds is the request's own
       // device time, and results cannot depend on what ran before.
       dev.reset_timeline();
+      const double w0 = wall_seconds();
       job.run(dev);
+      const double service = wall_seconds() - w0;
       bool drained;
       {
         static prof::Counter& wait =
             prof::counter("serve.pool_lock_wait_ns");
         prof::timed_lock<std::mutex> lock(mutex_, wait);
         busy_sim_[static_cast<std::size_t>(widx)] += dev.elapsed_seconds();
+        // Wall service-time EMA feeding the deadline-feasibility shed rule.
+        ema_service_seconds_ = ema_service_seconds_ == 0
+                                   ? service
+                                   : 0.8 * ema_service_seconds_ +
+                                         0.2 * service;
         ++completed_;
         --active_;
         drained = queue_.empty() && active_ == 0;
@@ -488,6 +606,9 @@ class SolverPool {
   long long completed_ = 0;
   long long rejected_ = 0;
   long long expired_ = 0;
+  long long shed_ = 0;
+  long long solve_retries_ = 0;
+  double ema_service_seconds_ = 0;  // wall seconds per served request
   std::vector<double> busy_sim_;
   std::vector<std::thread> threads_;  // last: joins before members destruct
 };

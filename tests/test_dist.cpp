@@ -319,6 +319,165 @@ TEST(PlanCacheDist, GridFingerprintAndCountKeyPlans) {
       cache.lookup<double>(GpuMachineModel::c2050(), 8192, 64).hit);
 }
 
+// ------------------------------------------------------------- grid FT
+
+TEST(GridFt, DropRecoveryIsBitIdenticalAndCounted) {
+  const idx m = 256, n = 24;
+  const auto a = matrix_with_condition<double>(m, n, 1e5, 21);
+  DistCaqrOptions dopt;
+  dopt.panel_width = 8;
+  dopt.tsqr.block_rows = 32;
+
+  DeviceGrid clean(4);
+  auto cf = DistCaqrFactorization<double>::factor(
+      clean, DistMatrix<double>::scatter(a.view(), 4), dopt);
+  const Matrix<double> cq = cf.form_q(clean, n).gather();
+
+  DeviceGrid faulty(4);
+  GridFtOptions gft;
+  gft.link_faults.p_drop = 0.1;
+  gft.link_faults.seed = 7;
+  faulty.set_fault_tolerance(gft);
+  auto ff = DistCaqrFactorization<double>::factor(
+      faulty, DistMatrix<double>::scatter(a.view(), 4), dopt);
+  const Matrix<double> fq = ff.form_q(faulty, n).gather();
+
+  // Seeded drops really fired, were detected, and were resent.
+  const auto s = faulty.comm_stats();
+  ASSERT_GT(s.injected_drops, 0);
+  EXPECT_EQ(s.checksum_mismatches, s.injected_drops);
+  EXPECT_GE(s.retried_transfers, s.injected_drops);
+  EXPECT_EQ(s.failed_transfers, 0);
+  EXPECT_EQ(ff.status().severity, ft::Severity::Corrected);
+  EXPECT_GT(ff.status().corrected_transfers, 0);
+  EXPECT_GE(ff.status().transfer_retries, ff.status().corrected_transfers);
+
+  // A resend ships the sender's intact bytes: recovery is invisible to the
+  // numbers, bit for bit.
+  expect_bits_equal(cf.r(), ff.r(), "R under recovered drops");
+  expect_bits_equal(cq, fq, "Q under recovered drops");
+}
+
+TEST(GridFt, ModelOnlyTimelineMatchesFunctionalUnderDrops) {
+  const idx m = 256, n = 16;
+  const auto a = matrix_with_condition<double>(m, n, 1e3, 3);
+  DistCaqrOptions dopt;
+  dopt.tsqr.block_rows = 32;
+  GridFtOptions gft;
+  gft.link_faults.p_drop = 0.15;
+  gft.link_faults.seed = 11;
+
+  DeviceGrid fgrid(4, GpuMachineModel::c2050(),
+                   InterconnectModel::pcie_switch(), ExecMode::Functional);
+  fgrid.set_fault_tolerance(gft);
+  auto ff = DistCaqrFactorization<double>::factor(
+      fgrid, DistMatrix<double>::scatter(a.view(), 4), dopt);
+  (void)ff.form_q(fgrid, n);
+
+  DeviceGrid mgrid(4, GpuMachineModel::c2050(),
+                   InterconnectModel::pcie_switch(), ExecMode::ModelOnly);
+  mgrid.set_fault_tolerance(gft);
+  auto mf = DistCaqrFactorization<double>::factor(
+      mgrid, DistMatrix<double>::shape_only(m, n, 4), dopt);
+  (void)mf.form_q(mgrid, n);
+
+  // Fault decisions key on (seed, transfer ordinal), and ModelOnly flags
+  // injected corruption without bytes: the whole recovery trajectory —
+  // resends, backoff charges, counters — replays identically.
+  const auto fs = fgrid.comm_stats();
+  const auto ms = mgrid.comm_stats();
+  ASSERT_GT(fs.injected_drops, 0);
+  EXPECT_EQ(fs.injected_drops, ms.injected_drops);
+  EXPECT_EQ(fs.retried_transfers, ms.retried_transfers);
+  EXPECT_EQ(fs.checksum_mismatches, ms.checksum_mismatches);
+  ASSERT_EQ(fgrid.comm_log().size(), mgrid.comm_log().size());
+  for (std::size_t i = 0; i < fgrid.comm_log().size(); ++i) {
+    EXPECT_EQ(fgrid.comm_log()[i].label, mgrid.comm_log()[i].label);
+    EXPECT_EQ(fgrid.comm_log()[i].seconds, mgrid.comm_log()[i].seconds);
+    EXPECT_EQ(fgrid.comm_log()[i].start, mgrid.comm_log()[i].start);
+  }
+  EXPECT_EQ(fgrid.elapsed_seconds(), mgrid.elapsed_seconds());
+}
+
+TEST(GridFt, DeadPeerTransferFailsTypedAfterTimeout) {
+  DeviceGrid grid(2);
+  grid.kill_device(1);
+  EXPECT_EQ(grid.num_alive(), 1);
+
+  Matrix<double> src(4, 4);
+  Matrix<double> dst(4, 4);
+  src.view().fill(1.0);
+  const double before = grid.device(0).elapsed_seconds();
+  const TransferResult r = grid.transfer_payload<double>(
+      0, 1, 128.0, "link_test", src.as_const(), dst.view());
+  EXPECT_TRUE(r.peer_dead);
+  EXPECT_EQ(r.dead_device, 1);
+  EXPECT_EQ(r.severity, ft::Severity::Unrecovered);
+  EXPECT_FALSE(r.ok());
+  // The survivor waited out the configured timeout — charged, then typed
+  // failure. Never a hang.
+  const double timeout = grid.fault_tolerance().rendezvous_timeout_us * 1e-6;
+  EXPECT_NEAR(grid.device(0).elapsed_seconds(), before + timeout, 1e-12);
+  EXPECT_EQ(grid.comm_stats().rendezvous_timeouts, 1);
+  EXPECT_EQ(grid.comm_stats().failed_transfers, 1);
+
+  // The legacy double-returning API surfaces the same condition as a typed
+  // exception.
+  EXPECT_THROW(grid.transfer(0, 1, 128.0), DeviceLostError);
+}
+
+TEST(GridFt, KillDeviceChangesFingerprintAndDegradesPlans) {
+  DeviceGrid grid(4, GpuMachineModel::c2050(),
+                  InterconnectModel::pcie_switch(), ExecMode::ModelOnly);
+  serve::PlanCache cache(8);
+  const auto healthy = cache.lookup_dist<double>(grid, 8192, 64);
+  EXPECT_EQ(healthy.plan->key.devices, 4);
+  const std::uint64_t fp0 = grid.fingerprint();
+
+  grid.kill_device(2);
+  EXPECT_NE(grid.fingerprint(), fp0);
+  EXPECT_EQ(grid.num_alive(), 3);
+  EXPECT_EQ(grid.live_devices(), (std::vector<int>{0, 1, 3}));
+
+  // Health is part of the plan key: the stale 4-device plan stops matching
+  // and the fresh plan routes shards onto the survivors only.
+  const auto degraded = cache.lookup_dist<double>(grid, 8192, 64);
+  EXPECT_FALSE(degraded.hit);
+  EXPECT_EQ(degraded.plan->key.devices, 3);
+  EXPECT_EQ(degraded.plan->dist_caqr.devices, (std::vector<int>{0, 1, 3}));
+  // Idempotent kill: no further generation bump.
+  const std::uint64_t fp1 = grid.fingerprint();
+  grid.kill_device(2);
+  EXPECT_EQ(grid.fingerprint(), fp1);
+}
+
+TEST(GridFt, FaultCountersExportedInGridTrace) {
+  const idx m = 128, n = 8;
+  const auto a = matrix_with_condition<double>(m, n, 1e2, 13);
+  DistCaqrOptions dopt;
+  dopt.panel_width = n;
+  dopt.tsqr.block_rows = 16;
+  DeviceGrid grid(2);
+  GridFtOptions gft;
+  gft.link_faults.p_drop = 0.5;
+  gft.link_faults.seed = 3;
+  grid.set_fault_tolerance(gft);
+  auto f = DistCaqrFactorization<double>::factor(
+      grid, DistMatrix<double>::scatter(a.view(), 2), dopt);
+  (void)f.form_q(grid, n);
+
+  const std::string trace = grid_trace_json(grid);
+  EXPECT_NE(trace.find("\"commStats\""), std::string::npos);
+  EXPECT_NE(trace.find("\"retried_transfers\""), std::string::npos);
+  EXPECT_NE(trace.find("\"checksum_mismatches\""), std::string::npos);
+  EXPECT_NE(trace.find("\"injected_drops\""), std::string::npos);
+  // Recovery traffic is first-class in the trace: the resend op carries a
+  // "_retry" label on both endpoints.
+  if (grid.comm_stats().retried_transfers > 0) {
+    EXPECT_NE(trace.find("_retry"), std::string::npos);
+  }
+}
+
 TEST(PlanCacheDist, FasterLinkPredictsFasterPlan) {
   DeviceGrid pcie(8, GpuMachineModel::c2050(),
                   InterconnectModel::pcie_switch(), ExecMode::ModelOnly);

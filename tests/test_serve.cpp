@@ -216,6 +216,111 @@ TEST(SolverPool, DeadlineExpiresWhileQueued) {
             RequestStatus::Done);
 }
 
+TEST(SolverPool, ShedsAtConfiguredDepthInsteadOfBlocking) {
+  PoolOptions po;
+  po.workers = 1;
+  po.queue_capacity = 8;  // backpressure far away: shedding must act first
+  po.shed_queue_depth = 2;
+  po.mode = ExecMode::ModelOnly;
+  SolverPool pool(po);
+
+  WorkerLatch latch;
+  auto blocked = latch.block(pool);
+  latch.started.get_future().wait();
+
+  auto q1 = pool.submit_task([](gpusim::Device&) {});
+  auto q2 = pool.submit_task([](gpusim::Device&) {});  // depth now 2
+  // Admission control: at the watermark the request is turned away
+  // immediately with a typed status — submit() does not block and the
+  // request never occupies a slot it would miss its deadline in.
+  auto shed = pool.submit(Matrix<float>::shape_only(1024, 32));
+  EXPECT_EQ(shed.get().status, RequestStatus::Shed);
+  EXPECT_STREQ(request_status_name(RequestStatus::Shed), "shed");
+
+  latch.release.set_value();
+  EXPECT_EQ(blocked.get(), RequestStatus::Done);
+  EXPECT_EQ(q1.get(), RequestStatus::Done);
+  EXPECT_EQ(q2.get(), RequestStatus::Done);
+  pool.drain();
+  const PoolStats s = pool.stats();
+  EXPECT_EQ(s.shed, 1);
+  EXPECT_EQ(s.rejected, 0);
+  EXPECT_EQ(s.completed, 3);
+}
+
+TEST(SolverPool, InfeasibleDeadlineShedAtAdmission) {
+  PoolOptions po;
+  po.workers = 1;
+  po.shed_infeasible_deadlines = true;
+  po.mode = ExecMode::ModelOnly;
+  SolverPool pool(po);
+
+  // Prime the service-time estimate with one completed solve.
+  EXPECT_EQ(pool.submit(Matrix<float>::shape_only(4096, 64)).get().status,
+            RequestStatus::Done);
+
+  WorkerLatch latch;
+  auto blocked = latch.block(pool);
+  latch.started.get_future().wait();
+  auto queued = pool.submit_task([](gpusim::Device&) {});
+
+  // One job already waiting: the estimated queue wait alone exceeds this
+  // deadline, so the request is shed at admission rather than admitted and
+  // expired later.
+  RequestOptions hopeless;
+  hopeless.deadline_seconds = 1e-12;
+  auto shed = pool.submit(Matrix<float>::shape_only(4096, 64), hopeless);
+  EXPECT_EQ(shed.get().status, RequestStatus::Shed);
+
+  latch.release.set_value();
+  EXPECT_EQ(blocked.get(), RequestStatus::Done);
+  EXPECT_EQ(queued.get(), RequestStatus::Done);
+  pool.drain();
+  EXPECT_EQ(pool.stats().shed, 1);
+  EXPECT_EQ(pool.stats().expired, 0);
+}
+
+TEST(SolverPool, UnrecoveredSolveRetriesOnFreshDevice) {
+  const auto a = gaussian_matrix<double>(256, 16, 77);
+
+  // Clean pool: the FT outcome rides on every response.
+  {
+    PoolOptions po;
+    po.workers = 1;
+    SolverPool pool(po);
+    RequestOptions req;
+    req.algo = QrAlgorithm::Caqr;
+    req.use_plan = false;
+    const auto resp = pool.submit(Matrix<double>::from(a.view()), req).get();
+    EXPECT_EQ(resp.status, RequestStatus::Done);
+    EXPECT_EQ(resp.run_status.severity, ft::Severity::Ok);
+    EXPECT_EQ(resp.solve_retries, 0);
+  }
+
+  // Worker device poisoned hard, detection-only FT: the first solve comes
+  // back typed Unrecovered and the pool re-runs it once on a fresh device.
+  PoolOptions po;
+  po.workers = 1;
+  po.fault.p_block_drop = 0.9;
+  po.fault.seed = 5;
+  po.ft.abft = true;
+  po.ft.max_launch_retries = 0;  // detect, don't retry in place
+  po.max_solve_retries = 1;
+  SolverPool pool(po);
+  RequestOptions req;
+  req.algo = QrAlgorithm::Caqr;
+  req.use_plan = false;
+  const auto resp = pool.submit(Matrix<double>::from(a.view()), req).get();
+  EXPECT_EQ(resp.status, RequestStatus::Done);
+  EXPECT_EQ(resp.solve_retries, 1);
+  // The redo ran clean, so the merged outcome is Corrected — and the
+  // response mirrors the result's own status.
+  EXPECT_EQ(resp.run_status.severity, ft::Severity::Corrected);
+  EXPECT_EQ(resp.result.run_status.severity, resp.run_status.severity);
+  pool.drain();
+  EXPECT_GE(pool.stats().solve_retries, 1);
+}
+
 TEST(SolverPool, FifoWithinPriority) {
   PoolOptions po;
   po.workers = 1;
