@@ -16,6 +16,15 @@
 //      argument, now with modeled-transfer receipts.
 //   4. Interconnect/tree shape: 8-device strong-scaling point under
 //      NVLink-like links and under a quad cross tree.
+//   5. Hierarchy: the 8 devices placed on K in {1,2,4} nodes of a two-level
+//      NVLink/IB interconnect, reduced with the topology-aware cross tree
+//      (dist/topology.hpp). Reports per-tier (intra/inter) bytes and
+//      transfer counts, the inter-node wave count against the expected
+//      ceil(log2 K), and measured cross-device words against the
+//      Demmel-Grigori-Hoemmen-Langou lower bound Omega(n^2 log P): the
+//      bench FAILS if measured/bound exceeds the (1 + ceil(log2 P))^2
+//      polylog cap — the "communication-optimal up to polylog factors"
+//      claim as a tested exit gate.
 //
 // A functional bit-identity block rides along: the distributed Q and R are
 // compared BIT for BIT against the single-device CAQR run with the
@@ -23,10 +32,12 @@
 // two small shapes; full mode (the committed BENCH_dist_scaling.json) adds
 // the 1M x 192 shape, every case over N in {1,2,4,8}.
 //
-// Writes BENCH_dist_scaling.json and the 8-device ModelOnly chrome trace
-// BENCH_dist_scaling_trace.json (pid = device, link ops on both endpoints).
-// Exit status is nonzero if the 8-device strong-scaling speedup is not > 1
-// or any bit-identity case fails — CI gates on it.
+// Writes BENCH_dist_scaling.json (incl. the "hierarchy" block) and the
+// 8-device ModelOnly chrome trace BENCH_dist_scaling_trace.json (pid =
+// device, link ops on both endpoints). Exit status is nonzero if the
+// 8-device strong-scaling speedup is not > 1, any bit-identity case fails,
+// or the hierarchy study misses its wave count or lower-bound cap — CI
+// gates on it.
 //
 // Flags: --quick (small bit-identity shapes only)  --seed
 
@@ -40,6 +51,7 @@
 #include "dist/dist_caqr.hpp"
 #include "dist/dist_matrix.hpp"
 #include "dist/interconnect.hpp"
+#include "dist/topology.hpp"
 #include "gpusim/report.hpp"
 #include "linalg/random_matrix.hpp"
 #include "numerics/verifier.hpp"
@@ -113,6 +125,65 @@ double naive_gather_bytes(idx m, idx n, int devices) {
 double single_tree_bytes(idx n, int devices) {
   return static_cast<double>(devices - 1) * 0.5 * static_cast<double>(n) *
          static_cast<double>(n + 1) * sizeof(float);
+}
+
+int ceil_log2(int k) {
+  int levels = 0;
+  for (int w = 1; w < k; w *= 2) ++levels;
+  return levels;
+}
+
+// Demmel-Grigori-Hoemmen-Langou lower bound on the cross-device words a
+// P-leaf reduction of an n-wide factorization must move: Omega(n^2 log P),
+// instantiated here as (n^2 / 2) * ceil(log2 P) — each of the log P tree
+// levels has to ship at least one n x n triangle across the cut. P = 1
+// (everything local to one node/device) moves nothing and the bound is 0.
+double dghl_bound_words(idx n, int p) {
+  return 0.5 * static_cast<double>(n) * static_cast<double>(n) *
+         static_cast<double>(ceil_log2(p));
+}
+
+struct HierPoint {
+  int nodes = 1;
+  int devices_per_node = 1;
+  double seconds_topo = 0;
+  double seconds_uniform = 0;
+  int inter_waves = 0;
+  dist::CommStats comm;
+};
+
+// One ModelOnly factorization on a NodeGrid with the topology-aware cross
+// tree, plus the same problem under the plain uniform binary tree on the
+// SAME hierarchical machine (so the seconds are comparable).
+HierPoint run_hier(idx m, idx n, int nodes, int devices_per_node) {
+  const int devices = nodes * devices_per_node;
+  HierPoint h;
+  h.nodes = nodes;
+  h.devices_per_node = devices_per_node;
+
+  dist::NodeGrid grid(nodes, devices_per_node, GpuMachineModel::c2050(),
+                      dist::HierarchicalInterconnect::nvlink_islands(
+                          devices_per_node),
+                      ExecMode::ModelOnly);
+  DistCaqrOptions opt = bench_options();
+  opt.cross_spec = grid.cross_spec();
+  h.inter_waves = dist::inter_levels(opt.cross_spec, grid.node_of_shards());
+  auto f = DistCaqrFactorization<float>::factor(
+      grid, DistMatrix<float>::shape_only(m, n, devices), opt);
+  (void)f;
+  h.seconds_topo = grid.elapsed_seconds();
+  h.comm = grid.comm_stats();
+
+  dist::NodeGrid flat(nodes, devices_per_node, GpuMachineModel::c2050(),
+                      dist::HierarchicalInterconnect::nvlink_islands(
+                          devices_per_node),
+                      ExecMode::ModelOnly);
+  DistCaqrOptions uopt = bench_options();
+  auto uf = DistCaqrFactorization<float>::factor(
+      flat, DistMatrix<float>::shape_only(m, n, devices), uopt);
+  (void)uf;
+  h.seconds_uniform = flat.elapsed_seconds();
+  return h;
 }
 
 struct BitIdentityCase {
@@ -280,6 +351,76 @@ int main(int argc, char** argv) {
           ",\"nvlink_binary\":" + json_num(nvlink8.seconds) +
           ",\"pcie_quad\":" + json_num(quad8.seconds) + "}";
 
+  // ---- 5. hierarchy + communication lower bound ----------------------------
+  const int kHierDevices = 8;
+  const double bound_total = dghl_bound_words(kCols, kHierDevices);
+  const double cap_total =
+      (1.0 + ceil_log2(kHierDevices)) * (1.0 + ceil_log2(kHierDevices));
+  std::printf("\nHierarchy: %d devices on K nodes (NVLink intra / IB inter), "
+              "topology-aware tree\n  DGHL bound %.0f words total (cap "
+              "%.0fx):\n",
+              kHierDevices, bound_total, cap_total);
+  bool hier_ok = true;
+  json += ",\"hierarchy\":{\"rows\":" + std::to_string(kRows) +
+          ",\"cols\":" + std::to_string(kCols) +
+          ",\"devices\":" + std::to_string(kHierDevices) +
+          ",\"dghl_bound_words_total\":" + json_num(bound_total) +
+          ",\"polylog_cap_total\":" + json_num(cap_total) + ",\"points\":[";
+  const std::vector<int> node_counts = {1, 2, 4};
+  for (std::size_t i = 0; i < node_counts.size(); ++i) {
+    const int k = node_counts[i];
+    const HierPoint h = run_hier(kRows, kCols, k, kHierDevices / k);
+    const double words_total = h.comm.bytes / sizeof(float);
+    const double words_inter = h.comm.inter_bytes / sizeof(float);
+    const double ratio_total = words_total / bound_total;
+    const double bound_inter = dghl_bound_words(kCols, k);
+    const double cap_inter =
+        (1.0 + ceil_log2(k)) * (1.0 + ceil_log2(k));
+    const double ratio_inter =
+        bound_inter > 0 ? words_inter / bound_inter : 0;
+    const int expected_waves = ceil_log2(k);
+    const bool point_ok =
+        h.inter_waves == expected_waves && ratio_total <= cap_total &&
+        (k == 1 ? h.comm.inter_bytes == 0 : ratio_inter <= cap_inter);
+    hier_ok = hier_ok && point_ok;
+    char inter_note[64] = "";
+    if (k > 1) {
+      std::snprintf(inter_note, sizeof(inter_note),
+                    "  inter %.2fx its bound (cap %.0fx)", ratio_inter,
+                    cap_inter);
+    }
+    std::printf(
+        "  K=%d (x%d)  %.4f s (uniform %.4f s)  intra %.2f MiB/%lld  inter "
+        "%.2f MiB/%lld  waves %d (want %d)  total %.0f words = %.2fx bound"
+        "%s  %s\n",
+        k, h.devices_per_node, h.seconds_topo, h.seconds_uniform,
+        h.comm.intra_bytes / (1 << 20), h.comm.intra_transfers,
+        h.comm.inter_bytes / (1 << 20), h.comm.inter_transfers, h.inter_waves,
+        expected_waves, words_total, ratio_total, inter_note,
+        point_ok ? "ok" : "FAIL");
+    json += i ? "," : "";
+    json += "{\"nodes\":" + std::to_string(k) +
+            ",\"devices_per_node\":" + std::to_string(h.devices_per_node) +
+            ",\"seconds_topo\":" + json_num(h.seconds_topo) +
+            ",\"seconds_uniform\":" + json_num(h.seconds_uniform) +
+            ",\"intra_bytes\":" + json_num(h.comm.intra_bytes) +
+            ",\"intra_transfers\":" + std::to_string(h.comm.intra_transfers) +
+            ",\"inter_bytes\":" + json_num(h.comm.inter_bytes) +
+            ",\"inter_transfers\":" + std::to_string(h.comm.inter_transfers) +
+            ",\"inter_waves\":" + std::to_string(h.inter_waves) +
+            ",\"inter_waves_expected\":" + std::to_string(expected_waves) +
+            ",\"measured_words_total\":" + json_num(words_total) +
+            ",\"ratio_total\":" + json_num(ratio_total) +
+            ",\"measured_words_inter\":" + json_num(words_inter) +
+            ",\"dghl_bound_words_inter\":" + json_num(bound_inter) +
+            ",\"ratio_inter\":" + json_num(ratio_inter) +
+            ",\"polylog_cap_inter\":" + json_num(cap_inter) +
+            ",\"pass\":" + (point_ok ? "true" : "false") + "}";
+  }
+  json += "],\"pass\":";
+  json += hier_ok ? "true" : "false";
+  json += "}";
+
   // ---- 5. functional bit-identity ------------------------------------------
   std::printf("\nBit-identity vs single-device equivalent tree:\n");
   bool all_identical = true;
@@ -324,9 +465,11 @@ int main(int argc, char** argv) {
     std::printf("\nWrote %s\n", json_path);
   }
 
-  const bool ok = speedup8 > 1.0 && all_identical;
-  std::printf("8-device strong-scaling speedup %.2fx, bit-identity %s\n%s\n",
-              speedup8, all_identical ? "pass" : "FAIL",
-              ok ? "DIST SCALING PASS" : "DIST SCALING FAIL");
+  const bool ok = speedup8 > 1.0 && all_identical && hier_ok;
+  std::printf(
+      "8-device strong-scaling speedup %.2fx, bit-identity %s, hierarchy "
+      "lower-bound gate %s\n%s\n",
+      speedup8, all_identical ? "pass" : "FAIL", hier_ok ? "pass" : "FAIL",
+      ok ? "DIST SCALING PASS" : "DIST SCALING FAIL");
   return ok ? 0 : 1;
 }

@@ -18,6 +18,9 @@
 //                   must come back with clean fault-free-bound residuals)
 //        --devices N (run the sweep through the DISTRIBUTED CAQR driver on
 //                     an N-device grid, judged by the same Verifier bounds)
+//        --nodes K   (with --devices: place the N devices across K nodes of
+//                     a hierarchical NVLink/IB interconnect and reduce with
+//                     the topology-aware cross-device tree; K must divide N)
 
 #include <cstdio>
 #include <string>
@@ -168,23 +171,31 @@ int main(int argc, char** argv) {
   spec.mixed_columns = !quick;
 
   const int devices = static_cast<int>(args.get_int("devices", 0));
+  const int nodes = static_cast<int>(args.get_int("nodes", 1));
   if (devices > 0) {
+    if (nodes < 1 || devices % nodes != 0) {
+      std::printf("--nodes must divide --devices (got %d devices, %d nodes)\n",
+                  devices, nodes);
+      return 1;
+    }
     if (spec.rows < static_cast<idx>(devices) * spec.cols) {
       spec.rows = static_cast<idx>(devices) * spec.cols * 8;
       std::printf("(rows raised to %lld so every shard holds >= cols rows)\n",
                   static_cast<long long>(spec.rows));
     }
-    std::printf("Distributed stress sweep: %lld x %lld on %d devices, "
-                "%zu cond samples x %zu scalings\n\n",
+    std::printf("Distributed stress sweep: %lld x %lld on %d devices "
+                "(%d node%s), %zu cond samples x %zu scalings\n\n",
                 static_cast<long long>(spec.rows),
-                static_cast<long long>(spec.cols), devices, spec.conds.size(),
+                static_cast<long long>(spec.cols), devices, nodes,
+                nodes == 1 ? "" : "s", spec.conds.size(),
                 spec.col_scales.size());
     const numerics::StressSummary dsum =
-        numerics::run_stress_dist(spec, devices);
+        numerics::run_stress_dist(spec, devices, nodes);
     numerics::print_stress(dsum);
 
     const char* json_path = "BENCH_stress_numerics_dist.json";
     const std::string json = "{\"devices\":" + std::to_string(devices) +
+                             ",\"nodes\":" + std::to_string(nodes) +
                              ",\"stress\":" + numerics::stress_json(dsum) + "}";
     if (std::FILE* f = std::fopen(json_path, "w")) {
       std::fwrite(json.data(), 1, json.size(), f);

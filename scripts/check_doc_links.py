@@ -3,7 +3,8 @@
 repo path in the key documents resolves in the tree.
 
 Checked documents: README.md, DESIGN.md, docs/ARCHITECTURE.md,
-EXPERIMENTS.md (plus any extra paths passed as arguments).
+docs/TOPOLOGY.md, EXPERIMENTS.md (plus any extra paths passed as
+arguments).
 
 Two classes of reference are validated:
   1. Markdown links/images `[text](target)` whose target is not an
@@ -13,16 +14,23 @@ Two classes of reference are validated:
      name a file or directory with a known source/doc extension or a
      directory under the repo root.
 
-Exits non-zero listing every dead reference, so CI fails on doc rot.
+A third, reverse check guards the bench artifacts: every COMMITTED
+`BENCH_*.json` in the repo root must be referenced from EXPERIMENTS.md
+and listed in README.md's artifact table — a frozen artifact nobody can
+find the provenance of is doc rot in the other direction.
+
+Exits non-zero listing every dead reference and orphaned artifact, so CI
+fails on doc rot.
 """
 
 import re
+import subprocess
 import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 DEFAULT_DOCS = ["README.md", "DESIGN.md", "docs/ARCHITECTURE.md",
-                "EXPERIMENTS.md"]
+                "docs/TOPOLOGY.md", "EXPERIMENTS.md"]
 
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
 CODE_RE = re.compile(r"`([^`\n]+)`")
@@ -82,6 +90,38 @@ def check_doc(doc: Path):
     return dead
 
 
+def committed_artifacts():
+    """Names of BENCH_*.json artifacts committed at the repo root."""
+    try:
+        out = subprocess.run(["git", "ls-files", "BENCH_*.json"], cwd=REPO,
+                             capture_output=True, text=True, check=True)
+        names = out.stdout.split()
+    except (OSError, subprocess.CalledProcessError):
+        # Not a git checkout (e.g. a tarball): fall back to the files on
+        # disk, which then include any uncommitted local bench output.
+        names = [p.name for p in REPO.glob("BENCH_*.json")]
+    return sorted(n for n in names if "/" not in n)
+
+
+def check_artifact_provenance():
+    """Every committed artifact must appear in EXPERIMENTS.md and in the
+    README artifact table (a `| ... |` row naming it)."""
+    orphans = []
+    experiments = (REPO / "EXPERIMENTS.md").read_text(encoding="utf-8")
+    readme_rows = [ln for ln in
+                   (REPO / "README.md").read_text(encoding="utf-8")
+                   .splitlines() if ln.lstrip().startswith("|")]
+    for name in committed_artifacts():
+        missing = []
+        if name not in experiments:
+            missing.append("EXPERIMENTS.md")
+        if not any(name in row for row in readme_rows):
+            missing.append("README.md artifact table")
+        if missing:
+            orphans.append((name, missing))
+    return orphans
+
+
 def main(argv):
     docs = argv[1:] or DEFAULT_DOCS
     failures = 0
@@ -95,10 +135,17 @@ def main(argv):
         for kind, target in dead:
             print(f"{name}: dead {kind}: {target}")
         failures += len(dead)
+    orphans = check_artifact_provenance()
+    for name, missing in orphans:
+        print(f"orphaned artifact: {name} not referenced in "
+              f"{' or '.join(missing)}")
+    failures += len(orphans)
     if failures:
-        print(f"\n{failures} dead reference(s).")
+        print(f"\n{failures} dead reference(s) / orphaned artifact(s).")
         return 1
-    print(f"All references resolve in {len(docs)} document(s).")
+    print(f"All references resolve in {len(docs)} document(s); "
+          f"{len(committed_artifacts())} committed artifact(s) accounted "
+          "for.")
     return 0
 
 

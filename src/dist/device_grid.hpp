@@ -52,6 +52,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -74,12 +75,24 @@ struct CommRecord {
   double seconds = 0;  // link occupancy charged on both endpoints
   double start = 0;    // aligned simulated start time
   std::string label;
+  // True iff the pair crossed the slow (inter-node) tier of a hierarchical
+  // interconnect; always false on a flat grid. This is the per-transfer
+  // receipt the comm-volume tests and the hierarchy bench aggregate.
+  bool inter_node = false;
 };
 
 struct CommStats {
   long long transfers = 0;
   double bytes = 0;
   double seconds = 0;  // sum of per-transfer link time (not wall overlap)
+  // Per-hierarchy-level split of the totals above (flat grids count
+  // everything as intra). bytes == intra_bytes + inter_bytes, always.
+  long long intra_transfers = 0;
+  long long inter_transfers = 0;
+  double intra_bytes = 0;
+  double inter_bytes = 0;
+  double intra_seconds = 0;
+  double inter_seconds = 0;
   // Fault/recovery counters (ISSUE 8): resend attempts, transfers whose
   // retry budget exhausted, detected payload corruptions, injected fault
   // events by kind, and rendezvous timeouts against dead peers.
@@ -167,6 +180,25 @@ class DeviceGrid {
     alive_.assign(static_cast<std::size_t>(num_devices), 1);
   }
 
+  // Hierarchical grid: per-pair link selection through `hier` (the flat
+  // `interconnect()` is set to the intra-node class so hierarchy-unaware
+  // callers see the fast tier). Device d lives on node d / devices_per_node
+  // — node-major placement, the order NodeGrid and the topology-aware tree
+  // builder assume.
+  DeviceGrid(int num_devices, gpusim::GpuMachineModel model,
+             HierarchicalInterconnect hier,
+             gpusim::ExecMode mode = gpusim::ExecMode::Functional)
+      : DeviceGrid(num_devices, model, hier.intra, mode) {
+    CAQR_CHECK(hier.devices_per_node >= 1);
+    hier_ = std::move(hier);
+  }
+
+  // Non-null iff this grid charges transfers through a two-level
+  // interconnect (per-pair link lookup instead of the flat crossbar).
+  const HierarchicalInterconnect* hierarchy() const {
+    return hier_ ? &*hier_ : nullptr;
+  }
+
   int size() const { return static_cast<int>(devices_.size()); }
   gpusim::ExecMode mode() const { return mode_; }
   gpusim::Device& device(int d) {
@@ -178,6 +210,12 @@ class DeviceGrid {
     return devices_[static_cast<std::size_t>(d)];
   }
   const InterconnectModel& interconnect() const { return interconnect_; }
+
+  // Link charged between an ordered device pair (the flat crossbar link, or
+  // the hierarchy tier the pair crosses).
+  const InterconnectModel& link_between(int src, int dst) const {
+    return hier_ ? hier_->link_between(src, dst) : interconnect_;
+  }
 
   // Grid fault model (injection schedule + recovery policy). Replacing the
   // options does not resurrect dead devices.
@@ -227,6 +265,13 @@ class DeviceGrid {
     }
     const std::uint64_t link = interconnect_.fingerprint();
     h = ft::detail::fnv1a(&link, sizeof(link), h);
+    if (hier_) {
+      // Both link classes + node width: a changed inter-node network or a
+      // different device placement must invalidate cached dist plans even
+      // though the intra-node (flat) link is unchanged.
+      const std::uint64_t hf = hier_->fingerprint();
+      h = ft::detail::fnv1a(&hf, sizeof(hf), h);
+    }
     const std::int64_t n = size();
     h = ft::detail::fnv1a(&n, sizeof(n), h);
     if (health_generation_ != 0) {
@@ -301,10 +346,16 @@ class DeviceGrid {
         d.add_external_seconds(backoff, "link_backoff");
       }
       const std::string lbl = attempt == 0 ? label : label + "_retry";
-      const double t = interconnect_.transfer_seconds(bytes);
-      s.transfer(bytes, interconnect_.link, lbl);
-      d.transfer(bytes, interconnect_.link, lbl);
-      comm_log_.push_back(CommRecord{src, dst, bytes, t, start + backoff, lbl});
+      // Per-pair link lookup: the hierarchy (when present) picks the tier
+      // the pair crosses; flat grids use the single crossbar link. Retries
+      // and backoff ride the same tier as the original send.
+      const InterconnectModel& link = link_between(src, dst);
+      const bool inter = hier_ && !hier_->same_node(src, dst);
+      const double t = link.transfer_seconds(bytes);
+      s.transfer(bytes, link.link, lbl);
+      d.transfer(bytes, link.link, lbl);
+      comm_log_.push_back(
+          CommRecord{src, dst, bytes, t, start + backoff, lbl, inter});
       res.completion = s.elapsed_seconds();
 
       bool corrupted = false;
@@ -402,6 +453,15 @@ class DeviceGrid {
       ++s.transfers;
       s.bytes += r.bytes;
       s.seconds += r.seconds;
+      if (r.inter_node) {
+        ++s.inter_transfers;
+        s.inter_bytes += r.bytes;
+        s.inter_seconds += r.seconds;
+      } else {
+        ++s.intra_transfers;
+        s.intra_bytes += r.bytes;
+        s.intra_seconds += r.seconds;
+      }
     }
     return s;
   }
@@ -456,6 +516,7 @@ class DeviceGrid {
 
   std::vector<gpusim::Device> devices_;
   InterconnectModel interconnect_;
+  std::optional<HierarchicalInterconnect> hier_;
   gpusim::ExecMode mode_;
   std::vector<CommRecord> comm_log_;
   std::vector<LinkFaultEvent> link_fault_log_;
@@ -470,16 +531,20 @@ class DeviceGrid {
 // JSON object of the grid's comm + recovery counters (embedded in
 // grid_trace_json so a chrome trace carries the recovery-traffic summary).
 inline std::string comm_stats_json(const CommStats& s) {
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "{\"transfers\":%lld,\"bytes\":%.17g,\"seconds\":%.17g,"
+      "\"intra_transfers\":%lld,\"inter_transfers\":%lld,"
+      "\"intra_bytes\":%.17g,\"inter_bytes\":%.17g,"
+      "\"intra_seconds\":%.17g,\"inter_seconds\":%.17g,"
       "\"retried_transfers\":%lld,\"failed_transfers\":%lld,"
       "\"checksum_mismatches\":%lld,\"injected_drops\":%lld,"
       "\"injected_flips\":%lld,\"rendezvous_timeouts\":%lld}",
-      s.transfers, s.bytes, s.seconds, s.retried_transfers,
-      s.failed_transfers, s.checksum_mismatches, s.injected_drops,
-      s.injected_flips, s.rendezvous_timeouts);
+      s.transfers, s.bytes, s.seconds, s.intra_transfers, s.inter_transfers,
+      s.intra_bytes, s.inter_bytes, s.intra_seconds, s.inter_seconds,
+      s.retried_transfers, s.failed_transfers, s.checksum_mismatches,
+      s.injected_drops, s.injected_flips, s.rendezvous_timeouts);
   return buf;
 }
 

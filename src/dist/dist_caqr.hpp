@@ -69,6 +69,7 @@
 #include "common/thread_pool.hpp"
 #include "dist/device_grid.hpp"
 #include "dist/dist_matrix.hpp"
+#include "dist/topology.hpp"
 #include "kernels/kernels.hpp"
 #include "tsqr/tsqr.hpp"
 
@@ -79,8 +80,15 @@ struct DistCaqrOptions {
   // Local (per-device) TSQR options; tree_spec must be left unset (the
   // driver owns the decomposition).
   tsqr::TsqrOptions tsqr;
-  // Cross-device reduction-tree fan-in: 2 = binary, 4 = quad.
+  // Cross-device reduction-tree fan-in: 2 = binary, 4 = quad. Used only
+  // when no explicit cross_spec is set.
   idx cross_arity = 2;
+  // Explicit cross-device tree (dist/topology.hpp): per level, consecutive
+  // survivor runs with the front member owning each combine. Empty = the
+  // uniform consecutive-arity tree above. topology_cross_spec builds the
+  // hierarchical shape (intra-node first, ceil(log2 K) slow-link waves);
+  // must match the shard count of the partition the factorization runs on.
+  CrossSpec cross_spec;
   // Shard -> grid-device map. Empty means the identity (shard d on device
   // d, requiring one shard per grid device). The recovery driver uses this
   // to run a factorization on a SURVIVOR SUBSET of a grid with dead
@@ -96,23 +104,6 @@ struct DistCaqrOptions {
 
 namespace detail {
 
-// Consecutive grouping of survivors by `arity` — the one grouping rule
-// shared by the cross-device reduction and its single-device replay spec,
-// so the two can never drift apart.
-template <typename X>
-std::vector<std::vector<X>> group_consecutive(const std::vector<X>& xs,
-                                              idx arity) {
-  CAQR_CHECK(arity >= 2);
-  std::vector<std::vector<X>> groups;
-  for (std::size_t g = 0; g < xs.size(); g += static_cast<std::size_t>(arity)) {
-    const std::size_t end =
-        std::min(xs.size(), g + static_cast<std::size_t>(arity));
-    groups.emplace_back(xs.begin() + static_cast<std::ptrdiff_t>(g),
-                        xs.begin() + static_cast<std::ptrdiff_t>(end));
-  }
-  return groups;
-}
-
 // Bytes of one w x w upper triangle (what the R exchange ships).
 inline double triangle_bytes(idx w, std::size_t scalar_size) {
   return 0.5 * static_cast<double>(w) * static_cast<double>(w + 1) *
@@ -124,17 +115,23 @@ inline double triangle_bytes(idx w, std::size_t scalar_size) {
 // TreeSpec provider replaying the distributed decomposition on one device:
 // per active shard, the uniform local tree (same split_rows/arity
 // construction the per-device tsqr_factor uses), merged level-by-level,
-// followed by the cross-device levels over the shard root blocks. Capture
-// of `partition` fixes the geometry, so the provider is a deterministic
-// pure function of (rows, width) as TsqrOptions::tree_spec requires. The
-// (rows, width) panel is assumed to start at global row
-// partition.back() - rows — exactly how CAQR walks its panels.
+// followed by the cross-device levels over the shard root blocks — the
+// SAME resolved levels the distributed driver runs (explicit cross_spec
+// when set, uniform consecutive grouping by cross_arity otherwise), so the
+// two can never drift apart. Capture of `partition` fixes the geometry, so
+// the provider is a deterministic pure function of (rows, width) as
+// TsqrOptions::tree_spec requires. The (rows, width) panel is assumed to
+// start at global row partition.back() - rows — exactly how CAQR walks its
+// panels.
 inline std::function<tsqr::TreeSpec(idx, idx)> dist_tree_spec(
-    std::vector<idx> partition, tsqr::TsqrOptions local, idx cross_arity) {
+    std::vector<idx> partition, tsqr::TsqrOptions local, idx cross_arity,
+    CrossSpec cross_spec = {}) {
   CAQR_CHECK(partition.size() >= 2 && cross_arity >= 2);
   local.tree_spec = nullptr;  // the provider must not recurse
+  const auto cross_levels = resolve_cross_levels(
+      static_cast<int>(partition.size()) - 1, cross_spec, cross_arity);
   return [partition = std::move(partition), local,
-          cross_arity](idx rows, idx width) {
+          cross_levels](idx rows, idx width) {
     const idx total = partition.back();
     const idx c0 = total - rows;
     tsqr::TreeSpec spec;
@@ -170,18 +167,17 @@ inline std::function<tsqr::TreeSpec(idx, idx)> dist_tree_spec(
       }
       spec.levels.push_back(std::move(groups));
     }
-    std::vector<idx> survivors = roots;
-    while (survivors.size() > 1) {
-      const auto consec = detail::group_consecutive(survivors, cross_arity);
+    // Cross-device levels: shard indices translate to their local-root
+    // block indices; the grouping is identical to factor_panel's.
+    for (const auto& level : cross_levels) {
       GroupList groups;
-      std::vector<idx> next;
-      next.reserve(consec.size());
-      for (const auto& g : consec) {
-        next.push_back(g.front());
-        groups.push_group(g.begin(), g.end());
+      for (const auto& g : level) {
+        for (const int s : g) {
+          groups.append(roots[static_cast<std::size_t>(s)]);
+        }
+        groups.close_group();
       }
       spec.levels.push_back(std::move(groups));
-      survivors = std::move(next);
     }
     return spec;
   };
@@ -189,15 +185,16 @@ inline std::function<tsqr::TreeSpec(idx, idx)> dist_tree_spec(
 
 // Single-device CaqrOptions whose factorization is bit-identical to the
 // distributed run with `opt` over `partition` — the reference the tests
-// and the scaling bench compare against.
+// and the scaling bench compare against. Honors opt.cross_spec, so the
+// proof obligation covers topology-aware trees too (DESIGN.md §15).
 inline CaqrOptions single_device_equivalent(const DistCaqrOptions& opt,
                                             std::vector<idx> partition) {
   CaqrOptions c;
   c.panel_width = opt.panel_width;
   c.schedule = CaqrSchedule::Serial;
   c.tsqr = opt.tsqr;
-  c.tsqr.tree_spec =
-      dist_tree_spec(std::move(partition), opt.panel_tsqr(), opt.cross_arity);
+  c.tsqr.tree_spec = dist_tree_spec(std::move(partition), opt.panel_tsqr(),
+                                    opt.cross_arity, opt.cross_spec);
   return c;
 }
 
@@ -315,7 +312,8 @@ class DistCaqrFactorization {
   // this factorization bit-for-bit. Only meaningful for factorizations that
   // ran start-to-finish on one partition (no mid-run reassignment).
   std::function<tsqr::TreeSpec(idx, idx)> equivalent_tree_spec() const {
-    return dist_tree_spec(a_.offsets(), opt_.panel_tsqr(), opt_.cross_arity);
+    return dist_tree_spec(a_.offsets(), opt_.panel_tsqr(), opt_.cross_arity,
+                          opt_.cross_spec);
   }
 
  private:
@@ -349,6 +347,11 @@ class DistCaqrFactorization {
       }
     }
     CAQR_CHECK(opt_.panel_width >= 1 && opt_.cross_arity >= 2);
+    if (!opt_.cross_spec.empty()) {
+      CAQR_CHECK_MSG(opt_.cross_spec.shards() == ns,
+                     "cross_spec was built for a different shard count");
+      check_cross_spec(opt_.cross_spec, ns);
+    }
     CAQR_CHECK(opt_.tsqr.block_rows >= opt_.panel_width);
     CAQR_CHECK_MSG(!opt_.tsqr.tree_spec,
                    "the distributed driver owns the tree decomposition");
@@ -463,18 +466,15 @@ class DistCaqrFactorization {
       status_.panel_retries += redo[static_cast<std::size_t>(d)];
     }
 
-    // 2. Cross-device reduction over the shard root triangles.
+    // 2. Cross-device reduction over the shard root triangles, following
+    // the resolved tree (explicit cross_spec or uniform consecutive
+    // grouping — the same levels dist_tree_spec merges for the replay).
     const auto cost = kernels::cost_params(topt.variant);
-    std::vector<int> survivors;
-    survivors.reserve(static_cast<std::size_t>(ns));
-    for (int d = 0; d < ns; ++d) survivors.push_back(d);
-    while (survivors.size() > 1) {
+    for (const auto& spec_level :
+         resolve_cross_levels(ns, opt_.cross_spec, opt_.cross_arity)) {
       CrossLevel level;
-      std::vector<int> next;
-      for (auto& members :
-           detail::group_consecutive(survivors, opt_.cross_arity)) {
+      for (const auto& members : spec_level) {
         const int owner = members.front();
-        next.push_back(owner);
         const idx k = static_cast<idx>(members.size());
         if (k < 2) continue;  // singleton survivor passes through
         CrossGroup cg;
@@ -515,7 +515,6 @@ class DistCaqrFactorization {
         }
         level.groups.push_back(std::move(cg));
       }
-      survivors = std::move(next);
       if (!level.groups.empty()) rec.cross.push_back(std::move(level));
     }
   }
@@ -682,6 +681,31 @@ double predict_dist_caqr_seconds(const gpusim::GpuMachineModel& model,
       grid, DistMatrix<T>::shape_only(m, n, devices), probe_opt);
   (void)f;
   return grid.elapsed_seconds();
+}
+
+// Topology-mirroring probe: a ModelOnly twin of `grid` — same device model,
+// same interconnect SHAPE (flat crossbar or two-level hierarchy with the
+// same node placement) — running opt's shard map so hierarchical link
+// crossings are charged exactly where the real run would cross them. This
+// is the cost model serve::make_dist_plan ranks candidate tree shapes with.
+template <typename T>
+double predict_dist_caqr_seconds(const DeviceGrid& grid, idx m, idx n,
+                                 const DistCaqrOptions& opt) {
+  const HierarchicalInterconnect* hier = grid.hierarchy();
+  const int shards = opt.devices.empty()
+                         ? grid.size()
+                         : static_cast<int>(opt.devices.size());
+  const gpusim::GpuMachineModel model = grid.device(0).model();
+  DeviceGrid probe =
+      hier ? DeviceGrid(grid.size(), model, *hier, gpusim::ExecMode::ModelOnly)
+           : DeviceGrid(shards, model, grid.interconnect(),
+                        gpusim::ExecMode::ModelOnly);
+  DistCaqrOptions probe_opt = opt;
+  if (!hier) probe_opt.devices.clear();  // identity map on the flat probe
+  auto f = DistCaqrFactorization<T>::factor(
+      probe, DistMatrix<T>::shape_only(m, n, shards), probe_opt);
+  (void)f;
+  return probe.elapsed_seconds();
 }
 
 }  // namespace caqr::dist

@@ -397,6 +397,21 @@ GridCaqrResult<T> factor_with_recovery(
     res.attempts = attempt;
     DistCaqrOptions opt = base;
     opt.devices = devmap;
+    // An explicit cross tree is a property of a specific shard count. When
+    // reassignment (or a snapshot's coarser partition) changes the count —
+    // e.g. a loss INSIDE a node subtree shrinking that node's shard run —
+    // re-derive the topology-aware tree for the survivor map on a
+    // hierarchical grid, or fall back to the uniform consecutive tree on a
+    // flat one. Correctness never depends on the tree shape (any validated
+    // spec is bit-identical to its own single-device replay); only the
+    // link schedule changes.
+    if (!opt.cross_spec.empty() &&
+        opt.cross_spec.shards() != static_cast<int>(devmap.size())) {
+      opt.cross_spec = grid.hierarchy()
+                           ? topology_cross_spec_for_devices(*grid.hierarchy(),
+                                                             devmap)
+                           : CrossSpec{};
+    }
     auto hook = [&](const DistCaqrFactorization<T>& f, idx done) {
       if (ropt.checkpoint_every > 0 && done % ropt.checkpoint_every == 0 &&
           f.packed().functional()) {

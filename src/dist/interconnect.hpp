@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/check.hpp"
 #include "ft/ft.hpp"
 #include "gpusim/machine_model.hpp"
 
@@ -61,6 +62,78 @@ struct InterconnectModel {
     m.link.bandwidth_gbs = 40.0;
     m.link.latency_us = 2.0;
     return m;
+  }
+
+  // Cluster network of the paper's era (QDR InfiniBand class): slower than
+  // any intra-node link and an order of magnitude more latency. This is the
+  // default INTER-node class of HierarchicalInterconnect — crossing it is
+  // what the topology-aware tree minimizes.
+  static InterconnectModel ib_network() {
+    InterconnectModel m;
+    m.name = "ib_network";
+    m.link.bandwidth_gbs = 3.2;
+    m.link.latency_us = 25.0;
+    return m;
+  }
+};
+
+// Two-level interconnect: N devices packed node-major into nodes of
+// `devices_per_node` members (device d lives on node d / devices_per_node;
+// a trailing node may be short). Pairs on the same node use the NVLink-class
+// `intra` link, pairs on different nodes the network-class `inter` link —
+// link_between() is the per-pair latency/bandwidth lookup DeviceGrid
+// charges transfers through. The cost FORM is unchanged from the flat model
+// (latency + bytes/bandwidth per link); only the link chosen per pair
+// differs, so ModelOnly/Functional timeline parity is untouched.
+//
+// fingerprint() composes BOTH link-class digests with the node width, so a
+// serve::PlanCache entry keyed on a grid fingerprint self-invalidates when
+// either link class or the device placement changes — a plan tuned for fat
+// intra-node links must not survive a move to a flatter machine.
+struct HierarchicalInterconnect {
+  int devices_per_node = 1;
+  InterconnectModel intra = InterconnectModel::nvlink();
+  InterconnectModel inter = InterconnectModel::ib_network();
+
+  int node_of(int device) const {
+    CAQR_CHECK(device >= 0 && devices_per_node >= 1);
+    return device / devices_per_node;
+  }
+  bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+
+  const InterconnectModel& link_between(int a, int b) const {
+    return same_node(a, b) ? intra : inter;
+  }
+  double transfer_seconds(int a, int b, double bytes) const {
+    return link_between(a, b).transfer_seconds(bytes);
+  }
+
+  std::uint64_t fingerprint() const {
+    std::uint64_t h = ft::detail::kFnvOffset;
+    const std::uint64_t fa = intra.fingerprint();
+    const std::uint64_t fb = inter.fingerprint();
+    h = ft::detail::fnv1a(&fa, sizeof(fa), h);
+    h = ft::detail::fnv1a(&fb, sizeof(fb), h);
+    const std::int64_t dpn = devices_per_node;
+    h = ft::detail::fnv1a(&dpn, sizeof(dpn), h);
+    return h;
+  }
+
+  // NVLink islands joined by a cluster network — the default multi-node
+  // machine shape (docs/TOPOLOGY.md walks the tuning consequences).
+  static HierarchicalInterconnect nvlink_islands(int devices_per_node) {
+    HierarchicalInterconnect h;
+    h.devices_per_node = devices_per_node;
+    return h;
+  }
+
+  // PCIe-switch islands over the same network: a flatter intra-node tier,
+  // shifts the intra-node tree tradeoff back toward deeper reductions.
+  static HierarchicalInterconnect pcie_islands(int devices_per_node) {
+    HierarchicalInterconnect h;
+    h.devices_per_node = devices_per_node;
+    h.intra = InterconnectModel::pcie_switch();
+    return h;
   }
 };
 

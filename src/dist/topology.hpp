@@ -1,0 +1,328 @@
+#pragma once
+
+// Topology layer over the device grid: node placement and the
+// topology-aware cross-device reduction tree.
+//
+// NodeGrid is a DeviceGrid whose N = nodes * devices_per_node members are
+// placed node-major across K nodes and joined by a HierarchicalInterconnect
+// (NVLink-class intra-node tier, network-class inter-node tier). It adds
+// only placement queries and the tree builder — every transfer, fault and
+// recovery mechanism is the ordinary DeviceGrid machinery, so the whole
+// dist/ and grid-FT stack runs on it unchanged.
+//
+// CrossSpec is the cross-device analogue of tsqr::TreeSpec: per reduction
+// level, the grouping of the surviving SHARD indices (group front = owner).
+// The one structural rule — every level partitions the current survivor
+// list into consecutive runs, in order — is exactly what keeps the PR 5
+// bit-identity proof chain intact for ANY spec: consecutive runs mean the
+// owner's staging matrix stacks member triangles in ascending global-row
+// order with the owner first, which is the same stacked_geqr2 input the
+// merged single-device TreeSpec replays, and the final survivor is always
+// shard 0 (R stays resident where the partition invariant puts it).
+// check_cross_spec enforces the rule; DistCaqrFactorization validates every
+// spec it is handed and dist_tree_spec emits the merged single-device
+// TreeSpec from the same resolved levels, so the two cannot drift.
+//
+// topology_cross_spec builds the communication-avoiding shape for a
+// hierarchical machine: reduce INSIDE each node first (over the fast tier;
+// flat single-group combines by default — NVLink-class links are
+// latency-bound, so shallow wins), then reduce the K node roots with an
+// `inter_arity`-ary tree over the slow tier. With the default binary
+// inter-node tree a panel reduction crosses the network in exactly
+// ceil(log2(K)) waves and the root receives exactly ceil(log2(K))
+// inter-node triangles — the Demmel-Grigori-Hoemmen-Langou tree property
+// the comm-volume receipt tests pin down (tests/test_topology.cpp).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "dist/device_grid.hpp"
+#include "dist/interconnect.hpp"
+
+namespace caqr::dist {
+
+namespace detail {
+
+// Consecutive grouping of survivors by `arity` — the one grouping rule
+// shared by the cross-device reduction and its single-device replay spec,
+// so the two can never drift apart.
+template <typename X>
+std::vector<std::vector<X>> group_consecutive(const std::vector<X>& xs,
+                                              idx arity) {
+  CAQR_CHECK(arity >= 2);
+  std::vector<std::vector<X>> groups;
+  for (std::size_t g = 0; g < xs.size(); g += static_cast<std::size_t>(arity)) {
+    const std::size_t end =
+        std::min(xs.size(), g + static_cast<std::size_t>(arity));
+    groups.emplace_back(xs.begin() + static_cast<std::ptrdiff_t>(g),
+                        xs.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  return groups;
+}
+
+}  // namespace detail
+
+// Explicit cross-device reduction tree over the shards of a block-row
+// partition. levels[l] partitions the survivors entering level l into
+// consecutive runs; each run's FRONT member owns the combine and survives.
+// Empty = "no explicit spec": the driver falls back to uniform consecutive
+// grouping by DistCaqrOptions::cross_arity.
+struct CrossSpec {
+  std::vector<std::vector<std::vector<int>>> levels;
+
+  bool empty() const { return levels.empty(); }
+  int depth() const { return static_cast<int>(levels.size()); }
+
+  // Shard count the spec was built for (level 0 partitions all shards).
+  int shards() const {
+    int n = 0;
+    if (!levels.empty()) {
+      for (const auto& g : levels.front()) n += static_cast<int>(g.size());
+    }
+    return n;
+  }
+
+  // Mixed into plan fingerprints: two plans that differ only in tree shape
+  // must not collide.
+  std::uint64_t fingerprint() const {
+    std::uint64_t h = ft::detail::kFnvOffset;
+    for (const auto& level : levels) {
+      const std::int64_t ng = static_cast<std::int64_t>(level.size());
+      h = ft::detail::fnv1a(&ng, sizeof(ng), h);
+      for (const auto& g : level) {
+        h = ft::detail::fnv1a(g.data(), g.size() * sizeof(int), h);
+      }
+    }
+    return h;
+  }
+};
+
+// Structural validation of a spec against `num_shards` shards: every level
+// partitions the current survivor list into non-empty consecutive runs (in
+// order), and the levels reduce everything to the single survivor shard 0.
+// These are the invariants the bit-identity proof chain needs (DESIGN.md
+// §15); violating specs abort here, before any arithmetic runs.
+inline void check_cross_spec(const CrossSpec& spec, int num_shards) {
+  CAQR_CHECK(num_shards >= 1);
+  std::vector<int> survivors;
+  survivors.reserve(static_cast<std::size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) survivors.push_back(s);
+  for (const auto& level : spec.levels) {
+    std::size_t pos = 0;
+    std::vector<int> next;
+    next.reserve(level.size());
+    for (const auto& g : level) {
+      CAQR_CHECK_MSG(!g.empty(), "cross spec group must be non-empty");
+      for (const int s : g) {
+        CAQR_CHECK_MSG(pos < survivors.size() && s == survivors[pos],
+                       "cross spec level must partition the survivors into "
+                       "consecutive runs, in order");
+        ++pos;
+      }
+      next.push_back(g.front());
+    }
+    CAQR_CHECK_MSG(pos == survivors.size(),
+                   "cross spec level must cover every survivor");
+    survivors = std::move(next);
+  }
+  CAQR_CHECK_MSG(survivors.size() == 1 && survivors.front() == 0,
+                 "cross spec must reduce to shard 0 (R lives in shard 0)");
+}
+
+// The grouping both the distributed driver and its single-device replay
+// consume: the validated explicit spec when one is set, else uniform
+// consecutive grouping by `arity` (the pre-topology behavior, bit-for-bit).
+inline std::vector<std::vector<std::vector<int>>> resolve_cross_levels(
+    int num_shards, const CrossSpec& spec, idx arity) {
+  if (num_shards <= 1) return {};
+  if (!spec.empty()) {
+    CAQR_CHECK_MSG(spec.shards() == num_shards,
+                   "cross spec was built for a different shard count");
+    check_cross_spec(spec, num_shards);
+    return spec.levels;
+  }
+  std::vector<std::vector<std::vector<int>>> levels;
+  std::vector<int> survivors;
+  survivors.reserve(static_cast<std::size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) survivors.push_back(s);
+  while (survivors.size() > 1) {
+    auto groups = detail::group_consecutive(survivors, arity);
+    std::vector<int> next;
+    next.reserve(groups.size());
+    for (const auto& g : groups) next.push_back(g.front());
+    levels.push_back(std::move(groups));
+    survivors = std::move(next);
+  }
+  return levels;
+}
+
+// Topology-aware tree over shards placed node-major: node_of_shard[s] is
+// the node of shard s's executing device and must be nondecreasing. Phase 1
+// reduces inside each node over the fast tier (`intra_arity`-ary
+// consecutive groups; 0 = flat, one single-group combine per node — the
+// latency-bound NVLink-class default). Phase 2 reduces the node roots with
+// an `inter_arity`-ary tree over the slow tier: for the binary default,
+// exactly ceil(log2(K)) inter-node levels. All-singleton levels are
+// dropped, so the spec contains no no-op rounds.
+inline CrossSpec topology_cross_spec(const std::vector<int>& node_of_shard,
+                                     idx intra_arity = 0, idx inter_arity = 2) {
+  const int ns = static_cast<int>(node_of_shard.size());
+  CAQR_CHECK(ns >= 1 && inter_arity >= 2);
+  CAQR_CHECK(intra_arity == 0 || intra_arity >= 2);
+  for (int s = 1; s < ns; ++s) {
+    CAQR_CHECK_MSG(node_of_shard[static_cast<std::size_t>(s)] >=
+                       node_of_shard[static_cast<std::size_t>(s) - 1],
+                   "shards must be placed node-major (nondecreasing nodes)");
+  }
+  CrossSpec spec;
+  if (ns == 1) return spec;
+
+  // Survivors per node, in shard order.
+  std::vector<std::vector<int>> per_node;
+  for (int s = 0; s < ns; ++s) {
+    if (s == 0 || node_of_shard[static_cast<std::size_t>(s)] !=
+                      node_of_shard[static_cast<std::size_t>(s) - 1]) {
+      per_node.emplace_back();
+    }
+    per_node.back().push_back(s);
+  }
+
+  // Phase 1: intra-node levels (aligned across nodes; finished nodes pass
+  // their root through as a singleton).
+  auto intra_done = [&] {
+    for (const auto& node : per_node) {
+      if (node.size() > 1) return false;
+    }
+    return true;
+  };
+  while (!intra_done()) {
+    std::vector<std::vector<int>> level;
+    bool combined = false;
+    for (auto& node : per_node) {
+      const idx a = intra_arity == 0 ? static_cast<idx>(node.size())
+                                     : intra_arity;
+      auto groups = detail::group_consecutive(node, std::max<idx>(a, 2));
+      std::vector<int> next;
+      next.reserve(groups.size());
+      for (auto& g : groups) {
+        if (g.size() > 1) combined = true;
+        next.push_back(g.front());
+        level.push_back(std::move(g));
+      }
+      node = std::move(next);
+    }
+    CAQR_CHECK(combined);  // every round must make progress
+    spec.levels.push_back(std::move(level));
+  }
+
+  // Phase 2: inter-node tree over the node roots.
+  std::vector<int> roots;
+  roots.reserve(per_node.size());
+  for (const auto& node : per_node) roots.push_back(node.front());
+  while (roots.size() > 1) {
+    auto groups = detail::group_consecutive(roots, inter_arity);
+    std::vector<int> next;
+    next.reserve(groups.size());
+    for (const auto& g : groups) next.push_back(g.front());
+    spec.levels.push_back(std::move(groups));
+    roots = std::move(next);
+  }
+  check_cross_spec(spec, ns);
+  return spec;
+}
+
+// Number of levels in which at least one combine crosses a node boundary —
+// the count of slow-link waves per panel reduction. The topology-aware spec
+// guarantees inter_levels == ceil(log_{inter_arity}(K)).
+inline int inter_levels(const CrossSpec& spec,
+                        const std::vector<int>& node_of_shard) {
+  int count = 0;
+  for (const auto& level : spec.levels) {
+    bool inter = false;
+    for (const auto& g : level) {
+      for (std::size_t i = 1; i < g.size(); ++i) {
+        if (node_of_shard[static_cast<std::size_t>(g[i])] !=
+            node_of_shard[static_cast<std::size_t>(g.front())]) {
+          inter = true;
+        }
+      }
+    }
+    count += inter;
+  }
+  return count;
+}
+
+// A DeviceGrid whose devices are placed node-major across `nodes` nodes of
+// `devices_per_node` members each, joined by a two-level interconnect. All
+// grid machinery (transfers, faults, recovery, fingerprints) is inherited;
+// this layer adds the placement queries and the topology-aware tree.
+class NodeGrid : public DeviceGrid {
+ public:
+  NodeGrid(int nodes, int devices_per_node,
+           gpusim::GpuMachineModel model = gpusim::GpuMachineModel::c2050(),
+           HierarchicalInterconnect hier = HierarchicalInterconnect{},
+           gpusim::ExecMode mode = gpusim::ExecMode::Functional)
+      : DeviceGrid(nodes * devices_per_node, model,
+                   with_width(std::move(hier), devices_per_node), mode),
+        nodes_(nodes),
+        devices_per_node_(devices_per_node) {
+    CAQR_CHECK(nodes >= 1 && devices_per_node >= 1);
+  }
+
+  int nodes() const { return nodes_; }
+  int devices_per_node() const { return devices_per_node_; }
+  int node_of(int device) const { return hierarchy()->node_of(device); }
+
+  std::vector<int> devices_in_node(int node) const {
+    CAQR_CHECK(node >= 0 && node < nodes_);
+    std::vector<int> out;
+    out.reserve(static_cast<std::size_t>(devices_per_node_));
+    for (int d = node * devices_per_node_; d < (node + 1) * devices_per_node_;
+         ++d) {
+      out.push_back(d);
+    }
+    return out;
+  }
+
+  // Node of each shard under the identity shard -> device map.
+  std::vector<int> node_of_shards() const {
+    std::vector<int> out;
+    out.reserve(static_cast<std::size_t>(size()));
+    for (int d = 0; d < size(); ++d) out.push_back(node_of(d));
+    return out;
+  }
+
+  // The topology-aware reduction tree for this grid's shape (identity
+  // shard map): intra-node first, then ceil(log_{inter_arity}(K)) slow-link
+  // waves.
+  CrossSpec cross_spec(idx intra_arity = 0, idx inter_arity = 2) const {
+    return topology_cross_spec(node_of_shards(), intra_arity, inter_arity);
+  }
+
+ private:
+  static HierarchicalInterconnect with_width(HierarchicalInterconnect h,
+                                             int devices_per_node) {
+    h.devices_per_node = devices_per_node;
+    return h;
+  }
+
+  int nodes_ = 1;
+  int devices_per_node_ = 1;
+};
+
+// Cross spec for an explicit shard -> device map on a hierarchical grid
+// (the serve planner's live-device map, or a recovery driver's survivor
+// subset): shard s inherits the node of its executing device. The map must
+// be node-major (nondecreasing node ids), which ascending device ids
+// guarantee under node-major placement.
+inline CrossSpec topology_cross_spec_for_devices(
+    const HierarchicalInterconnect& hier, const std::vector<int>& devmap,
+    idx intra_arity = 0, idx inter_arity = 2) {
+  std::vector<int> node_of_shard;
+  node_of_shard.reserve(devmap.size());
+  for (const int d : devmap) node_of_shard.push_back(hier.node_of(d));
+  return topology_cross_spec(node_of_shard, intra_arity, inter_arity);
+}
+
+}  // namespace caqr::dist

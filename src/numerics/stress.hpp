@@ -223,9 +223,19 @@ inline StressSummary run_stress(const StressSpec& spec) {
 // judges the result with the SAME Verifier bounds as the single-device
 // paths — the distributed reduction earns no numerical slack. `devices` = 1
 // exercises the grid plumbing with an empty cross tree.
-inline StressSummary run_stress_dist(const StressSpec& spec, int devices) {
+//
+// `nodes` > 1 runs the sweep on a HIERARCHICAL NodeGrid instead (devices
+// split node-major across `nodes` nodes over a two-level interconnect) with
+// the topology-aware cross tree — intra-node combines first, then
+// ceil(log2(nodes)) slow-link waves. The tree shape changes the combine
+// ORDER, so this pins down that topology-aware reductions hold the same
+// backward-error bounds as the flat tree across the whole kappa x scale
+// grid.
+inline StressSummary run_stress_dist(const StressSpec& spec, int devices,
+                                     int nodes = 1) {
   const idx m = spec.rows, n = spec.cols;
   CAQR_CHECK(devices >= 1 && m >= static_cast<idx>(devices) * n && n >= 1);
+  CAQR_CHECK(nodes >= 1 && devices % nodes == 0);
   // Per-shard block rows: deep-ish local trees, ~8 level-0 blocks per
   // device, never below the panel width.
   const idx shard_rows = m / devices;
@@ -247,15 +257,25 @@ inline StressSummary run_stress_dist(const StressSpec& spec, int devices) {
     for (const ScaleCase& sc : scale_cases) {
       const Matrix<double> a =
           stress_matrix<double>(m, n, cond, sc.scale, spec.seed, sc.mixed);
-      detail::stress_cell(out, "dist_caqr", cond, sc.scale, sc.mixed, [&] {
-        dist::DeviceGrid grid(devices);
+      const char* cell_name = nodes > 1 ? "dist_caqr_hier" : "dist_caqr";
+      detail::stress_cell(out, cell_name, cond, sc.scale, sc.mixed, [&] {
         dist::DistCaqrOptions dopt;
         dopt.tsqr.block_rows = std::max(dopt.panel_width, block_rows);
-        auto f = dist::DistCaqrFactorization<double>::factor(
-            grid, dist::DistMatrix<double>::scatter(a.view(), devices), dopt);
-        const Matrix<double> q = f.form_q(grid, n).gather();
-        const Matrix<double> r = f.r();
-        return verify_qr(a.view(), q.view(), r.view(), spec.verify);
+        auto run = [&](dist::DeviceGrid& grid) {
+          auto f = dist::DistCaqrFactorization<double>::factor(
+              grid, dist::DistMatrix<double>::scatter(a.view(), devices),
+              dopt);
+          const Matrix<double> q = f.form_q(grid, n).gather();
+          const Matrix<double> r = f.r();
+          return verify_qr(a.view(), q.view(), r.view(), spec.verify);
+        };
+        if (nodes > 1) {
+          dist::NodeGrid grid(nodes, devices / nodes);
+          dopt.cross_spec = grid.cross_spec();
+          return run(grid);
+        }
+        dist::DeviceGrid grid(devices);
+        return run(grid);
       });
     }
   }

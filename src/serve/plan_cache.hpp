@@ -203,12 +203,17 @@ QrPlan make_plan(const gpusim::GpuMachineModel& model, idx m, idx n,
 
 // Multi-device plan: tunes the per-device block shape on the grid's device
 // model (§IV.F sweep — shards see the same kernels as a lone device), then
-// predicts the end-to-end distributed time with a ModelOnly grid run that
-// includes every modeled link transfer. Pure function of (shape, dtype,
-// grid fingerprint, LIVE grid size): equal grids yield equal plans, and a
-// grid that lost devices yields a plan degraded to its survivors — the
-// fingerprint mixes the health generation, so PlanCache entries planned
-// against the full grid are invalidated the moment a device dies.
+// picks the cross-device TREE SHAPE with a topology-aware cost probe: each
+// candidate (uniform arities, plus the hierarchical intra-node-first trees
+// when the grid has a two-level interconnect) is ranked by a ModelOnly run
+// on a probe grid mirroring the real topology, so slow-link crossings are
+// charged exactly where the real run would cross them. Pure function of
+// (shape, dtype, grid fingerprint, LIVE grid size): equal grids yield equal
+// plans, and a grid that lost devices yields a plan degraded to its
+// survivors — the fingerprint mixes the health generation AND the
+// hierarchy's composed link digest, so PlanCache entries planned against
+// the full grid (or a different interconnect tier) are invalidated the
+// moment the machine changes under them.
 template <typename T>
 QrPlan make_dist_plan(const dist::DeviceGrid& grid, idx m, idx n,
                       const dist::DistCaqrOptions& base = {}) {
@@ -228,9 +233,43 @@ QrPlan make_dist_plan(const dist::DeviceGrid& grid, idx m, idx n,
   p.dist_caqr.devices = live;
   p.caqr.panel_width = p.tuned.panel_width;
   p.caqr.tsqr.block_rows = p.tuned.block_rows;
-  p.predicted_caqr_seconds = dist::predict_dist_caqr_seconds<T>(
-      grid.device(live.front()).model(), grid.interconnect(), nd, m, n,
-      p.dist_caqr);
+
+  // Candidate tree shapes. Uniform consecutive trees always compete; on a
+  // hierarchical grid the topology-aware specs (flat and binary intra-node
+  // reductions, each followed by a binary inter-node tree over the node
+  // roots) join the field. Fixed candidate order + strict improvement keep
+  // the pick deterministic, so equal fingerprints still yield equal plans.
+  struct Candidate {
+    idx arity;
+    dist::CrossSpec spec;
+  };
+  std::vector<Candidate> cands;
+  cands.push_back({2, {}});
+  if (nd > 3) cands.push_back({4, {}});
+  if (nd > 2) cands.push_back({static_cast<idx>(nd), {}});  // single combine
+  const dist::HierarchicalInterconnect* hier = grid.hierarchy();
+  if (hier != nullptr && nd > 1 &&
+      hier->node_of(live.front()) != hier->node_of(live.back())) {
+    cands.push_back(
+        {2, dist::topology_cross_spec_for_devices(*hier, live, 0, 2)});
+    if (hier->devices_per_node > 2) {
+      cands.push_back(
+          {2, dist::topology_cross_spec_for_devices(*hier, live, 2, 2)});
+    }
+  }
+  double best = -1;
+  for (const Candidate& c : cands) {
+    dist::DistCaqrOptions opt = p.dist_caqr;
+    opt.cross_arity = c.arity;
+    opt.cross_spec = c.spec;
+    const double t = dist::predict_dist_caqr_seconds<T>(grid, m, n, opt);
+    if (best < 0 || t < best) {
+      best = t;
+      p.dist_caqr.cross_arity = c.arity;
+      p.dist_caqr.cross_spec = c.spec;
+    }
+  }
+  p.predicted_caqr_seconds = best;
   p.predicted_hybrid_seconds = 0;  // no distributed hybrid path
   p.chosen = QrAlgorithm::Caqr;
   return p;

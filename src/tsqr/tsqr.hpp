@@ -362,6 +362,16 @@ PanelFactor<T> tsqr_factor_attempt(gpusim::Device& dev, gpusim::StreamId stream,
 
 }  // namespace detail
 
+// Public seam of the structural spec validation (detail::check_tree_spec):
+// aborts via CAQR_CHECK unless `spec` is a well-formed reduction tree for a
+// (rows, width) panel. Custom tree_spec providers — the dist/ merged-replay
+// specs and the topology-aware hierarchical trees in particular — are
+// checked through this on every tsqr_factor call; tests and builders call
+// it directly to validate emitted specs without running a factorization.
+inline void validate_tree_spec(const TreeSpec& spec, idx rows, idx width) {
+  detail::check_tree_spec(spec, rows, width);
+}
+
 // In-place TSQR factorization of `panel` on `dev`, with every kernel
 // launched on `stream`. On return the panel holds R (top width x width,
 // from the tree root at row offset 0) and the distributed reflectors of
