@@ -1,0 +1,355 @@
+// E22 — Streaming service: sliding-window update cost, multi-tenant
+// sustain, and migration bit-identity.
+//
+// Three studies over the src/stream/ subsystem:
+//
+//   1. Amortized update vs full refactor, ModelOnly on the modeled A100, at
+//      the ISSUE shape: a 10240 x 64 window (64 frames x 160 rows). The
+//      steady-state per-frame cost of SlidingWindowQr (evict + append +
+//      read R: one panel factor + amortized O(1) combines) against
+//      rebuilding the whole window from its 64 retained blocks every frame.
+//      GATE: >= 5x.
+//   2. Concurrent-stream sustain: 64 streams (quick: 16) through
+//      StreamServer / serve::SolverPool on 8 modeled A100 workers. Every
+//      frame must complete (no expiry/shed), and the simulated device time
+//      must be FEASIBLE at each stream's frame rate: per 1/fps round, the
+//      per-device share of the round's simulated seconds and the largest
+//      single frame must both fit in the frame period. Mixed fair-share
+//      weights (last quarter of the tenants at 0.5) exercise the DRR
+//      starvation counters; per-stream latency percentiles come from the
+//      prof::histogram registry. GATE: sustained at the full stream count.
+//   3. Migration bit-identity (Functional): run a stream, checkpoint at
+//      half, resume, finish; the window R and the final frame's L/S must be
+//      bitwise equal to the uninterrupted run. GATE: bit_identical.
+//
+// Writes BENCH_stream_serve.json with an "acceptance" block; exit status is
+// nonzero when any gate fails — CI gates on it.
+//
+// Flags: --quick (16 streams, fewer rounds)  --seed
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/profile.hpp"
+#include "gpusim/device.hpp"
+#include "stream/online_rpca.hpp"
+#include "stream/sliding_window_qr.hpp"
+#include "stream/stream_serve.hpp"
+
+namespace {
+
+using namespace caqr;
+
+std::string json_num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6e", v);
+  return buf;
+}
+
+// ------------------------------------------------- study 1: update cost
+
+struct UpdateResult {
+  idx window_rows = 0, cols = 0, frames = 0;
+  double amortized_seconds = 0;  // steady-state evict+append+R per frame
+  double refactor_seconds = 0;   // from-scratch window rebuild per frame
+  double speedup = 0;
+  long long factors = 0, combines = 0, flips = 0;
+};
+
+UpdateResult run_update_study() {
+  const idx cols = 64, frame_rows = 160, frames = 64;
+  const idx steady = 64;  // measured steady-state frames
+  UpdateResult res;
+  res.cols = cols;
+  res.frames = frames;
+  res.window_rows = frame_rows * frames;
+
+  gpusim::Device dev(gpusim::GpuMachineModel::a100(),
+                     gpusim::ExecMode::ModelOnly);
+  const auto frame = Matrix<double>::shape_only(frame_rows, cols);
+
+  stream::SlidingWindowQr<double> win(cols);
+  for (idx f = 0; f < frames; ++f) win.append(dev, frame.view());
+  (void)win.r(dev);
+
+  const double t0 = dev.elapsed_seconds();
+  for (idx f = 0; f < steady; ++f) {
+    win.evict(dev);
+    win.append(dev, frame.view());
+    (void)win.r(dev);
+  }
+  res.amortized_seconds = (dev.elapsed_seconds() - t0) / steady;
+  res.factors = win.factors();
+  res.combines = win.combines();
+  res.flips = win.flips();
+
+  // Baseline: every frame re-factors the whole window from its retained
+  // blocks (what a service without updating must do).
+  const double t1 = dev.elapsed_seconds();
+  {
+    stream::SlidingWindowQr<double> scratch(cols);
+    for (idx f = 0; f < frames; ++f) scratch.append(dev, frame.view());
+    (void)scratch.r(dev);
+  }
+  res.refactor_seconds = dev.elapsed_seconds() - t1;
+  res.speedup =
+      res.amortized_seconds > 0 ? res.refactor_seconds / res.amortized_seconds
+                                : 0;
+  return res;
+}
+
+// --------------------------------------------- study 2: concurrent sustain
+
+struct StreamRow {
+  int id = 0;
+  double weight = 1.0;
+  long long frames = 0;
+  double p50_ns = 0, p95_ns = 0, p99_ns = 0;
+  double sim_seconds = 0;
+  long long starved = 0;
+};
+
+struct ServeResult {
+  int streams = 0, workers = 0, rounds = 0;
+  double fps = 25.0;
+  long long done = 0, expired = 0, shed = 0, rejected = 0;
+  double max_frame_sim_seconds = 0;      // worst single frame, any round
+  double worst_device_round_seconds = 0; // busiest per-device share, any round
+  long long starved_rounds = 0;
+  bool sustained = false;
+  std::vector<StreamRow> per_stream;
+};
+
+ServeResult run_serve_study(int streams, int rounds, std::uint64_t seed) {
+  ServeResult res;
+  res.streams = streams;
+  res.workers = 8;
+  res.rounds = rounds;
+
+  stream::StreamServeOptions opt;
+  opt.pool.workers = res.workers;
+  opt.pool.model = gpusim::GpuMachineModel::a100();
+  opt.pool.mode = gpusim::ExecMode::ModelOnly;
+  opt.pool.queue_capacity = static_cast<std::size_t>(streams) * 2;
+  for (int s = 0; s < streams; ++s) {
+    stream::StreamConfig cfg;
+    cfg.id = s;
+    cfg.seed = seed + static_cast<std::uint64_t>(s);
+    cfg.rpca.cols = 64;
+    cfg.rpca.frame_rows = 160;
+    cfg.rpca.window_frames = 16;
+    cfg.fps = res.fps;
+    // Last quarter at half weight: exercises (and reports) DRR starvation.
+    cfg.weight = s >= streams - streams / 4 ? 0.5 : 1.0;
+    opt.streams.push_back(cfg);
+  }
+  stream::StreamServer<double> server(std::move(opt));
+
+  std::vector<double> prev_sim(static_cast<std::size_t>(streams), 0.0);
+  for (int r = 0; r < rounds; ++r) {
+    const auto rr = server.run_round();
+    res.done += rr.done;
+    res.expired += rr.expired;
+    res.shed += rr.shed;
+    res.rejected += rr.rejected;
+    res.max_frame_sim_seconds =
+        std::max(res.max_frame_sim_seconds, rr.max_frame_sim_seconds);
+    double round_sim = 0;
+    for (int s = 0; s < streams; ++s) {
+      const double now = server.stream_sim_seconds(static_cast<std::size_t>(s));
+      round_sim += now - prev_sim[static_cast<std::size_t>(s)];
+      prev_sim[static_cast<std::size_t>(s)] = now;
+    }
+    res.worst_device_round_seconds = std::max(
+        res.worst_device_round_seconds, round_sim / res.workers);
+  }
+  server.pool().drain();
+  const auto st = server.pool().stats();
+  res.starved_rounds = st.starved_rounds;
+
+  // Feasibility on the modeled A100: each 1/fps frame period must fit the
+  // per-device share of a round AND the worst single frame.
+  const double period = 1.0 / res.fps;
+  res.sustained = res.done ==
+                      static_cast<long long>(streams) * rounds &&
+                  res.expired == 0 && res.shed == 0 && res.rejected == 0 &&
+                  res.worst_device_round_seconds <= period &&
+                  res.max_frame_sim_seconds <= period;
+
+  for (int s = 0; s < streams; ++s) {
+    StreamRow row;
+    row.id = s;
+    row.weight = server.stream(static_cast<std::size_t>(s)).config().weight;
+    row.frames = server.stream(static_cast<std::size_t>(s)).frames_seen();
+    row.sim_seconds = server.stream_sim_seconds(static_cast<std::size_t>(s));
+    const auto& h = prof::histogram(
+        stream::StreamServer<double>::latency_histogram_name(s));
+    row.p50_ns = h.quantile(0.50);
+    row.p95_ns = h.quantile(0.95);
+    row.p99_ns = h.quantile(0.99);
+    const auto it = st.tenant_starved.find(s);
+    row.starved = it == st.tenant_starved.end() ? 0 : it->second;
+    res.per_stream.push_back(row);
+  }
+  return res;
+}
+
+// ------------------------------------------- study 3: migration identity
+
+bool run_migration_study(std::uint64_t seed) {
+  stream::StreamConfig cfg;
+  cfg.id = 1;
+  cfg.seed = seed;
+  cfg.rpca.cols = 16;
+  cfg.rpca.frame_rows = 32;
+  cfg.rpca.window_frames = 6;
+  cfg.background_rank = 2;
+  const int frames = 14, half = 7;
+  const std::string path = "bench_stream_serve_migrate.ckpt";
+
+  stream::CameraStream<double> golden(cfg);
+  gpusim::Device gdev;
+  stream::FrameOutput<double> golden_last;
+  for (int i = 0; i < frames; ++i) golden_last = golden.step(gdev);
+
+  stream::CameraStream<double> first(cfg);
+  gpusim::Device devA;
+  for (int i = 0; i < half; ++i) first.step(devA);
+  if (!first.checkpoint_to(path)) return false;
+  auto resumed = stream::CameraStream<double>::resume_from(cfg, path);
+  std::remove(path.c_str());
+  if (!resumed) return false;
+  gpusim::Device devB;
+  stream::FrameOutput<double> migrated_last;
+  for (int i = half; i < frames; ++i) migrated_last = resumed->step(devB);
+
+  const auto& r0 = golden.rpca().window().r(gdev);
+  const auto& r1 = resumed->rpca().window().r(devB);
+  if (r0.rows() != r1.rows() || r0.cols() != r1.cols()) return false;
+  for (idx j = 0; j < r0.cols(); ++j) {
+    if (std::memcmp(r0.view().col(j), r1.view().col(j),
+                    sizeof(double) * static_cast<std::size_t>(r0.rows()))) {
+      return false;
+    }
+  }
+  for (idx j = 0; j < golden_last.low_rank.cols(); ++j) {
+    if (std::memcmp(golden_last.low_rank.view().col(j),
+                    migrated_last.low_rank.view().col(j),
+                    sizeof(double) *
+                        static_cast<std::size_t>(golden_last.low_rank.rows())))
+      return false;
+    if (std::memcmp(golden_last.sparse.view().col(j),
+                    migrated_last.sparse.view().col(j),
+                    sizeof(double) *
+                        static_cast<std::size_t>(golden_last.sparse.rows())))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const bool quick = args.get_bool("quick", false);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 20260809));
+  const int streams = quick ? 16 : 64;
+  const int rounds = quick ? 10 : 20;
+
+  prof::reset();
+
+  const UpdateResult up = run_update_study();
+  std::printf(
+      "Window update, %lld x %lld (A100 ModelOnly):\n"
+      "  amortized %.3e s/frame  refactor %.3e s/frame  speedup %.1fx "
+      "(gate >= 5x)\n",
+      static_cast<long long>(up.window_rows),
+      static_cast<long long>(up.cols), up.amortized_seconds,
+      up.refactor_seconds, up.speedup);
+
+  const ServeResult sv = run_serve_study(streams, rounds, seed);
+  std::printf(
+      "Serve, %d streams x %d rounds on %d A100 workers @ %.0f fps:\n"
+      "  done=%lld expired=%lld shed=%lld  worst frame %.3e s, worst "
+      "device-round %.3e s (period %.3e s)  starved_rounds=%lld  %s\n",
+      sv.streams, sv.rounds, sv.workers, sv.fps, sv.done, sv.expired,
+      sv.shed, sv.max_frame_sim_seconds, sv.worst_device_round_seconds,
+      1.0 / sv.fps, sv.starved_rounds,
+      sv.sustained ? "sustained" : "NOT SUSTAINED");
+
+  const bool migration_ok = run_migration_study(seed ^ 0x5EEDULL);
+  std::printf("Migration (functional, checkpoint at half): %s\n",
+              migration_ok ? "bit-identical" : "MISMATCH");
+
+  const bool speedup_ok = up.speedup >= 5.0;
+  const bool pass = speedup_ok && sv.sustained && migration_ok;
+
+  std::string json = "{\"mode\":\"";
+  json += quick ? "quick" : "full";
+  json += "\",\"model\":\"a100\",\"update\":{";
+  json += "\"window_rows\":" + std::to_string(up.window_rows) +
+          ",\"cols\":" + std::to_string(up.cols) +
+          ",\"frames\":" + std::to_string(up.frames) +
+          ",\"amortized_seconds\":" + json_num(up.amortized_seconds) +
+          ",\"refactor_seconds\":" + json_num(up.refactor_seconds) +
+          ",\"speedup\":" + json_num(up.speedup) +
+          ",\"factors\":" + std::to_string(up.factors) +
+          ",\"combines\":" + std::to_string(up.combines) +
+          ",\"flips\":" + std::to_string(up.flips) + "}";
+  json += ",\"serve\":{\"streams\":" + std::to_string(sv.streams) +
+          ",\"workers\":" + std::to_string(sv.workers) +
+          ",\"rounds\":" + std::to_string(sv.rounds) +
+          ",\"fps\":" + json_num(sv.fps) +
+          ",\"done\":" + std::to_string(sv.done) +
+          ",\"expired\":" + std::to_string(sv.expired) +
+          ",\"shed\":" + std::to_string(sv.shed) +
+          ",\"rejected\":" + std::to_string(sv.rejected) +
+          ",\"max_frame_sim_seconds\":" + json_num(sv.max_frame_sim_seconds) +
+          ",\"worst_device_round_seconds\":" +
+          json_num(sv.worst_device_round_seconds) +
+          ",\"starved_rounds\":" + std::to_string(sv.starved_rounds) +
+          ",\"sustained\":" + (sv.sustained ? "true" : "false") +
+          ",\"per_stream\":[";
+  for (std::size_t i = 0; i < sv.per_stream.size(); ++i) {
+    const StreamRow& r = sv.per_stream[i];
+    json += i ? "," : "";
+    json += "{\"id\":" + std::to_string(r.id) +
+            ",\"weight\":" + json_num(r.weight) +
+            ",\"frames\":" + std::to_string(r.frames) +
+            ",\"p50_ns\":" + json_num(r.p50_ns) +
+            ",\"p95_ns\":" + json_num(r.p95_ns) +
+            ",\"p99_ns\":" + json_num(r.p99_ns) +
+            ",\"sim_seconds\":" + json_num(r.sim_seconds) +
+            ",\"starved\":" + std::to_string(r.starved) + "}";
+  }
+  json += "]}";
+  json += ",\"migration\":{\"bit_identical\":";
+  json += migration_ok ? "true" : "false";
+  json += "}";
+  json += ",\"acceptance\":{\"update_speedup_min\":5.0";
+  json += ",\"update_speedup\":" + json_num(up.speedup) +
+          ",\"update_speedup_ok\":" + (speedup_ok ? "true" : "false") +
+          ",\"streams_required\":" + std::to_string(streams) +
+          ",\"streams_sustained\":" + (sv.sustained ? "true" : "false") +
+          ",\"migration_bit_identical\":" + (migration_ok ? "true" : "false") +
+          ",\"pass\":" + (pass ? "true" : "false") + "}}";
+
+  const char* json_path = "BENCH_stream_serve.json";
+  if (std::FILE* f = std::fopen(json_path, "w")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("Wrote %s\n", json_path);
+  }
+
+  std::printf("update %.1fx %s, %d streams %s, migration %s\n%s\n",
+              up.speedup, speedup_ok ? "pass" : "FAIL", streams,
+              sv.sustained ? "sustained" : "FAIL",
+              migration_ok ? "pass" : "FAIL",
+              pass ? "STREAM SERVE PASS" : "STREAM SERVE FAIL");
+  return pass ? 0 : 1;
+}

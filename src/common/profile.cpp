@@ -42,6 +42,17 @@ std::atomic<long long> g_alloc_count{0};
 std::atomic<long long> g_alloc_bytes{0};
 std::atomic<long long> g_free_count{0};
 
+struct HistNode {
+  Histogram hist;
+  HistNode* next;
+  explicit HistNode(std::string name) : hist(std::move(name)), next(nullptr) {}
+};
+
+HistNode*& hist_registry_head() {
+  static HistNode* head = nullptr;
+  return head;
+}
+
 }  // namespace
 
 Counter& counter(const char* name) {
@@ -80,10 +91,99 @@ void reset() {
       n->counter.count.store(0, std::memory_order_relaxed);
       n->counter.value.store(0, std::memory_order_relaxed);
     }
+    for (HistNode* n = hist_registry_head(); n != nullptr; n = n->next) {
+      n->hist.reset();
+    }
   }
   g_alloc_count.store(0, std::memory_order_relaxed);
   g_alloc_bytes.store(0, std::memory_order_relaxed);
   g_free_count.store(0, std::memory_order_relaxed);
+}
+
+long long Histogram::count() const {
+  long long c = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    c += buckets_[i].load(std::memory_order_relaxed);
+  }
+  return c;
+}
+
+double Histogram::mean_ns() const {
+  const long long c = count();
+  return c > 0 ? static_cast<double>(
+                     total_ns_.load(std::memory_order_relaxed)) /
+                     static_cast<double>(c)
+               : 0.0;
+}
+
+double Histogram::quantile(double q) const {
+  long long counts[kBuckets];
+  long long total = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the requested quantile (1-based), then linear interpolation
+  // across the width of the bucket it lands in.
+  const double rank = q * static_cast<double>(total - 1) + 1.0;
+  long long seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    if (static_cast<double>(seen + counts[i]) >= rank) {
+      const double lo = i == 0 ? 0.0 : static_cast<double>(1ULL << (i - 1));
+      const double hi = static_cast<double>(
+          i >= 63 ? 2.0 * lo : static_cast<double>(1ULL << i));
+      const double frac =
+          (rank - static_cast<double>(seen)) / static_cast<double>(counts[i]);
+      return lo + (hi - lo) * (frac < 0 ? 0 : (frac > 1 ? 1 : frac));
+    }
+    seen += counts[i];
+  }
+  return static_cast<double>(1ULL << (kBuckets - 2));
+}
+
+void Histogram::reset() {
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  total_ns_.store(0, std::memory_order_relaxed);
+}
+
+Histogram& histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  for (HistNode* n = hist_registry_head(); n != nullptr; n = n->next) {
+    if (n->hist.name() == name) return n->hist;
+  }
+  // Leaked by design, like counters: histograms live for the process.
+  HistNode* n = new HistNode(name);
+  n->next = hist_registry_head();
+  hist_registry_head() = n;
+  return n->hist;
+}
+
+std::vector<HistogramSample> histogram_snapshot() {
+  std::vector<HistogramSample> out;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    for (HistNode* n = hist_registry_head(); n != nullptr; n = n->next) {
+      HistogramSample s;
+      s.name = n->hist.name();
+      s.count = n->hist.count();
+      s.mean_ns = n->hist.mean_ns();
+      s.p50_ns = n->hist.quantile(0.50);
+      s.p95_ns = n->hist.quantile(0.95);
+      s.p99_ns = n->hist.quantile(0.99);
+      out.push_back(std::move(s));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HistogramSample& a, const HistogramSample& b) {
+              return a.name < b.name;
+            });
+  return out;
 }
 
 long long allocation_count() {
@@ -104,6 +204,17 @@ std::string to_json() {
     std::snprintf(buf, sizeof(buf),
                   "%s\"%s\":{\"count\":%lld,\"value\":%lld}", i ? "," : "",
                   rows[i].name.c_str(), rows[i].count, rows[i].value);
+    json += buf;
+  }
+  json += "},\"histograms\":{";
+  const auto hists = histogram_snapshot();
+  for (std::size_t i = 0; i < hists.size(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s\"%s\":{\"count\":%lld,\"mean_ns\":%.1f,\"p50_ns\":%.1f,"
+                  "\"p95_ns\":%.1f,\"p99_ns\":%.1f}",
+                  i ? "," : "", hists[i].name.c_str(), hists[i].count,
+                  hists[i].mean_ns, hists[i].p50_ns, hists[i].p95_ns,
+                  hists[i].p99_ns);
     json += buf;
   }
   std::snprintf(buf, sizeof(buf),

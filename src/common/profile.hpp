@@ -66,9 +66,61 @@ struct Sample {
 // Every registered counter, sorted by name.
 std::vector<Sample> snapshot();
 
-// Zeroes every registered counter AND the allocation counters — the bench
-// hook for measuring a steady-state window.
+// Zeroes every registered counter, every histogram, AND the allocation
+// counters — the bench hook for measuring a steady-state window.
 void reset();
+
+// Log2-bucketed latency histogram: record() is two relaxed fetch_adds (no
+// lock, no allocation), quantile() interpolates within the bucket that the
+// requested rank lands in — accurate to the bucket's factor-of-two width,
+// plenty for p50/p95/p99 latency reporting. Unlike Counter the registry key
+// is a std::string (per-stream names like "stream.7.latency" are built at
+// runtime); the serving layer caches the returned reference per stream so
+// the name lookup stays off the hot path.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;  // bucket i covers [2^(i-1), 2^i) ns
+
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+
+  void record(double ns) {
+    const auto v = ns <= 0 ? 0ULL : static_cast<unsigned long long>(ns);
+    int b = 0;
+    while ((1ULL << b) <= v && b < kBuckets - 1) ++b;
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    total_ns_.fetch_add(static_cast<long long>(ns > 0 ? ns : 0),
+                        std::memory_order_relaxed);
+  }
+
+  const std::string& name() const { return name_; }
+  long long count() const;
+  double mean_ns() const;
+  // q in [0, 1]; returns ~the q-th latency in ns (0 when empty).
+  double quantile(double q) const;
+  void reset();
+
+ private:
+  std::string name_;
+  std::atomic<long long> buckets_[kBuckets] = {};
+  std::atomic<long long> total_ns_{0};
+};
+
+// The process-wide histogram registered under `name`, created on first use;
+// the reference is valid for the process lifetime.
+Histogram& histogram(const std::string& name);
+
+// One sampled histogram row (quantiles in nanoseconds).
+struct HistogramSample {
+  std::string name;
+  long long count = 0;
+  double mean_ns = 0.0;
+  double p50_ns = 0.0;
+  double p95_ns = 0.0;
+  double p99_ns = 0.0;
+};
+
+// Every registered histogram, sorted by name.
+std::vector<HistogramSample> histogram_snapshot();
 
 // Process-wide allocation instrumentation (global operator new/delete).
 long long allocation_count();

@@ -167,6 +167,18 @@ class CheckpointReader {
     return sections_.count(name) != 0;
   }
 
+  // All section names in sorted order. Owners of prefix-namespaced
+  // sub-checkpoints (stream window state lives under "<prefix>...") use this
+  // to enumerate and diagnose what a container actually holds — e.g. when a
+  // migration target rejects a checkpoint, the mismatched section is
+  // reportable instead of an opaque "load failed".
+  std::vector<std::string> section_names() const {
+    std::vector<std::string> out;
+    out.reserve(sections_.size());
+    for (const auto& kv : sections_) out.push_back(kv.first);
+    return out;
+  }
+
   template <typename T>
   bool scalar(const std::string& name, T& out) const {
     static_assert(std::is_trivially_copyable_v<T>);

@@ -71,6 +71,15 @@ struct RpcaResult {
   int resumed_at_iteration = 0;
 };
 
+// The standard Candes-Li-Ma-Wright l1 weight for an m x n observation
+// matrix: 1/sqrt(max dimension). Shared by the batch solver below and the
+// streaming per-frame solver (stream/online_rpca.hpp), which thresholds
+// frame_rows x cols frames rather than the full window.
+inline double default_rpca_lambda(idx max_dim) {
+  CAQR_CHECK(max_dim >= 1);
+  return 1.0 / std::sqrt(static_cast<double>(max_dim));
+}
+
 // Elementwise soft-threshold (shrinkage) operator.
 template <typename T>
 void shrink(MatrixView<T> a, T tau) {
@@ -94,8 +103,7 @@ RpcaResult<view_scalar_t<VM>> robust_pca(gpusim::Device& dev, const VM& m_in,
   const idx rows = m.rows(), cols = m.cols();
   CAQR_CHECK(rows >= cols && cols >= 1);
 
-  const double lambda =
-      opt.lambda > 0 ? opt.lambda : 1.0 / std::sqrt(static_cast<double>(rows));
+  const double lambda = opt.lambda > 0 ? opt.lambda : default_rpca_lambda(rows);
   const double norm_m = frobenius_norm(m);
 
   RpcaResult<T> out{Matrix<T>::zeros(rows, cols), Matrix<T>::zeros(rows, cols),

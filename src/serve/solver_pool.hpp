@@ -17,10 +17,21 @@
 //   * FIFO within priority: requests are dispatched in ascending
 //     (priority, submission sequence) order — lower priority value first,
 //     submission order within a priority level.
+//   * Weighted fair share (opt-in, PoolOptions::fair_share): dispatch is
+//     deficit round-robin across RequestOptions::tenant. Each scheduler
+//     visit credits a tenant's deficit by its weight; the tenant serves one
+//     request (its own priority/FIFO order) when the deficit reaches 1 and
+//     pays 1 for it, so long-run service ratios match the weights. A tenant
+//     passed over while holding work bumps the starvation counters in
+//     PoolStats — sustained starvation of a low-weight tenant is visible,
+//     never silent. Deficits reset when a tenant's queue empties (no credit
+//     hoarding across idle periods).
 //   * Per-request deadlines: a request whose host-clock deadline passed
 //     before a worker picked it up is completed as DeadlineExpired without
-//     running. Deadlines bound queueing delay; they never abort a running
-//     factorization.
+//     running — and re-checked once more after plan resolution, immediately
+//     before the solve, so a deadline that expired during planning is
+//     answered without burning a full factorization. Deadlines bound
+//     queueing+planning delay; they never abort a running factorization.
 //   * Accepted work is always completed: the destructor drains the queue
 //     before joining the workers.
 //
@@ -116,6 +127,21 @@ struct PoolOptions {
   // injector, same model/policy) up to this many times; the retry's
   // simulated time is charged to the worker's timeline as "solve_retry".
   int max_solve_retries = 1;
+  // -- Weighted fair-share scheduling (off by default: global
+  //    priority/FIFO order across all tenants, exactly as before). --
+  // Deficit round-robin across RequestOptions::tenant (see the header
+  // comment). Within a tenant, requests still dispatch in (priority,
+  // submission) order.
+  bool fair_share = false;
+  // Relative service weights per tenant id; tenants absent from the map
+  // (and non-positive entries) get weight 1.0. Fractional weights are the
+  // point: weight 0.25 means one served request per four scheduler visits,
+  // with the skipped visits counted as starvation.
+  std::map<int, double> tenant_weights;
+  // Test seam: runs on the worker thread after plan resolution, before the
+  // pre-solve deadline re-check — lets tests pin "deadline expired during
+  // planning" deterministically. Must be thread-safe; null is off.
+  std::function<void()> post_plan_hook;
 };
 
 // Per-request knobs.
@@ -123,6 +149,10 @@ struct RequestOptions {
   QrAlgorithm algo = QrAlgorithm::Auto;
   // Dispatch key, lower first; FIFO within equal priority.
   int priority = 0;
+  // Fair-share scheduling class (a camera stream, a customer, ...). Only
+  // consulted when PoolOptions::fair_share is on; weight comes from
+  // PoolOptions::tenant_weights.
+  int tenant = 0;
   // Host-clock budget from submission to dispatch; <= 0 means no deadline.
   double deadline_seconds = 0;
   // When true (the default), the worker resolves {algorithm, tuned block
@@ -170,6 +200,16 @@ struct PoolStats {
   long long expired = 0;    // completed as DeadlineExpired
   long long shed = 0;       // refused by overload protection
   long long solve_retries = 0;  // fresh-device re-runs of Unrecovered solves
+  // DeadlineExpired at the post-plan re-check (subset of `expired`): the
+  // deadline lapsed between dequeue and solve, and the solve was skipped.
+  long long presolve_expired = 0;
+  // Fair-share starvation: scheduler visits that passed over a tenant with
+  // queued work because its deficit had not yet accrued (total and by
+  // tenant). A persistently growing count for a tenant is the signal its
+  // weight is too low for its offered load.
+  long long starved_rounds = 0;
+  std::map<int, long long> tenant_starved;
+  std::map<int, long long> tenant_served;  // requests dispatched per tenant
   // Simulated seconds each worker's device spent running requests. The pool
   // serves on `workers` independent simulated GPUs, so simulated serving
   // throughput is problems / makespan (the busiest device bounds the batch).
@@ -238,13 +278,16 @@ class SolverPool {
     auto fut = prom->get_future();
     auto probs = std::make_shared<std::vector<Matrix<T>>>(std::move(problems));
     Job job;
-    job.run = [this, prom, probs, req](gpusim::Device& dev) {
+    job.run = [this, prom, probs, req](gpusim::Device& dev, bool,
+                                       Clock::time_point) {
       BatchResponse<T> resp;
       try {
         run_batch<T>(dev, *probs, req, resp);
         prom->set_value(std::move(resp));
+        return RequestStatus::Done;
       } catch (...) {
         prom->set_exception(std::current_exception());
+        return RequestStatus::Done;
       }
     };
     job.finish = [prom](RequestStatus s) {
@@ -271,13 +314,15 @@ class SolverPool {
     auto prom = std::make_shared<std::promise<RequestStatus>>();
     auto fut = prom->get_future();
     Job job;
-    job.run = [prom, fn = std::move(fn)](gpusim::Device& dev) {
+    job.run = [prom, fn = std::move(fn)](gpusim::Device& dev, bool,
+                                         Clock::time_point) {
       try {
         fn(dev);
         prom->set_value(RequestStatus::Done);
       } catch (...) {
         prom->set_exception(std::current_exception());
       }
+      return RequestStatus::Done;
     };
     job.finish = [prom](RequestStatus s) { prom->set_value(s); };
     const Admit adm = enqueue(std::move(job), req, blocking);
@@ -291,7 +336,7 @@ class SolverPool {
   // Blocks until the queue is empty and no worker is running a request.
   void drain() {
     std::unique_lock<std::mutex> lock(mutex_);
-    cv_drain_.wait(lock, [&] { return queue_.empty() && active_ == 0; });
+    cv_drain_.wait(lock, [&] { return queued_ == 0 && active_ == 0; });
   }
 
   PoolStats stats() const {
@@ -303,6 +348,10 @@ class SolverPool {
     s.expired = expired_;
     s.shed = shed_;
     s.solve_retries = solve_retries_;
+    s.presolve_expired = presolve_expired_;
+    s.starved_rounds = starved_rounds_;
+    s.tenant_starved = tenant_starved_;
+    s.tenant_served = tenant_served_;
     s.worker_busy_simulated_seconds = busy_sim_;
     return s;
   }
@@ -314,10 +363,17 @@ class SolverPool {
   enum class Admit { Queued, Rejected, Shed };
 
   struct Job {
-    std::function<void(gpusim::Device&)> run;
+    // Runs the request; returns its terminal status (Done, or
+    // DeadlineExpired from the post-plan re-check). The promise is
+    // fulfilled inside.
+    std::function<RequestStatus(gpusim::Device&, bool has_deadline,
+                                Clock::time_point deadline)>
+        run;
     std::function<void(RequestStatus)> finish;  // terminal non-Done outcome
     bool has_deadline = false;
     Clock::time_point deadline{};
+    int tenant = 0;
+    Clock::time_point submitted{};  // for the queue-wait histogram
   };
 
   static double wall_seconds() {
@@ -333,13 +389,17 @@ class SolverPool {
     auto fut = prom->get_future();
     auto mat = std::make_shared<Matrix<T>>(std::move(a));
     Job job;
-    job.run = [this, prom, mat, req](gpusim::Device& dev) {
+    job.run = [this, prom, mat, req](gpusim::Device& dev, bool has_deadline,
+                                     Clock::time_point deadline) {
       QrResponse<T> resp;
       try {
-        run_one<T>(dev, *mat, req, resp);
+        run_one<T>(dev, *mat, req, has_deadline, deadline, resp);
+        const RequestStatus s = resp.status;
         prom->set_value(std::move(resp));
+        return s;
       } catch (...) {
         prom->set_exception(std::current_exception());
+        return RequestStatus::Done;  // exception delivered via the future
       }
     };
     job.finish = [prom](RequestStatus s) {
@@ -360,6 +420,7 @@ class SolverPool {
   // Resolves {algorithm, options} for a request, then runs it on `dev`.
   template <typename T>
   void run_one(gpusim::Device& dev, Matrix<T>& a, const RequestOptions& req,
+               bool has_deadline, Clock::time_point deadline,
                QrResponse<T>& resp) {
     CAQR_PROF_SCOPE("serve.request_ns");
     const idx m = a.rows(), n = a.cols();
@@ -368,6 +429,17 @@ class SolverPool {
     const double p0 = wall_seconds();
     resolve_plan<T>(m, n, req, algo, opts, resp.plan_cache_hit);
     resp.plan_seconds = wall_seconds() - p0;
+    if (opts_.post_plan_hook) opts_.post_plan_hook();
+
+    // Pre-solve re-check: the dequeue check bounds queueing delay, but an
+    // uncached plan resolution (autotune sweep) can itself outlive a tight
+    // deadline — answer DeadlineExpired now instead of burning the solve.
+    if (has_deadline && Clock::now() > deadline) {
+      static prof::Counter& c = prof::counter("serve.presolve_expired");
+      c.add(1);
+      resp.status = RequestStatus::DeadlineExpired;
+      return;
+    }
 
     const double t0 = dev.elapsed_seconds();
     if (dev.mode() == gpusim::ExecMode::Functional) {
@@ -478,6 +550,8 @@ class SolverPool {
                              std::chrono::duration<double>(
                                  req.deadline_seconds));
     }
+    job.tenant = req.tenant;
+    job.submitted = Clock::now();
     static prof::Counter& wait = prof::counter("serve.pool_lock_wait_ns");
     std::unique_lock<std::mutex> lock(mutex_, std::defer_lock);
     prof::lock_timed(lock, wait);
@@ -490,18 +564,73 @@ class SolverPool {
     }
     if (blocking) {
       cv_space_.wait(lock, [&] {
-        return stopping_ || queue_.size() < opts_.queue_capacity;
+        return stopping_ || queued_ < opts_.queue_capacity;
       });
     }
-    if (stopping_ || queue_.size() >= opts_.queue_capacity) {
+    if (stopping_ || queued_ >= opts_.queue_capacity) {
       ++rejected_;
       return Admit::Rejected;
     }
-    queue_.emplace(std::make_pair(req.priority, seq_++), std::move(job));
+    if (opts_.fair_share) {
+      if (deficit_.emplace(req.tenant, 0.0).second) {
+        rr_order_.push_back(req.tenant);
+      }
+      tenant_queues_[req.tenant].emplace(
+          std::make_pair(req.priority, seq_++), std::move(job));
+    } else {
+      queue_.emplace(std::make_pair(req.priority, seq_++), std::move(job));
+    }
+    ++queued_;
     ++submitted_;
     lock.unlock();
     cv_work_.notify_one();
     return Admit::Queued;
+  }
+
+  // Per-tenant service weight; absent or non-positive entries mean 1.0.
+  double tenant_weight(int tenant) const {
+    const auto it = opts_.tenant_weights.find(tenant);
+    return it == opts_.tenant_weights.end() || it->second <= 0 ? 1.0
+                                                               : it->second;
+  }
+
+  // Next job per dispatch policy; call with mutex_ held and queued_ > 0.
+  // Fair-share mode runs deficit round-robin: each visit to a tenant with
+  // work credits its deficit by its weight; a deficit >= 1 buys one served
+  // request, a visit that cannot afford one is a counted starvation skip.
+  // Termination: every full cycle credits each non-empty tenant by its
+  // weight, so within ceil(1/min_weight) cycles someone can afford a serve.
+  Job pop_next_locked() {
+    if (!opts_.fair_share) {
+      auto it = queue_.begin();
+      Job job = std::move(it->second);
+      queue_.erase(it);
+      --queued_;
+      return job;
+    }
+    for (;;) {
+      for (std::size_t n = 0; n < rr_order_.size(); ++n) {
+        rr_pos_ = (rr_pos_ + 1) % rr_order_.size();
+        const int tenant = rr_order_[rr_pos_];
+        auto& q = tenant_queues_[tenant];
+        if (q.empty()) continue;
+        double& d = deficit_[tenant];
+        d += tenant_weight(tenant);
+        if (d < 1.0) {
+          ++starved_rounds_;
+          ++tenant_starved_[tenant];
+          continue;
+        }
+        d -= 1.0;
+        auto it = q.begin();
+        Job job = std::move(it->second);
+        q.erase(it);
+        if (q.empty()) d = 0.0;  // no credit hoarding across idle periods
+        --queued_;
+        ++tenant_served_[tenant];
+        return job;
+      }
+    }
   }
 
   // Overload-protection policy, called with mutex_ held. Two independent
@@ -512,12 +641,12 @@ class SolverPool {
   //     so it would expire in the queue anyway.
   Admit shed_decision(const RequestOptions& req, const Job& job) const {
     if (opts_.shed_queue_depth > 0 && !stopping_ &&
-        queue_.size() >= opts_.shed_queue_depth) {
+        queued_ >= opts_.shed_queue_depth) {
       return Admit::Shed;
     }
     if (opts_.shed_infeasible_deadlines && job.has_deadline &&
         ema_service_seconds_ > 0) {
-      const double est_wait = static_cast<double>(queue_.size()) *
+      const double est_wait = static_cast<double>(queued_) *
                               ema_service_seconds_ /
                               static_cast<double>(opts_.workers);
       if (est_wait > req.deadline_seconds) return Admit::Shed;
@@ -538,17 +667,21 @@ class SolverPool {
             prof::counter("serve.pool_lock_wait_ns");
         std::unique_lock<std::mutex> lock(mutex_, std::defer_lock);
         prof::lock_timed(lock, wait);
-        cv_work_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-        if (queue_.empty()) return;  // stopping and drained
-        auto it = queue_.begin();
-        job = std::move(it->second);
-        queue_.erase(it);
+        cv_work_.wait(lock, [&] { return stopping_ || queued_ > 0; });
+        if (queued_ == 0) return;  // stopping and drained
+        job = pop_next_locked();
         ++active_;
       }
       // One slot freed admits one blocked producer; notify_all here was a
       // thundering herd that serialized every producer through the mutex
       // on each dequeue.
       cv_space_.notify_one();
+      {
+        static prof::Histogram& qwait = prof::histogram("serve.queue_wait");
+        qwait.record(std::chrono::duration<double, std::nano>(
+                         Clock::now() - job.submitted)
+                         .count());
+      }
       if (job.has_deadline && Clock::now() > job.deadline) {
         // Count before fulfilling the promise: a waiter woken by the
         // response future must already see the stat it implies.
@@ -557,7 +690,7 @@ class SolverPool {
           std::lock_guard<std::mutex> lock(mutex_);
           ++expired_;
           --active_;
-          drained = queue_.empty() && active_ == 0;
+          drained = queued_ == 0 && active_ == 0;
         }
         job.finish(RequestStatus::DeadlineExpired);
         if (drained) cv_drain_.notify_all();
@@ -567,7 +700,7 @@ class SolverPool {
       // device time, and results cannot depend on what ran before.
       dev.reset_timeline();
       const double w0 = wall_seconds();
-      job.run(dev);
+      const RequestStatus rs = job.run(dev, job.has_deadline, job.deadline);
       const double service = wall_seconds() - w0;
       bool drained;
       {
@@ -575,14 +708,21 @@ class SolverPool {
             prof::counter("serve.pool_lock_wait_ns");
         prof::timed_lock<std::mutex> lock(mutex_, wait);
         busy_sim_[static_cast<std::size_t>(widx)] += dev.elapsed_seconds();
-        // Wall service-time EMA feeding the deadline-feasibility shed rule.
-        ema_service_seconds_ = ema_service_seconds_ == 0
-                                   ? service
-                                   : 0.8 * ema_service_seconds_ +
-                                         0.2 * service;
-        ++completed_;
+        if (rs == RequestStatus::Done) {
+          // Wall service-time EMA feeding the deadline-feasibility shed
+          // rule; a presolve-expired request never solved, so its (tiny)
+          // service time would only drag the estimate down.
+          ema_service_seconds_ = ema_service_seconds_ == 0
+                                     ? service
+                                     : 0.8 * ema_service_seconds_ +
+                                           0.2 * service;
+          ++completed_;
+        } else {
+          ++expired_;
+          ++presolve_expired_;
+        }
         --active_;
-        drained = queue_.empty() && active_ == 0;
+        drained = queued_ == 0 && active_ == 0;
       }
       // wait_drain's predicate is "queue empty and nothing active": waking
       // its waiters on EVERY completion stampeded them through the mutex
@@ -597,8 +737,18 @@ class SolverPool {
   std::condition_variable cv_work_;   // queue became non-empty / stopping
   std::condition_variable cv_space_;  // queue dropped below capacity
   std::condition_variable cv_drain_;  // a request finished
-  // Dispatch order: ascending (priority, submission sequence).
+  // Dispatch order: ascending (priority, submission sequence) — the single
+  // global queue when fair_share is off, per-tenant queues under deficit
+  // round-robin when it is on. `queued_` counts entries across both.
   std::map<std::pair<int, std::uint64_t>, Job> queue_;
+  std::map<int, std::map<std::pair<int, std::uint64_t>, Job>> tenant_queues_;
+  std::vector<int> rr_order_;  // tenants in first-seen order
+  std::size_t rr_pos_ = 0;     // last tenant visited by the scheduler
+  std::map<int, double> deficit_;
+  std::map<int, long long> tenant_served_;
+  std::map<int, long long> tenant_starved_;
+  long long starved_rounds_ = 0;
+  std::size_t queued_ = 0;
   std::uint64_t seq_ = 0;
   int active_ = 0;
   bool stopping_ = false;
@@ -608,6 +758,7 @@ class SolverPool {
   long long expired_ = 0;
   long long shed_ = 0;
   long long solve_retries_ = 0;
+  long long presolve_expired_ = 0;
   double ema_service_seconds_ = 0;  // wall seconds per served request
   std::vector<double> busy_sim_;
   std::vector<std::thread> threads_;  // last: joins before members destruct

@@ -100,6 +100,29 @@ inline void charge_small_svd(gpusim::Device& dev, idx n,
   dev.transfer(2.0 * static_cast<double>(n) * n * sizeof(float));  // U and V
 }
 
+// Stage 2 of the pipeline as a standalone entry point: the small n x n CPU
+// SVD of an already-computed R, with the same timeline charge and algorithm
+// selection as tall_skinny_svd. Callers that maintain R incrementally (the
+// streaming layer's SlidingWindowQr keeps the window R current across
+// append/evict) use this to get singular values/subspaces per frame without
+// re-running stage 1 at all. Functional mode computes; ModelOnly only
+// charges and returns an unconverged empty result.
+template <typename VR>
+SvdResult<view_scalar_t<VR>> small_svd_of_r(
+    gpusim::Device& dev, const VR& r_in, const TallSkinnySvdOptions& opt = {}) {
+  using T = view_scalar_t<VR>;
+  const ConstMatrixView<T> r = cview(r_in);
+  CAQR_CHECK(r.rows() == r.cols() && r.cols() >= 1);
+  charge_small_svd(dev, r.cols(), opt.cpu_svd_gflops);
+  SvdResult<T> rs;
+  if (dev.mode() == gpusim::ExecMode::Functional) {
+    rs = opt.small_svd == SmallSvd::Jacobi
+             ? jacobi_svd(r, opt.svd_max_sweeps)
+             : two_phase_svd(r, opt.svd_max_sweeps);
+  }
+  return rs;
+}
+
 // Thin SVD of a tall-skinny matrix through the QR pipeline. Functional in
 // ExecMode::Functional; in ModelOnly only the timeline advances and the
 // returned factors are unspecified.
@@ -155,12 +178,8 @@ TallSkinnySvd<view_scalar_t<VA>> tall_skinny_svd(
   }
 
   // Stage 2: small SVD of R on the CPU.
-  charge_small_svd(dev, n, opt.cpu_svd_gflops);
-  SvdResult<T> rs;
+  SvdResult<T> rs = small_svd_of_r(dev, r.view(), opt);
   if (dev.mode() == gpusim::ExecMode::Functional) {
-    rs = opt.small_svd == SmallSvd::Jacobi
-             ? jacobi_svd(r.view(), opt.svd_max_sweeps)
-             : two_phase_svd(r.view(), opt.svd_max_sweeps);
     out.small_svd_converged = rs.converged;
     out.sigma = rs.sigma;
     out.v = std::move(rs.v);

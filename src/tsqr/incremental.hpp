@@ -17,6 +17,8 @@
 // style reconstruction, normal-equation-free least squares on R, or
 // conditioning estimates); use the monolithic TSQR when Q is needed.
 
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "gpusim/device.hpp"
@@ -25,6 +27,39 @@
 #include "linalg/matrix.hpp"
 
 namespace caqr::tsqr {
+
+// Typed rejection of a degenerate streaming update (the dist::PartitionError
+// pattern): thrown — never an abort — so the serving layer can refuse the
+// request, count it, and keep the stream alive. Covers both streaming
+// consumers: IncrementalTsqr::push (a zero-row append is a caller bug that
+// previously died on an assert) and stream::SlidingWindowQr (an evict that
+// would shrink the window below `cols` rows leaves no room for the R
+// triangle, exactly like an infeasible block-row partition).
+struct StreamUpdateError : std::runtime_error {
+  enum class Kind {
+    ZeroRowAppend,    // appended block has no rows
+    WindowUnderflow,  // evict/read would leave the window under `cols` rows
+  };
+
+  StreamUpdateError(Kind kind_, idx rows_, idx cols_, idx window_rows_)
+      : std::runtime_error(
+            kind_ == Kind::ZeroRowAppend
+                ? "streaming update rejected: appended block has " +
+                      std::to_string(rows_) + " rows (need >= 1) at width " +
+                      std::to_string(cols_)
+                : "streaming update rejected: window would shrink to " +
+                      std::to_string(window_rows_) + " rows, below the " +
+                      std::to_string(cols_) + "-row floor (need rows >= cols)"),
+        kind(kind_),
+        rows(rows_),
+        cols(cols_),
+        window_rows(window_rows_) {}
+
+  Kind kind;
+  idx rows = 0;         // rows of the offending block (appends)
+  idx cols = 0;         // the window/panel width, the row floor
+  idx window_rows = 0;  // rows the window would hold after the update
+};
 
 template <typename T>
 class IncrementalTsqr {
@@ -45,10 +80,15 @@ class IncrementalTsqr {
 
   // Consumes one row block (any height >= 1; blocks of height >= width are
   // most efficient). The block is copied internally; the caller may reuse
-  // its storage immediately.
+  // its storage immediately. A zero-row block is a typed StreamUpdateError
+  // (not an abort): streaming producers legitimately hit empty frames and
+  // must be able to refuse them without killing the process.
   void push(ConstMatrixView<T> block) {
     CAQR_CHECK(block.cols() == width_);
-    CAQR_CHECK(block.rows() >= 1);
+    if (block.rows() < 1) {
+      throw StreamUpdateError(StreamUpdateError::Kind::ZeroRowAppend,
+                              block.rows(), width_, rows_consumed_);
+    }
     const idx h = block.rows();
 
     // Factor the arriving block on the device (functionally here when the

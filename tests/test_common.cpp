@@ -469,5 +469,48 @@ TEST(Profile, TimedLockChargesWaitTimeOnlyWhenContended) {
   EXPECT_GT(wait.value.load(), value0);
 }
 
+TEST(Profile, HistogramQuantilesMeanAndReset) {
+  auto& h = prof::histogram("test.hist.q");
+  h.reset();
+  for (int i = 0; i < 100; ++i) h.record(1000.0);
+  for (int i = 0; i < 5; ++i) h.record(1.0e6);
+  EXPECT_EQ(h.count(), 105);
+  EXPECT_NEAR(h.mean_ns(), (100 * 1000.0 + 5 * 1.0e6) / 105.0, 1.0);
+  // 1000 ns lands in bucket [512, 1024); 1e6 ns in [2^19, 2^20). The
+  // quantile contract is bucket-accurate (factor-of-two), so assert bounds.
+  const double p50 = h.quantile(0.50);
+  EXPECT_GE(p50, 512.0);
+  EXPECT_LE(p50, 1024.0);
+  const double p99 = h.quantile(0.99);
+  EXPECT_GE(p99, 524288.0);
+  EXPECT_LE(p99, 1048576.0);
+  EXPECT_GE(p99, p50);
+  // The registry hands back the same object for the same name.
+  EXPECT_EQ(&prof::histogram("test.hist.q"), &h);
+  h.reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.mean_ns(), 0.0);
+}
+
+TEST(Profile, HistogramSnapshotAndJsonExport) {
+  auto& h = prof::histogram("test.hist.snap");
+  h.reset();
+  h.record(2000.0);
+  bool found = false;
+  for (const auto& s : prof::histogram_snapshot()) {
+    if (s.name == "test.hist.snap") {
+      found = true;
+      EXPECT_EQ(s.count, 1);
+      EXPECT_GT(s.p50_ns, 0.0);
+      EXPECT_GE(s.p99_ns, s.p50_ns);
+    }
+  }
+  EXPECT_TRUE(found);
+  const std::string json = prof::to_json();
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("test.hist.snap"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace caqr

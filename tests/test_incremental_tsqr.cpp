@@ -113,5 +113,28 @@ TEST(IncrementalTsqr, EmptyAndWidthChecks) {
   EXPECT_DEATH(inc.push(wrong.view()), "cols");
 }
 
+TEST(IncrementalTsqr, ZeroRowAppendIsTypedNotAssert) {
+  // Degenerate updates must surface as a typed StreamUpdateError the serving
+  // layer can refuse per-request — a CAQR_CHECK abort would take down every
+  // co-hosted stream.
+  Device dev;
+  tsqr::IncrementalTsqr<double> inc(dev, 4);
+  auto empty_block = Matrix<double>::zeros(0, 4);
+  try {
+    inc.push(empty_block.view());
+    FAIL() << "zero-row push must throw";
+  } catch (const tsqr::StreamUpdateError& e) {
+    EXPECT_EQ(e.kind, tsqr::StreamUpdateError::Kind::ZeroRowAppend);
+    EXPECT_EQ(e.rows, 0);
+    EXPECT_EQ(e.cols, 4);
+    EXPECT_NE(std::string(e.what()).find("rejected"), std::string::npos);
+  }
+  // The failed push left the accumulator usable.
+  EXPECT_TRUE(inc.empty());
+  auto ok = gaussian_matrix<double>(8, 4, 21);
+  inc.push(ok.view());
+  EXPECT_EQ(inc.rows_consumed(), 8);
+}
+
 }  // namespace
 }  // namespace caqr

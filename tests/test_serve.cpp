@@ -550,5 +550,105 @@ TEST(PooledQrHook, RpcaThroughPoolMatchesInline) {
   EXPECT_GT(pool.stats().completed, 0);
 }
 
+// ------------------------------------------------------- weighted fair share
+
+TEST(SolverPool, FairShareServesByDeficitWeights) {
+  PoolOptions po;
+  po.workers = 1;
+  po.mode = ExecMode::ModelOnly;
+  po.fair_share = true;
+  po.tenant_weights[0] = 1.0;
+  po.tenant_weights[1] = 0.5;  // one credit every second visit
+  SolverPool pool(po);
+
+  WorkerLatch latch;
+  auto blocked = latch.block(pool);
+  latch.started.get_future().wait();
+
+  std::mutex order_mu;
+  std::vector<int> order;
+  std::vector<std::future<RequestStatus>> futs;
+  for (int i = 0; i < 4; ++i) {
+    for (int tenant = 0; tenant < 2; ++tenant) {
+      RequestOptions req;
+      req.tenant = tenant;
+      futs.push_back(pool.submit_task(
+          [tenant, &order_mu, &order](gpusim::Device&) {
+            std::lock_guard<std::mutex> lk(order_mu);
+            order.push_back(tenant);
+          },
+          req));
+    }
+  }
+  latch.release.set_value();
+  EXPECT_EQ(blocked.get(), RequestStatus::Done);
+  for (auto& f : futs) EXPECT_EQ(f.get(), RequestStatus::Done);
+
+  pool.drain();
+  ASSERT_EQ(order.size(), 8u);
+  // Deficit round-robin at weights 1.0 : 0.5 serves tenant 0 twice as often
+  // while both queues are non-empty — tenant 0 drains strictly first.
+  const auto last0 = std::find(order.rbegin(), order.rend(), 0);
+  const auto last1 = std::find(order.rbegin(), order.rend(), 1);
+  EXPECT_LT(last0 - order.rbegin(), 8 - 4)
+      << "tenant 0 should finish within the first 5 serves";
+  EXPECT_EQ(*last1, 1);
+  const PoolStats s = pool.stats();
+  // 4 measured requests + the latch job (default tenant 0).
+  EXPECT_EQ(s.tenant_served.at(0), 5);
+  EXPECT_EQ(s.tenant_served.at(1), 4);
+  // Tenant 1's sub-1.0 visits are counted, never silent.
+  EXPECT_GT(s.starved_rounds, 0);
+  EXPECT_GT(s.tenant_starved.at(1), 0);
+  EXPECT_EQ(s.tenant_starved.count(0), 0u);
+}
+
+TEST(SolverPool, FairShareCompletesAllTenantsWithExtremeWeights) {
+  PoolOptions po;
+  po.workers = 2;
+  po.mode = ExecMode::ModelOnly;
+  po.fair_share = true;
+  po.tenant_weights[7] = 0.05;  // 20 visits per credit: starved but served
+  SolverPool pool(po);
+  std::vector<std::future<RequestStatus>> futs;
+  for (int i = 0; i < 6; ++i) {
+    for (int tenant : {3, 7}) {
+      RequestOptions req;
+      req.tenant = tenant;
+      futs.push_back(pool.submit_task([](gpusim::Device&) {}, req));
+    }
+  }
+  for (auto& f : futs) EXPECT_EQ(f.get(), RequestStatus::Done);
+  pool.drain();
+  const PoolStats s = pool.stats();
+  EXPECT_EQ(s.tenant_served.at(3), 6);
+  EXPECT_EQ(s.tenant_served.at(7), 6);
+}
+
+// ------------------------------------------------- pre-solve deadline check
+
+TEST(SolverPool, DeadlineExpiredDuringPlanningSkipsSolve) {
+  PoolOptions po;
+  po.workers = 1;
+  po.mode = ExecMode::ModelOnly;
+  // Deterministic pin for "the deadline passed between dequeue and solve":
+  // the hook runs after plan resolution, before the pre-solve re-check.
+  po.post_plan_hook = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  };
+  SolverPool pool(po);
+
+  RequestOptions req;
+  req.deadline_seconds = 0.25;  // outlives the queue, not the planning stall
+  auto resp = pool.submit(Matrix<float>::shape_only(1024, 32), req);
+  EXPECT_EQ(resp.get().status, RequestStatus::DeadlineExpired);
+
+  pool.drain();
+  const PoolStats s = pool.stats();
+  EXPECT_EQ(s.completed, 0);
+  EXPECT_EQ(s.expired, 1);
+  EXPECT_EQ(s.presolve_expired, 1);  // the expiry was caught BEFORE solving
+}
+
 }  // namespace
 }  // namespace caqr::serve
